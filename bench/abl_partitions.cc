@@ -1,0 +1,56 @@
+// Ablation A6: number of hash partitions. The probe scans one partition's
+// bucket per arrival, so XJoin's probe cost falls with more partitions
+// until the per-key chains dominate; PJoin's tiny state barely cares. This
+// is the design knob DESIGN.md calls out for the state layout.
+
+#include "bench_util.h"
+#include "join/pjoin.h"
+#include "join/xjoin.h"
+
+using namespace pjoin;
+using namespace pjoin::bench;
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.num_tuples = 20000;
+  cfg.punct_a = 20;
+  cfg.punct_b = 20;
+  GeneratedStreams g = cfg.Generate();
+
+  PrintHeader("Ablation A6", "hash partition count",
+              "20k tuples/stream, punct inter-arrival 20");
+  std::printf("%-12s %16s %16s %16s %16s\n", "partitions", "xjoin_cmp",
+              "pjoin_cmp", "xjoin_wall_ms", "pjoin_wall_ms");
+  int64_t xjoin_cmp_4 = 0;
+  int64_t xjoin_cmp_256 = 0;
+  int64_t results = -1;
+  bool results_consistent = true;
+  for (int partitions : {4, 16, 64, 256}) {
+    JoinOptions xopts;
+    xopts.num_partitions = partitions;
+    XJoin xjoin(g.schema_a, g.schema_b, xopts);
+    RunStats xs = RunExperiment(&xjoin, g);
+
+    JoinOptions popts;
+    popts.num_partitions = partitions;
+    popts.runtime.purge_threshold = 1;
+    PJoin pjoin(g.schema_a, g.schema_b, popts);
+    RunStats ps = RunExperiment(&pjoin, g);
+
+    std::printf("%-12d %16lld %16lld %16.1f %16.1f\n", partitions,
+                static_cast<long long>(xs.counters.Get("probe_comparisons")),
+                static_cast<long long>(ps.counters.Get("probe_comparisons")),
+                xs.wall_micros / 1e3, ps.wall_micros / 1e3);
+    if (partitions == 4) xjoin_cmp_4 = xs.counters.Get("probe_comparisons");
+    if (partitions == 256) {
+      xjoin_cmp_256 = xs.counters.Get("probe_comparisons");
+    }
+    if (results < 0) results = xs.results;
+    results_consistent = results_consistent && xs.results == results &&
+                         ps.results == results;
+  }
+  PrintShapeCheck("XJoin probe cost falls sharply with partition count",
+                  xjoin_cmp_256 * 4 < xjoin_cmp_4);
+  PrintShapeCheck("results invariant to partition count", results_consistent);
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Micro-benchmarks (google-benchmark) for the hot operations: pattern
+// matching, punctuation-set probing, memory-join probing, purge scanning,
+// index building, and tuple-entry serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "join/hash_state.h"
+#include "join/punct_index.h"
+#include "punct/punctuation_set.h"
+#include "storage/simulated_disk.h"
+#include "tuple/tuple.h"
+
+namespace pjoin {
+namespace {
+
+SchemaPtr KP() {
+  return Schema::Make({{"key", ValueType::kInt64}, {"p", ValueType::kInt64}});
+}
+
+void BM_PatternMatchConstant(benchmark::State& state) {
+  Pattern p = Pattern::Constant(Value(int64_t{42}));
+  Value v(int64_t{42});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(v));
+  }
+}
+BENCHMARK(BM_PatternMatchConstant);
+
+void BM_PatternMatchRange(benchmark::State& state) {
+  Pattern p = Pattern::Range(Value(int64_t{10}), Value(int64_t{90}));
+  Value v(int64_t{55});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(v));
+  }
+}
+BENCHMARK(BM_PatternMatchRange);
+
+void BM_PatternMatchEnum(benchmark::State& state) {
+  std::vector<Value> members;
+  for (int64_t i = 0; i < state.range(0); ++i) members.emplace_back(i * 2);
+  Pattern p = Pattern::EnumList(members);
+  Value v(int64_t{state.range(0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Matches(v));
+  }
+}
+BENCHMARK(BM_PatternMatchEnum)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_PatternAnd(benchmark::State& state) {
+  Pattern a = Pattern::Range(Value(int64_t{0}), Value(int64_t{100}));
+  Pattern b = Pattern::Range(Value(int64_t{50}), Value(int64_t{150}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pattern::And(a, b));
+  }
+}
+BENCHMARK(BM_PatternAnd);
+
+void BM_PunctSetMatchKey(benchmark::State& state) {
+  PunctuationSet ps(0);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)ps.Add(Punctuation::ForAttribute(2, 0,
+                                           Pattern::Constant(Value(i))),
+                 i);
+  }
+  Value probe(state.range(0) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.SetMatchKey(probe));
+  }
+}
+BENCHMARK(BM_PunctSetMatchKey)->Arg(16)->Arg(256)->Arg(4096);
+
+HashState MakeState(int64_t tuples, int64_t distinct_keys) {
+  SchemaPtr schema = KP();
+  HashState st("bench", schema, 0, 16, std::make_unique<SimulatedDisk>());
+  for (int64_t i = 0; i < tuples; ++i) {
+    TupleEntry e;
+    e.tuple = Tuple(schema, {Value(i % distinct_keys), Value(i)});
+    e.ats = i;
+    st.InsertMemory(std::move(e));
+  }
+  return st;
+}
+
+void BM_MemoryProbe(benchmark::State& state) {
+  HashState st = MakeState(state.range(0), 20);
+  const Value key(int64_t{7});
+  const int p = st.PartitionOf(key);
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (const TupleEntry& e : st.memory(p)) {
+      if (st.KeyOf(e.tuple) == key) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(st.memory(p).size()));
+}
+BENCHMARK(BM_MemoryProbe)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PurgeScan(benchmark::State& state) {
+  PunctuationSet ps(0);
+  for (int64_t k = 0; k < 10; ++k) {
+    (void)ps.Add(Punctuation::ForAttribute(2, 0,
+                                           Pattern::Constant(Value(k))),
+                 k);
+  }
+  HashState st = MakeState(state.range(0), 40);
+  for (auto _ : state) {
+    int64_t would_purge = 0;
+    for (int p = 0; p < st.num_partitions(); ++p) {
+      for (const TupleEntry& e : st.memory(p)) {
+        if (ps.SetMatchKey(st.KeyOf(e.tuple))) ++would_purge;
+      }
+    }
+    benchmark::DoNotOptimize(would_purge);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PurgeScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  SchemaPtr schema = KP();
+  for (auto _ : state) {
+    state.PauseTiming();
+    PunctuationSet ps(0);
+    for (int64_t k = 0; k < 20; ++k) {
+      (void)ps.Add(Punctuation::ForAttribute(2, 0,
+                                             Pattern::Constant(Value(k))),
+                   k);
+    }
+    HashState st = MakeState(state.range(0), 40);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        PunctuationIndexer::BuildIndex(&ps, &st, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_TupleEntrySerialize(benchmark::State& state) {
+  TupleEntry e;
+  e.tuple = Tuple(KP(), {Value(int64_t{12345}), Value(int64_t{67890})});
+  e.ats = 1;
+  e.dts = 2;
+  e.pid = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Serialize());
+  }
+}
+BENCHMARK(BM_TupleEntrySerialize);
+
+void BM_TupleEntryDeserialize(benchmark::State& state) {
+  SchemaPtr schema = KP();
+  TupleEntry e;
+  e.tuple = Tuple(schema, {Value(int64_t{12345}), Value(int64_t{67890})});
+  const std::string record = e.Serialize();
+  for (auto _ : state) {
+    auto r = TupleEntry::Deserialize(record, schema);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TupleEntryDeserialize);
+
+void BM_SpillRoundtrip(benchmark::State& state) {
+  SchemaPtr schema = KP();
+  std::vector<std::string> records;
+  for (int i = 0; i < 256; ++i) {
+    TupleEntry e;
+    e.tuple = Tuple(schema, {Value(int64_t{i}), Value(int64_t{i * 7})});
+    records.push_back(e.Serialize());
+  }
+  for (auto _ : state) {
+    SimulatedDisk disk;
+    (void)disk.AppendBatch(0, records);
+    auto out = disk.ReadPartition(0);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SpillRoundtrip);
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,74 @@
+// The paper's running example (Fig 1): an online auction.
+//
+//   SELECT O.item_id, SUM(B.increase)
+//   FROM   Open O JOIN Bid B ON O.item_id = B.item_id
+//   GROUP BY O.item_id
+//
+// The Open stream carries one tuple per item plus a derived key-uniqueness
+// punctuation; the Bid stream punctuates an item when its auction closes.
+// PJoin purges state as auctions close and propagates punctuations so the
+// group-by can emit each item's total the moment it is final — a blocking
+// operator producing streaming output.
+
+#include <cstdio>
+
+#include "gen/auction.h"
+#include "join/pjoin.h"
+#include "ops/groupby.h"
+#include "ops/pipeline.h"
+#include "ops/sink.h"
+
+using namespace pjoin;
+
+int main(int argc, char** argv) {
+  AuctionSpec spec;
+  spec.num_bids = argc > 1 ? std::atoll(argv[1]) : 20000;
+  spec.open_window = 20;
+  spec.close_mean_interarrival_bids = 40;
+  AuctionStreams streams = GenerateAuction(spec, /*seed=*/2004);
+  std::printf("generated %lld bids over %lld items\n",
+              static_cast<long long>(spec.num_bids),
+              static_cast<long long>(streams.open.size() / 2));
+
+  JoinOptions jopts;
+  jopts.runtime.purge_threshold = 1;            // eager purge
+  jopts.runtime.propagate_count_threshold = 2;  // propagate per punct pair
+  PJoin join(streams.open_schema, streams.bid_schema, jopts);
+
+  // Group the join output by item_id; field 3 (the bid-side item_id) equals
+  // field 0 by the equi-join, so punctuations on either close the group.
+  auto increase = join.output_schema()->IndexOf("increase");
+  GroupBy groupby(join.output_schema(), 0,
+                  {{AggKind::kSum, increase.value(), "sum_increase"},
+                   {AggKind::kCount, 0, "num_bids"}},
+                  /*group_aliases=*/{3});
+  CollectorSink sink;
+  groupby.set_downstream(&sink);
+
+  JoinPipeline pipeline(&join, &groupby);
+  Status st = pipeline.Run(streams.open, streams.bid);
+  if (!st.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nfirst five finished items:\n");
+  for (size_t i = 0; i < sink.tuples().size() && i < 5; ++i) {
+    std::printf("  %s\n", sink.tuples()[i].ToString().c_str());
+  }
+  std::printf("...\n");
+  std::printf("items finished:            %lld\n",
+              static_cast<long long>(sink.tuples().size()));
+  std::printf("closed early by punct:     %lld\n",
+              static_cast<long long>(
+                  groupby.counters().Get("groups_closed_by_punct")));
+  std::printf("join results:              %lld\n",
+              static_cast<long long>(join.results_emitted()));
+  std::printf("punctuations propagated:   %lld\n",
+              static_cast<long long>(join.puncts_emitted()));
+  std::printf("join state at end:         %lld tuples\n",
+              static_cast<long long>(join.total_state_tuples()));
+  std::printf("\nevent-listener registry (paper Table 1):\n%s",
+              join.registry().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace pjoin {
+
+void VirtualClock::AdvanceTo(TimeMicros t) {
+  PJOIN_DCHECK(t >= now_);
+  now_ = t;
+}
+
+void VirtualClock::AdvanceBy(TimeMicros delta) {
+  PJOIN_DCHECK(delta >= 0);
+  now_ += delta;
+}
+
+namespace {
+TimeMicros SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+WallClock::WallClock() : origin_(SteadyNowMicros()) {}
+
+TimeMicros WallClock::NowMicros() const { return SteadyNowMicros() - origin_; }
+
+void Stopwatch::Restart() { start_ = clock_.NowMicros(); }
+
+TimeMicros Stopwatch::ElapsedMicros() const {
+  return clock_.NowMicros() - start_;
+}
+
+}  // namespace pjoin

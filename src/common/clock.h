@@ -1,0 +1,71 @@
+// Time sources. The benchmark generators stamp stream elements with virtual
+// arrival times; operators and experiment drivers read time through the Clock
+// interface so tests can run on a deterministic clock.
+
+#ifndef PJOIN_COMMON_CLOCK_H_
+#define PJOIN_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+/// Microseconds. All timestamps in the library use this unit.
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerMilli = 1000;
+constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds. Monotone non-decreasing.
+  virtual TimeMicros NowMicros() const = 0;
+};
+
+/// Deterministic, manually advanced clock. Drivers advance it to each
+/// element's arrival timestamp before feeding the element to an operator.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros NowMicros() const override { return now_; }
+
+  /// Moves the clock forward to `t`; never moves backwards.
+  void AdvanceTo(TimeMicros t);
+
+  /// Moves the clock forward by `delta` (>= 0).
+  void AdvanceBy(TimeMicros delta);
+
+ private:
+  TimeMicros now_;
+};
+
+/// Monotonic wall clock (std::chrono::steady_clock).
+class WallClock : public Clock {
+ public:
+  WallClock();
+  TimeMicros NowMicros() const override;
+
+ private:
+  TimeMicros origin_;
+};
+
+/// A simple wall-clock stopwatch for measuring processing cost in benches.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart();
+  /// Elapsed time since construction or the last Restart().
+  TimeMicros ElapsedMicros() const;
+
+ private:
+  TimeMicros start_;
+  WallClock clock_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_COMMON_CLOCK_H_

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Not a general-purpose logging framework: just
+// enough to trace operator decisions in examples and debug runs.
+
+#ifndef PJOIN_COMMON_LOGGING_H_
+#define PJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log-level threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Streams a single log record and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PJOIN_LOG(level)                                              \
+  if (::pjoin::LogLevel::level < ::pjoin::GetLogLevel()) {            \
+  } else                                                              \
+    ::pjoin::internal::LogMessage(::pjoin::LogLevel::level, __FILE__, \
+                                  __LINE__)
+
+}  // namespace pjoin
+
+#endif  // PJOIN_COMMON_LOGGING_H_

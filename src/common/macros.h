@@ -1,0 +1,34 @@
+// Small utility macros shared across the library.
+
+#ifndef PJOIN_COMMON_MACROS_H_
+#define PJOIN_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a class as non-copyable and non-movable.
+#define PJOIN_DISALLOW_COPY_AND_MOVE(ClassName)        \
+  ClassName(const ClassName&) = delete;                \
+  ClassName& operator=(const ClassName&) = delete;     \
+  ClassName(ClassName&&) = delete;                     \
+  ClassName& operator=(ClassName&&) = delete
+
+/// Internal invariant check. Always on: the library is not hot enough for the
+/// checks to matter and silent corruption in a join state is far worse.
+#define PJOIN_DCHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PJOIN_DCHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-ok Status out of the current function.
+#define PJOIN_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::pjoin::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // PJOIN_COMMON_MACROS_H_

@@ -1,0 +1,79 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+
+#ifndef PJOIN_COMMON_RESULT_H_
+#define PJOIN_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace pjoin {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// value could not be produced. Accessing the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return MakeThing();`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::IOError(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    PJOIN_DCHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK when the Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    PJOIN_DCHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    PJOIN_DCHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    PJOIN_DCHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates the error of a Result-producing expression, otherwise assigns
+/// the contained value to `lhs`.
+#define PJOIN_RESULT_CONCAT_INNER_(a, b) a##b
+#define PJOIN_RESULT_CONCAT_(a, b) PJOIN_RESULT_CONCAT_INNER_(a, b)
+#define PJOIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto&& tmp = (expr);                               \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+#define PJOIN_ASSIGN_OR_RETURN(lhs, expr) \
+  PJOIN_ASSIGN_OR_RETURN_IMPL_(           \
+      PJOIN_RESULT_CONCAT_(_pjoin_res_, __LINE__), lhs, expr)
+
+}  // namespace pjoin
+
+#endif  // PJOIN_COMMON_RESULT_H_

@@ -1,0 +1,81 @@
+// Status: exception-free error signalling, in the style of RocksDB / Arrow.
+
+#ifndef PJOIN_COMMON_STATUS_H_
+#define PJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pjoin {
+
+/// Coarse error classification for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kIOError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation. Cheap to copy in the OK case (no
+/// allocation); carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+bool operator==(const Status& a, const Status& b);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#include "exec/event.h"
+
+#include <sstream>
+
+namespace pjoin {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kStreamEmpty:
+      return "StreamEmptyEvent";
+    case EventType::kPurgeThresholdReach:
+      return "PurgeThresholdReachEvent";
+    case EventType::kStateFull:
+      return "StateFullEvent";
+    case EventType::kDiskJoinActivate:
+      return "DiskJoinActivateEvent";
+    case EventType::kPropagateRequest:
+      return "PropagateRequestEvent";
+    case EventType::kPropagateTimeExpire:
+      return "PropagateTimeExpireEvent";
+    case EventType::kPropagateCountReach:
+      return "PropagateCountReachEvent";
+  }
+  return "?";
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << EventTypeName(type) << "@" << time;
+  if (stream >= 0) os << " stream=" << stream;
+  return os.str();
+}
+
+}  // namespace pjoin

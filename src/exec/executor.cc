@@ -1,0 +1,59 @@
+#include "exec/executor.h"
+
+namespace pjoin {
+
+BackgroundExecutor::BackgroundExecutor()
+    : worker_([this] { WorkerLoop(); }) {}
+
+BackgroundExecutor::~BackgroundExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void BackgroundExecutor::Execute(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void BackgroundExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+int64_t BackgroundExecutor::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+void BackgroundExecutor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      ++tasks_executed_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace pjoin

@@ -1,0 +1,61 @@
+// Task executors. The event framework can run components inline (the
+// deterministic default) or hand them to a background worker thread, the
+// "second thread" of the paper's framework (§3.6).
+
+#ifndef PJOIN_EXEC_EXECUTOR_H_
+#define PJOIN_EXEC_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Schedules `task` for execution.
+  virtual void Execute(std::function<void()> task) = 0;
+  /// Blocks until all scheduled tasks have finished.
+  virtual void Drain() = 0;
+};
+
+/// Runs tasks inline on the calling thread.
+class SerialExecutor : public Executor {
+ public:
+  void Execute(std::function<void()> task) override { task(); }
+  void Drain() override {}
+};
+
+/// Runs tasks on one background worker thread, in submission order.
+class BackgroundExecutor : public Executor {
+ public:
+  BackgroundExecutor();
+  ~BackgroundExecutor() override;
+  PJOIN_DISALLOW_COPY_AND_MOVE(BackgroundExecutor);
+
+  void Execute(std::function<void()> task) override;
+  void Drain() override;
+
+  int64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  bool busy_ = false;
+  int64_t tasks_executed_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_EXEC_EXECUTOR_H_

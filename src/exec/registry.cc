@@ -1,0 +1,55 @@
+#include "exec/registry.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+void EventRegistry::Register(EventType type, EventListener* listener,
+                             Condition condition) {
+  PJOIN_DCHECK(listener != nullptr);
+  table_[static_cast<int>(type)].push_back(
+      Registration{listener, std::move(condition)});
+}
+
+void EventRegistry::Unregister(EventType type, const EventListener* listener) {
+  auto& regs = table_[static_cast<int>(type)];
+  std::erase_if(regs, [listener](const Registration& r) {
+    return r.listener == listener;
+  });
+}
+
+void EventRegistry::Clear(EventType type) {
+  table_[static_cast<int>(type)].clear();
+}
+
+Status EventRegistry::Dispatch(const Event& event) {
+  ++events_dispatched_;
+  for (auto& reg : table_[static_cast<int>(event.type)]) {
+    if (reg.condition && !reg.condition(event)) continue;
+    PJOIN_RETURN_NOT_OK(reg.listener->HandleEvent(event));
+  }
+  return Status::OK();
+}
+
+size_t EventRegistry::NumListeners(EventType type) const {
+  return table_[static_cast<int>(type)].size();
+}
+
+std::string EventRegistry::ToString() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumEventTypes; ++i) {
+    if (table_[i].empty()) continue;
+    os << EventTypeName(static_cast<EventType>(i)) << " -> ";
+    for (size_t j = 0; j < table_[i].size(); ++j) {
+      if (j > 0) os << ", ";
+      os << table_[i][j].listener->name();
+      if (table_[i][j].condition) os << " [cond]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pjoin

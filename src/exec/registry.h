@@ -1,0 +1,60 @@
+// EventRegistry: the event–listener registry of paper §3.6 / Table 1.
+//
+// Each entry names the event, an optional additional condition, and the
+// listeners executed (in registration order) when the event fires. The
+// registry is initialized at configuration time and may be rewired at
+// runtime.
+
+#ifndef PJOIN_EXEC_REGISTRY_H_
+#define PJOIN_EXEC_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/event.h"
+
+namespace pjoin {
+
+class EventRegistry {
+ public:
+  /// Extra guard evaluated at dispatch time; the listener only runs when it
+  /// returns true. A null condition always passes.
+  using Condition = std::function<bool(const Event&)>;
+
+  /// Appends `listener` to the handler list of `type`.
+  void Register(EventType type, EventListener* listener,
+                Condition condition = nullptr);
+
+  /// Removes every registration of `listener` for `type`.
+  void Unregister(EventType type, const EventListener* listener);
+
+  /// Drops all registrations of `type`.
+  void Clear(EventType type);
+
+  /// Runs all registered listeners for the event, in registration order,
+  /// skipping those whose condition fails. Stops at the first error.
+  Status Dispatch(const Event& event);
+
+  /// Number of listeners registered for `type`.
+  size_t NumListeners(EventType type) const;
+
+  /// Total events dispatched (whether or not any listener ran).
+  int64_t events_dispatched() const { return events_dispatched_; }
+
+  /// Renders the registry as a table like the paper's Table 1.
+  std::string ToString() const;
+
+ private:
+  struct Registration {
+    EventListener* listener;
+    Condition condition;
+  };
+
+  std::vector<Registration> table_[kNumEventTypes];
+  int64_t events_dispatched_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_EXEC_REGISTRY_H_

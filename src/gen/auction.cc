@@ -1,0 +1,106 @@
+#include "gen/auction.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "gen/domain.h"
+#include "gen/poisson.h"
+#include "tuple/tuple.h"
+
+namespace pjoin {
+namespace {
+
+Punctuation ItemPunct(size_t num_fields, int64_t item_id) {
+  return Punctuation::ForAttribute(num_fields, 0,
+                                   Pattern::Constant(Value(item_id)));
+}
+
+}  // namespace
+
+AuctionStreams GenerateAuction(const AuctionSpec& spec, uint64_t seed) {
+  PJOIN_DCHECK(spec.open_window > 0);
+  PJOIN_DCHECK(spec.num_bids >= 0);
+
+  AuctionStreams out;
+  out.open_schema = Schema::Make({{"item_id", ValueType::kInt64},
+                                  {"seller", ValueType::kInt64},
+                                  {"reserve", ValueType::kInt64}});
+  out.bid_schema = Schema::Make({{"item_id", ValueType::kInt64},
+                                 {"bidder", ValueType::kInt64},
+                                 {"increase", ValueType::kFloat64}});
+
+  Rng rng(seed);
+  SharedDomain domain(spec.open_window);
+  PoissonProcess bids(spec.bid_mean_interarrival_micros, seed ^ 0xB1D5ULL);
+
+  int64_t open_seq = 0;
+  int64_t bid_seq = 0;
+  int64_t items_opened = 0;
+
+  auto open_item = [&](TimeMicros when) {
+    const int64_t item_id = items_opened++;
+    Tuple t(out.open_schema,
+            {Value(item_id),
+             Value(static_cast<int64_t>(rng.NextBounded(
+                 static_cast<uint64_t>(std::max<int64_t>(1,
+                                                          spec.num_sellers))))),
+             Value(static_cast<int64_t>(rng.NextBounded(1000)) + 1)});
+    out.open.push_back(StreamElement::MakeTuple(std::move(t), when, open_seq++));
+    if (spec.open_stream_punctuations) {
+      out.open.push_back(StreamElement::MakePunctuation(
+          ItemPunct(out.open_schema->num_fields(), item_id), when, open_seq++));
+    }
+  };
+
+  auto close_item = [&](TimeMicros when) {
+    const int64_t item_id = domain.CloseOldest();
+    out.bid.push_back(StreamElement::MakePunctuation(
+        ItemPunct(out.bid_schema->num_fields(), item_id), when, bid_seq++));
+    open_item(when);  // a new item takes the slot
+  };
+
+  // The initial window of items opens at time 0.
+  for (int64_t i = 0; i < spec.open_window; ++i) open_item(0);
+
+  double close_countdown =
+      spec.close_mean_interarrival_bids > 0
+          ? rng.NextExponential(spec.close_mean_interarrival_bids)
+          : -1.0;
+
+  for (int64_t n = 0; n < spec.num_bids; ++n) {
+    const TimeMicros when = bids.NextArrival();
+    Tuple t(out.bid_schema,
+            {Value(domain.SampleOpenKey(rng)),
+             Value(static_cast<int64_t>(rng.NextBounded(
+                 static_cast<uint64_t>(std::max<int64_t>(1,
+                                                          spec.num_bidders))))),
+             Value(1.0 + 9.0 * rng.NextDouble())});
+    out.bid.push_back(StreamElement::MakeTuple(std::move(t), when, bid_seq++));
+    if (spec.close_mean_interarrival_bids > 0) {
+      close_countdown -= 1.0;
+      while (close_countdown <= 0.0) {
+        close_item(when);
+        close_countdown +=
+            rng.NextExponential(spec.close_mean_interarrival_bids);
+      }
+    }
+  }
+
+  const TimeMicros end_time = bids.last_arrival();
+  if (spec.flush_at_end) {
+    // Close every remaining open item so downstream state fully drains.
+    const int64_t still_open = items_opened - domain.closed_frontier();
+    for (int64_t i = 0; i < still_open; ++i) {
+      const int64_t item_id = domain.CloseOldest();
+      if (item_id >= items_opened) break;
+      out.bid.push_back(StreamElement::MakePunctuation(
+          ItemPunct(out.bid_schema->num_fields(), item_id), end_time,
+          bid_seq++));
+    }
+  }
+
+  out.open.push_back(StreamElement::MakeEndOfStream(end_time, open_seq++));
+  out.bid.push_back(StreamElement::MakeEndOfStream(end_time, bid_seq++));
+  return out;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,53 @@
+// The paper's running example (§1.1, §2.1): an online auction with an Open
+// stream (items for sale) and a Bid stream (bids).
+//
+// Each item is open for bids during a bounded period. The Open stream carries
+// one tuple per item and — because item_id is unique — a derived constant
+// punctuation right after each tuple. The Bid stream carries a punctuation
+// for an item as soon as its auction closes.
+
+#ifndef PJOIN_GEN_AUCTION_H_
+#define PJOIN_GEN_AUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/element.h"
+#include "tuple/schema.h"
+
+namespace pjoin {
+
+struct AuctionSpec {
+  /// Total number of bid tuples to generate.
+  int64_t num_bids = 10000;
+  /// Number of items concurrently open for bidding.
+  int64_t open_window = 20;
+  /// Mean bid inter-arrival time (Poisson).
+  double bid_mean_interarrival_micros = 2000.0;
+  /// Mean number of bids between two auction closings (Poisson).
+  double close_mean_interarrival_bids = 40.0;
+  /// Id domains for the non-key attributes.
+  int64_t num_bidders = 100;
+  int64_t num_sellers = 50;
+  /// Emit the derived key-uniqueness punctuations on the Open stream.
+  bool open_stream_punctuations = true;
+  /// Close and punctuate all still-open items before end-of-stream.
+  bool flush_at_end = true;
+};
+
+struct AuctionStreams {
+  /// (item_id:int64, seller:int64, reserve:int64)
+  SchemaPtr open_schema;
+  /// (item_id:int64, bidder:int64, increase:float64)
+  SchemaPtr bid_schema;
+  std::vector<StreamElement> open;
+  std::vector<StreamElement> bid;
+};
+
+/// Generates the Open and Bid streams of one auction run. Deterministic for
+/// a given spec and seed. Both element vectors end with end-of-stream.
+AuctionStreams GenerateAuction(const AuctionSpec& spec, uint64_t seed);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_GEN_AUCTION_H_

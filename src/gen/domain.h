@@ -1,0 +1,54 @@
+// SharedDomain: the universe of join-key values shared by the two streams of
+// an experiment, modelled on the paper's online-auction example.
+//
+// Keys are integer ids 0, 1, 2, ... A fixed-size window of `window_size` keys
+// is "open" (items up for auction) at any moment. Both streams sample tuple
+// keys uniformly from the open window, so the join is many-to-many with
+// stable selectivity. Closing always retires the *oldest* open key and opens
+// the next id, which is what makes constant-pattern punctuations valid: once
+// a key is closed, no generator will ever sample it again.
+
+#ifndef PJOIN_GEN_DOMAIN_H_
+#define PJOIN_GEN_DOMAIN_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace pjoin {
+
+class SharedDomain {
+ public:
+  /// Opens keys [0, window_size).
+  explicit SharedDomain(int64_t window_size) : window_size_(window_size) {
+    PJOIN_DCHECK(window_size > 0);
+  }
+
+  /// Uniformly samples one currently open key.
+  int64_t SampleOpenKey(Rng& rng) const {
+    return closed_frontier_ +
+           static_cast<int64_t>(rng.NextBounded(
+               static_cast<uint64_t>(window_size_)));
+  }
+
+  /// Closes the oldest open key (and opens the next id); returns the closed
+  /// key.
+  int64_t CloseOldest() { return closed_frontier_++; }
+
+  /// Keys below this are closed and will never be sampled again.
+  int64_t closed_frontier() const { return closed_frontier_; }
+  /// One past the largest key that has ever been open.
+  int64_t open_end() const { return closed_frontier_ + window_size_; }
+  int64_t window_size() const { return window_size_; }
+
+  bool IsClosed(int64_t key) const { return key < closed_frontier_; }
+
+ private:
+  int64_t window_size_;
+  int64_t closed_frontier_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_GEN_DOMAIN_H_

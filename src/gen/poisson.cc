@@ -1,0 +1,21 @@
+#include "gen/poisson.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+PoissonProcess::PoissonProcess(double mean_interarrival_micros, uint64_t seed)
+    : mean_(mean_interarrival_micros), rng_(seed) {
+  PJOIN_DCHECK(mean_ > 0.0);
+}
+
+TimeMicros PoissonProcess::NextArrival() {
+  const double gap = rng_.NextExponential(mean_);
+  // Round up so arrivals strictly advance even for tiny gaps.
+  now_ += std::max<TimeMicros>(1, static_cast<TimeMicros>(std::llround(gap)));
+  return now_;
+}
+
+}  // namespace pjoin

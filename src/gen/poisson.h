@@ -1,0 +1,32 @@
+// PoissonProcess: arrival-time generator with exponential inter-arrivals.
+
+#ifndef PJOIN_GEN_POISSON_H_
+#define PJOIN_GEN_POISSON_H_
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace pjoin {
+
+/// Generates the arrival times of a Poisson process with a configurable mean
+/// inter-arrival time (the paper uses a mean of 2 ms for tuples).
+class PoissonProcess {
+ public:
+  /// `mean_interarrival_micros` must be > 0.
+  PoissonProcess(double mean_interarrival_micros, uint64_t seed);
+
+  /// The arrival time of the next event (monotone increasing).
+  TimeMicros NextArrival();
+
+  /// The last arrival returned (0 before the first call).
+  TimeMicros last_arrival() const { return now_; }
+
+ private:
+  double mean_;
+  Rng rng_;
+  TimeMicros now_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_GEN_POISSON_H_

@@ -1,0 +1,63 @@
+#include "gen/punct_scheme.h"
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+PunctuationEmitter::PunctuationEmitter(PunctStyle style, size_t num_fields,
+                                       size_t attr, int64_t batch)
+    : style_(style), num_fields_(num_fields), attr_(attr), batch_(batch) {
+  PJOIN_DCHECK(attr < num_fields);
+  PJOIN_DCHECK(batch >= 1);
+  PJOIN_DCHECK(style != PunctStyle::kConstant || batch == 1);
+}
+
+void PunctuationEmitter::EnsureClosed(SharedDomain& domain, int64_t key) {
+  while (!domain.IsClosed(key)) domain.CloseOldest();
+}
+
+Punctuation PunctuationEmitter::MakePunct(int64_t lo, int64_t hi) const {
+  Pattern pattern;
+  switch (style_) {
+    case PunctStyle::kConstant:
+      PJOIN_DCHECK(lo == hi);
+      pattern = Pattern::Constant(Value(lo));
+      break;
+    case PunctStyle::kRange:
+      pattern = Pattern::Range(Value(lo), Value(hi));
+      break;
+    case PunctStyle::kEnumList: {
+      std::vector<Value> members;
+      members.reserve(static_cast<size_t>(hi - lo + 1));
+      for (int64_t k = lo; k <= hi; ++k) members.emplace_back(k);
+      pattern = Pattern::EnumList(std::move(members));
+      break;
+    }
+  }
+  return Punctuation::ForAttribute(num_fields_, attr_, std::move(pattern));
+}
+
+Punctuation PunctuationEmitter::Emit(SharedDomain& domain) {
+  const int64_t lo = next_;
+  const int64_t hi = next_ + batch_ - 1;
+  EnsureClosed(domain, hi);
+  next_ = hi + 1;
+  return MakePunct(lo, hi);
+}
+
+std::optional<Punctuation> PunctuationEmitter::EmitFlush(SharedDomain& domain,
+                                                         int64_t end) {
+  if (next_ >= end) return std::nullopt;
+  const int64_t lo = next_;
+  const int64_t hi = end - 1;
+  EnsureClosed(domain, hi);
+  next_ = end;
+  if (lo == hi) {
+    return Punctuation::ForAttribute(num_fields_, attr_,
+                                     Pattern::Constant(Value(lo)));
+  }
+  return Punctuation::ForAttribute(num_fields_, attr_,
+                                   Pattern::Range(Value(lo), Value(hi)));
+}
+
+}  // namespace pjoin

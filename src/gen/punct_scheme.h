@@ -1,0 +1,58 @@
+// PunctuationEmitter: per-stream punctuation scheme over a SharedDomain.
+//
+// Each stream announces closed keys at its own pace (the experiment's
+// "punctuation inter-arrival"). A punctuation event covers the oldest keys
+// this stream has not punctuated yet — as a constant pattern (one key per
+// event, the paper's default), or as a range / enumeration-list pattern
+// covering a batch of keys.
+
+#ifndef PJOIN_GEN_PUNCT_SCHEME_H_
+#define PJOIN_GEN_PUNCT_SCHEME_H_
+
+#include <optional>
+
+#include "gen/domain.h"
+#include "punct/punctuation.h"
+
+namespace pjoin {
+
+/// Which pattern kind a stream's punctuations use on the join attribute.
+enum class PunctStyle { kConstant = 0, kRange, kEnumList };
+
+class PunctuationEmitter {
+ public:
+  /// `num_fields`/`attr` describe where the join key lives in the stream's
+  /// schema. `batch` is the number of keys covered per punctuation for the
+  /// range / enum styles (must be 1 for the constant style).
+  PunctuationEmitter(PunctStyle style, size_t num_fields, size_t attr,
+                     int64_t batch = 1);
+
+  /// Produces the next punctuation for this stream, closing keys in `domain`
+  /// if this stream is the first to announce them. Never returns an invalid
+  /// punctuation: every covered key is closed before the call returns.
+  Punctuation Emit(SharedDomain& domain);
+
+  /// Punctuations covering every key below `end` that this stream has not
+  /// punctuated yet (used to flush at end of stream). Keys in [frontier, end)
+  /// are closed as a side effect.
+  std::optional<Punctuation> EmitFlush(SharedDomain& domain, int64_t end);
+
+  /// The smallest key this stream has not yet punctuated.
+  int64_t next_to_punctuate() const { return next_; }
+
+ private:
+  /// Closes keys in `domain` until `key` is closed.
+  static void EnsureClosed(SharedDomain& domain, int64_t key);
+
+  Punctuation MakePunct(int64_t lo, int64_t hi) const;
+
+  PunctStyle style_;
+  size_t num_fields_;
+  size_t attr_;
+  int64_t batch_;
+  int64_t next_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_GEN_PUNCT_SCHEME_H_

@@ -1,0 +1,182 @@
+#include "gen/stream_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "gen/poisson.h"
+#include "tuple/tuple.h"
+
+namespace pjoin {
+
+int64_t GeneratedStreams::NumTuples(
+    const std::vector<StreamElement>& s) const {
+  return std::count_if(s.begin(), s.end(),
+                       [](const StreamElement& e) { return e.is_tuple(); });
+}
+
+int64_t GeneratedStreams::NumPunctuations(
+    const std::vector<StreamElement>& s) const {
+  return std::count_if(
+      s.begin(), s.end(),
+      [](const StreamElement& e) { return e.is_punctuation(); });
+}
+
+namespace {
+
+// Mutable generation state of one stream.
+struct StreamState {
+  const StreamSpec* spec;
+  SchemaPtr schema;
+  PoissonProcess arrivals;
+  PunctuationEmitter emitter;
+  std::vector<StreamElement>* out;
+  TimeMicros next_tuple_time = 0;
+  int64_t tuples_emitted = 0;
+  int64_t seq = 0;
+  // Continuous countdown (in tuples) until the next punctuation; only
+  // meaningful when punctuations are enabled.
+  double punct_countdown = 0.0;
+
+  bool punctuated() const { return spec->punct_mean_interarrival_tuples > 0; }
+  bool done() const { return tuples_emitted >= spec->num_tuples; }
+};
+
+// Draws an offset in [0, n) with P(i) proportional to 1/(i+1)^s via
+// inverse-CDF sampling over the (small) open window.
+int64_t SampleZipfOffset(Rng& rng, int64_t n, double s) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  double target = rng.NextDouble() * total;
+  for (int64_t i = 0; i < n; ++i) {
+    target -= 1.0 / std::pow(static_cast<double>(i + 1), s);
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+void EmitTuple(StreamState& s, SharedDomain& domain, Rng& rng) {
+  int64_t key;
+  if (s.spec->clustered) {
+    key = domain.closed_frontier();
+  } else if (s.spec->zipf_s > 0.0) {
+    // Offset 0 = the newest open key (hottest).
+    const int64_t offset =
+        SampleZipfOffset(rng, domain.window_size(), s.spec->zipf_s);
+    key = domain.open_end() - 1 - offset;
+  } else {
+    key = domain.SampleOpenKey(rng);
+  }
+  const int64_t payload =
+      static_cast<int64_t>(rng.NextBounded(
+          static_cast<uint64_t>(std::max<int64_t>(1, s.spec->payload_domain))));
+  Tuple t(s.schema, {Value(key), Value(payload)});
+  s.out->push_back(
+      StreamElement::MakeTuple(std::move(t), s.next_tuple_time, s.seq++));
+  ++s.tuples_emitted;
+}
+
+void MaybeEmitPunctuations(StreamState& s, SharedDomain& domain, Rng& rng) {
+  if (!s.punctuated()) return;
+  s.punct_countdown -= 1.0;
+  if (s.spec->clustered) {
+    // Cluster-boundary punctuation (k-constraint semantics): the countdown
+    // paces cluster lengths; when it fires, the current cluster's key
+    // closes, and the stream immediately punctuates every key the closure
+    // frontier has passed.
+    while (s.punct_countdown <= 0.0) {
+      domain.CloseOldest();
+      s.punct_countdown +=
+          rng.NextExponential(s.spec->punct_mean_interarrival_tuples);
+    }
+    while (s.emitter.next_to_punctuate() < domain.closed_frontier()) {
+      Punctuation p = s.emitter.Emit(domain);
+      s.out->push_back(StreamElement::MakePunctuation(
+          std::move(p), s.arrivals.last_arrival(), s.seq++));
+    }
+    return;
+  }
+  while (s.punct_countdown <= 0.0) {
+    Punctuation p = s.emitter.Emit(domain);
+    s.out->push_back(StreamElement::MakePunctuation(
+        std::move(p), s.arrivals.last_arrival(), s.seq++));
+    s.punct_countdown +=
+        rng.NextExponential(s.spec->punct_mean_interarrival_tuples);
+  }
+}
+
+void Finish(StreamState& s, SharedDomain& domain) {
+  const TimeMicros end_time = s.arrivals.last_arrival();
+  if (s.spec->flush_punctuations_at_end && s.punctuated()) {
+    auto flush = s.emitter.EmitFlush(domain, domain.open_end());
+    if (flush.has_value()) {
+      s.out->push_back(StreamElement::MakePunctuation(std::move(*flush),
+                                                      end_time, s.seq++));
+    }
+  }
+  s.out->push_back(StreamElement::MakeEndOfStream(end_time, s.seq++));
+}
+
+}  // namespace
+
+GeneratedStreams GenerateStreams(const DomainSpec& domain_spec,
+                                 const StreamSpec& spec_a,
+                                 const StreamSpec& spec_b, uint64_t seed) {
+  GeneratedStreams result;
+  result.schema_a = Schema::Make({{"key", ValueType::kInt64},
+                                  {spec_a.payload_name, ValueType::kInt64}});
+  result.schema_b = Schema::Make({{"key", ValueType::kInt64},
+                                  {spec_b.payload_name, ValueType::kInt64}});
+
+  SharedDomain domain(domain_spec.window_size);
+  Rng rng(seed);
+
+  StreamState a{&spec_a,
+                result.schema_a,
+                PoissonProcess(spec_a.tuple_mean_interarrival_micros,
+                               seed ^ 0xA11CEULL),
+                PunctuationEmitter(spec_a.punct_style, 2, 0,
+                                   spec_a.punct_batch),
+                &result.a};
+  StreamState b{&spec_b,
+                result.schema_b,
+                PoissonProcess(spec_b.tuple_mean_interarrival_micros,
+                               seed ^ 0xB0B00ULL),
+                PunctuationEmitter(spec_b.punct_style, 2, 0,
+                                   spec_b.punct_batch),
+                &result.b};
+
+  // Prime the punctuation countdowns and first tuple arrivals.
+  for (StreamState* s : {&a, &b}) {
+    if (s->punctuated()) {
+      s->punct_countdown =
+          rng.NextExponential(s->spec->punct_mean_interarrival_tuples);
+    }
+    if (!s->done()) s->next_tuple_time = s->arrivals.NextArrival();
+  }
+
+  // Merged-time simulation: always advance the stream whose next tuple
+  // arrives first, so SharedDomain mutations happen in global time order.
+  while (!a.done() || !b.done()) {
+    StreamState* s;
+    if (a.done()) {
+      s = &b;
+    } else if (b.done()) {
+      s = &a;
+    } else {
+      s = (a.next_tuple_time <= b.next_tuple_time) ? &a : &b;
+    }
+    EmitTuple(*s, domain, rng);
+    MaybeEmitPunctuations(*s, domain, rng);
+    if (!s->done()) s->next_tuple_time = s->arrivals.NextArrival();
+  }
+
+  Finish(a, domain);
+  Finish(b, domain);
+  return result;
+}
+
+}  // namespace pjoin

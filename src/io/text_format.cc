@@ -1,0 +1,374 @@
+#include "io/text_format.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pjoin {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits on `sep` at depth zero w.r.t. the bracket pairs used by patterns
+// ("[..]", "{..}", "(..)") and quoted strings, so enum members and string
+// values may contain the separator.
+std::vector<std::string> SplitTopLevel(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  bool quoted = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quoted) {
+      current += c;
+      if (c == '\\' && i + 1 < s.size()) {
+        current += s[++i];
+      } else if (c == '"') {
+        quoted = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        quoted = true;
+        current += c;
+        continue;
+      case '[':
+      case '{':
+      case '(':
+        ++depth;
+        break;
+      case ']':
+      case '}':
+      case ')':
+        --depth;
+        break;
+      default:
+        break;
+    }
+    if (c == sep && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+Result<ValueType> ParseTypeName(const std::string& name) {
+  if (name == "int64") return ValueType::kInt64;
+  if (name == "float64") return ValueType::kFloat64;
+  if (name == "string") return ValueType::kString;
+  return Status::InvalidArgument("unknown type '" + name + "'");
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& token) {
+  if (token.size() < 2 || token.front() != '"' || token.back() != '"') {
+    return Status::InvalidArgument("malformed string token: " + token);
+  }
+  std::string out;
+  for (size_t i = 1; i + 1 < token.size(); ++i) {
+    if (token[i] == '\\' && i + 2 < token.size()) ++i;
+    out += token[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemaPtr> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& part : SplitTopLevel(spec, ',')) {
+    const std::string field_spec = Trim(part);
+    if (field_spec.empty()) {
+      return Status::InvalidArgument("empty field in schema spec");
+    }
+    const size_t colon = field_spec.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("field spec needs name:type, got '" +
+                                     field_spec + "'");
+    }
+    PJOIN_ASSIGN_OR_RETURN(ValueType type,
+                           ParseTypeName(Trim(field_spec.substr(colon + 1))));
+    fields.push_back(Field{Trim(field_spec.substr(0, colon)), type});
+  }
+  if (fields.empty()) {
+    return Status::InvalidArgument("schema spec has no fields");
+  }
+  return Schema::Make(std::move(fields));
+}
+
+std::string FormatSchemaSpec(const Schema& schema) {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.field(i).name << ":"
+       << ValueTypeName(schema.field(i).type);
+  }
+  return os.str();
+}
+
+Result<Value> ParseValue(const std::string& raw, ValueType type) {
+  const std::string token = Trim(raw);
+  if (token == "null") return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != 0 || end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int64: '" + token + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kFloat64: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (errno != 0 || end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad float64: '" + token + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kString: {
+      PJOIN_ASSIGN_OR_RETURN(std::string s, UnescapeString(token));
+      return Value(std::move(s));
+    }
+    case ValueType::kNull:
+      break;
+  }
+  return Status::InvalidArgument("cannot parse value of null type");
+}
+
+std::string FormatValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt64());
+    case ValueType::kFloat64: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.AsFloat64());
+      return buf;
+    }
+    case ValueType::kString:
+      return EscapeString(value.AsString());
+  }
+  return "null";
+}
+
+Result<Pattern> ParsePattern(const std::string& raw, ValueType type) {
+  const std::string token = Trim(raw);
+  if (token == "*") return Pattern::Wildcard();
+  if (token == "()") return Pattern::Empty();
+  if (token.size() >= 2 && token.front() == '[' && token.back() == ']') {
+    const std::string body = token.substr(1, token.size() - 2);
+    const size_t dots = body.find("..");
+    if (dots == std::string::npos) {
+      return Status::InvalidArgument("range needs 'lo..hi': " + token);
+    }
+    PJOIN_ASSIGN_OR_RETURN(Value lo, ParseValue(body.substr(0, dots), type));
+    PJOIN_ASSIGN_OR_RETURN(Value hi, ParseValue(body.substr(dots + 2), type));
+    return Pattern::Range(std::move(lo), std::move(hi));
+  }
+  if (token.size() >= 2 && token.front() == '{' && token.back() == '}') {
+    std::vector<Value> members;
+    for (const std::string& part :
+         SplitTopLevel(token.substr(1, token.size() - 2), '|')) {
+      PJOIN_ASSIGN_OR_RETURN(Value v, ParseValue(part, type));
+      members.push_back(std::move(v));
+    }
+    return Pattern::EnumList(std::move(members));
+  }
+  PJOIN_ASSIGN_OR_RETURN(Value v, ParseValue(token, type));
+  return Pattern::Constant(std::move(v));
+}
+
+std::string FormatPattern(const Pattern& pattern) {
+  switch (pattern.kind()) {
+    case PatternKind::kWildcard:
+      return "*";
+    case PatternKind::kEmpty:
+      return "()";
+    case PatternKind::kConstant:
+      return FormatValue(pattern.constant());
+    case PatternKind::kRange:
+      return "[" + FormatValue(pattern.lo()) + ".." +
+             FormatValue(pattern.hi()) + "]";
+    case PatternKind::kEnumList: {
+      std::string out = "{";
+      for (size_t i = 0; i < pattern.members().size(); ++i) {
+        if (i > 0) out += "|";
+        out += FormatValue(pattern.members()[i]);
+      }
+      return out + "}";
+    }
+  }
+  return "*";
+}
+
+Result<Tuple> ParseTupleBody(const std::string& body,
+                             const SchemaPtr& schema) {
+  std::vector<std::string> parts = SplitTopLevel(body, ',');
+  if (parts.size() != schema->num_fields()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(parts.size()) + " values, schema has " +
+        std::to_string(schema->num_fields()));
+  }
+  std::vector<Value> values;
+  values.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    PJOIN_ASSIGN_OR_RETURN(Value v,
+                           ParseValue(parts[i], schema->field(i).type));
+    values.push_back(std::move(v));
+  }
+  return Tuple(schema, std::move(values));
+}
+
+std::string FormatTupleBody(const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < tuple.num_fields(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatValue(tuple.field(i));
+  }
+  return out;
+}
+
+Result<Punctuation> ParsePunctuationBody(const std::string& body,
+                                         const Schema& schema) {
+  std::vector<std::string> parts = SplitTopLevel(body, ',');
+  if (parts.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "punctuation has " + std::to_string(parts.size()) +
+        " patterns, schema has " + std::to_string(schema.num_fields()));
+  }
+  std::vector<Pattern> patterns;
+  patterns.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    PJOIN_ASSIGN_OR_RETURN(Pattern p,
+                           ParsePattern(parts[i], schema.field(i).type));
+    patterns.push_back(std::move(p));
+  }
+  return Punctuation(std::move(patterns));
+}
+
+std::string FormatPunctuationBody(const Punctuation& punct) {
+  std::string out;
+  for (size_t i = 0; i < punct.num_patterns(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatPattern(punct.pattern(i));
+  }
+  return out;
+}
+
+Result<std::vector<StreamElement>> ParseStreamText(const std::string& text,
+                                                   const SchemaPtr& schema) {
+  std::vector<StreamElement> elements;
+  std::istringstream in(text);
+  std::string line;
+  int64_t seq = 0;
+  int lineno = 0;
+  TimeMicros last_arrival = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    std::string kind;
+    long long arrival = 0;
+    if (!(ls >> kind >> arrival)) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": expected '<t|p> <arrival> <body>'");
+    }
+    std::string body;
+    std::getline(ls, body);
+    body = Trim(body);
+    last_arrival = std::max<TimeMicros>(last_arrival, arrival);
+    if (kind == "t") {
+      PJOIN_ASSIGN_OR_RETURN(Tuple t, ParseTupleBody(body, schema));
+      elements.push_back(StreamElement::MakeTuple(std::move(t), arrival,
+                                                  seq++));
+    } else if (kind == "p") {
+      PJOIN_ASSIGN_OR_RETURN(Punctuation p,
+                             ParsePunctuationBody(body, *schema));
+      elements.push_back(
+          StreamElement::MakePunctuation(std::move(p), arrival, seq++));
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": unknown element kind '" + kind + "'");
+    }
+  }
+  elements.push_back(StreamElement::MakeEndOfStream(last_arrival, seq++));
+  return elements;
+}
+
+std::string FormatStreamText(const std::vector<StreamElement>& elements) {
+  std::ostringstream os;
+  for (const StreamElement& e : elements) {
+    switch (e.kind()) {
+      case ElementKind::kTuple:
+        os << "t " << e.arrival() << " " << FormatTupleBody(e.tuple())
+           << "\n";
+        break;
+      case ElementKind::kPunctuation:
+        os << "p " << e.arrival() << " "
+           << FormatPunctuationBody(e.punctuation()) << "\n";
+        break;
+      case ElementKind::kEndOfStream:
+        break;  // implicit
+    }
+  }
+  return os.str();
+}
+
+Result<std::vector<StreamElement>> ReadStreamFile(const std::string& path,
+                                                  const SchemaPtr& schema) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseStreamText(text, schema);
+}
+
+Status WriteStreamFile(const std::string& path,
+                       const std::vector<StreamElement>& elements) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  const std::string text = FormatStreamText(elements);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IOError("short write");
+  return Status::OK();
+}
+
+}  // namespace pjoin

@@ -1,0 +1,68 @@
+// Text serialization of schemas, tuples, punctuations and whole punctuated
+// streams — the interchange format used by the CLI tool and by users who
+// want to replay captured streams.
+//
+// Schema spec:     "key:int64,qty:int64,name:string"
+// Stream file, one element per line:
+//   t <arrival_micros> <v1>,<v2>,...        data tuple
+//   p <arrival_micros> <ptn1>,<ptn2>,...    punctuation
+//   # ...                                   comment (ignored), blank ok
+// Values:   123   4.5   "text" (quotes required for strings)   null
+// Patterns: *   <value>   [<lo>..<hi>]   {v1|v2|v3}   ()
+// End-of-stream is implicit at end of file.
+
+#ifndef PJOIN_IO_TEXT_FORMAT_H_
+#define PJOIN_IO_TEXT_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/element.h"
+#include "tuple/schema.h"
+
+namespace pjoin {
+
+/// Parses "name:type,..." into a schema. Types: int64, float64, string.
+Result<SchemaPtr> ParseSchemaSpec(const std::string& spec);
+/// Inverse of ParseSchemaSpec.
+std::string FormatSchemaSpec(const Schema& schema);
+
+/// Parses a single value token ("123", "4.5", "\"text\"", "null") as the
+/// given type.
+Result<Value> ParseValue(const std::string& token, ValueType type);
+/// Formats a value as a token ParseValue accepts.
+std::string FormatValue(const Value& value);
+
+/// Parses one pattern token ("*", "[2..8]", "{1|3|5}", "()", or a value).
+Result<Pattern> ParsePattern(const std::string& token, ValueType type);
+std::string FormatPattern(const Pattern& pattern);
+
+/// Parses one comma-separated tuple line body against the schema.
+Result<Tuple> ParseTupleBody(const std::string& body, const SchemaPtr& schema);
+std::string FormatTupleBody(const Tuple& tuple);
+
+/// Parses one comma-separated punctuation line body against the schema.
+Result<Punctuation> ParsePunctuationBody(const std::string& body,
+                                         const Schema& schema);
+std::string FormatPunctuationBody(const Punctuation& punct);
+
+/// Parses a whole stream file body (see header comment). Appends an
+/// end-of-stream element stamped with the last arrival time.
+Result<std::vector<StreamElement>> ParseStreamText(const std::string& text,
+                                                   const SchemaPtr& schema);
+
+/// Formats elements back into the stream file format (end-of-stream
+/// elements are omitted — they are implicit).
+std::string FormatStreamText(const std::vector<StreamElement>& elements);
+
+/// Reads and parses a stream file from disk.
+Result<std::vector<StreamElement>> ReadStreamFile(const std::string& path,
+                                                  const SchemaPtr& schema);
+/// Writes elements to a stream file.
+Status WriteStreamFile(const std::string& path,
+                       const std::vector<StreamElement>& elements);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_IO_TEXT_FORMAT_H_

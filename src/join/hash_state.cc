@@ -1,0 +1,203 @@
+#include "join/hash_state.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+HashState::HashState(std::string name, SchemaPtr schema, size_t key_index,
+                     int num_partitions, std::unique_ptr<SpillStore> spill)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      key_index_(key_index),
+      spill_(std::move(spill)),
+      partitions_(static_cast<size_t>(num_partitions)) {
+  PJOIN_DCHECK(num_partitions > 0);
+  PJOIN_DCHECK(schema_ != nullptr);
+  PJOIN_DCHECK(key_index_ < schema_->num_fields());
+  PJOIN_DCHECK(spill_ != nullptr);
+}
+
+int HashState::PartitionOf(const Value& key) const {
+  return static_cast<int>(key.Hash() % partitions_.size());
+}
+
+const HashState::Partition& HashState::partition(int p) const {
+  PJOIN_DCHECK(p >= 0 && p < num_partitions());
+  return partitions_[static_cast<size_t>(p)];
+}
+
+HashState::Partition& HashState::partition(int p) {
+  PJOIN_DCHECK(p >= 0 && p < num_partitions());
+  return partitions_[static_cast<size_t>(p)];
+}
+
+void HashState::InsertMemory(TupleEntry entry) {
+  PJOIN_DCHECK(entry.InMemory());
+  const int p = PartitionOf(KeyOf(entry.tuple));
+  memory_bytes_ += static_cast<int64_t>(entry.tuple.ByteSize());
+  partition(p).memory.push_back(std::move(entry));
+  ++memory_tuples_;
+}
+
+const std::vector<TupleEntry>& HashState::memory(int p) const {
+  return partition(p).memory;
+}
+
+std::vector<TupleEntry>& HashState::memory(int p) {
+  return partition(p).memory;
+}
+
+std::vector<TupleEntry> HashState::ExtractMemoryMatching(
+    int p, const std::function<bool(const TupleEntry&)>& pred) {
+  auto& mem = partition(p).memory;
+  std::vector<TupleEntry> extracted;
+  auto keep_end = std::stable_partition(
+      mem.begin(), mem.end(),
+      [&pred](const TupleEntry& e) { return !pred(e); });
+  for (auto it = keep_end; it != mem.end(); ++it) {
+    memory_bytes_ -= static_cast<int64_t>(it->tuple.ByteSize());
+    extracted.push_back(std::move(*it));
+  }
+  mem.erase(keep_end, mem.end());
+  memory_tuples_ -= static_cast<int64_t>(extracted.size());
+  PJOIN_DCHECK(memory_tuples_ >= 0);
+  PJOIN_DCHECK(memory_bytes_ >= 0);
+  return extracted;
+}
+
+int HashState::LargestMemoryPartition() const {
+  int best = -1;
+  size_t best_size = 0;
+  for (int p = 0; p < num_partitions(); ++p) {
+    const size_t size = partitions_[static_cast<size_t>(p)].memory.size();
+    if (size > best_size) {
+      best_size = size;
+      best = p;
+    }
+  }
+  return best;
+}
+
+Status HashState::FlushPartitionToDisk(int p, int64_t dts_tick) {
+  Partition& part = partition(p);
+  if (part.memory.empty()) return Status::OK();
+  std::vector<std::string> records;
+  records.reserve(part.memory.size());
+  bool unindexed = false;
+  for (auto& entry : part.memory) {
+    entry.dts = dts_tick;
+    if (entry.pid == kNullPid) unindexed = true;
+    memory_bytes_ -= static_cast<int64_t>(entry.tuple.ByteSize());
+    records.push_back(entry.Serialize());
+  }
+  PJOIN_RETURN_NOT_OK(spill_->AppendBatch(p, records));
+  const int64_t flushed = static_cast<int64_t>(part.memory.size());
+  part.memory.clear();
+  part.disk_count += flushed;
+  memory_tuples_ -= flushed;
+  disk_tuples_ += flushed;
+  if (unindexed) has_unindexed_disk_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<TupleEntry>> HashState::ReadDiskPartition(int p) {
+  PJOIN_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                         spill_->ReadPartition(p));
+  std::vector<TupleEntry> entries;
+  entries.reserve(records.size());
+  for (const auto& record : records) {
+    PJOIN_ASSIGN_OR_RETURN(TupleEntry entry,
+                           TupleEntry::Deserialize(record, schema_));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status HashState::RewriteDiskPartition(
+    int p, const std::vector<TupleEntry>& survivors) {
+  Partition& part = partition(p);
+  PJOIN_RETURN_NOT_OK(spill_->ClearPartition(p));
+  disk_tuples_ -= part.disk_count;
+  part.disk_count = 0;
+  if (!survivors.empty()) {
+    std::vector<std::string> records;
+    records.reserve(survivors.size());
+    for (const auto& entry : survivors) records.push_back(entry.Serialize());
+    PJOIN_RETURN_NOT_OK(spill_->AppendBatch(p, records));
+    part.disk_count = static_cast<int64_t>(survivors.size());
+    disk_tuples_ += part.disk_count;
+  }
+  PJOIN_DCHECK(disk_tuples_ >= 0);
+  return Status::OK();
+}
+
+int64_t HashState::disk_tuples(int p) const { return partition(p).disk_count; }
+
+void HashState::AddToPurgeBuffer(int p, TupleEntry entry) {
+  PJOIN_DCHECK(!entry.InMemory());
+  partition(p).purge_buffer.push_back(std::move(entry));
+  ++purge_buffer_tuples_;
+}
+
+const std::vector<TupleEntry>& HashState::purge_buffer(int p) const {
+  return partition(p).purge_buffer;
+}
+
+std::vector<TupleEntry>& HashState::purge_buffer(int p) {
+  return partition(p).purge_buffer;
+}
+
+std::vector<TupleEntry> HashState::TakePurgeBuffer(int p) {
+  auto& buf = partition(p).purge_buffer;
+  std::vector<TupleEntry> taken = std::move(buf);
+  buf.clear();
+  purge_buffer_tuples_ -= static_cast<int64_t>(taken.size());
+  PJOIN_DCHECK(purge_buffer_tuples_ >= 0);
+  return taken;
+}
+
+void HashState::RecordProbe(int p, int64_t tick) {
+  partition(p).probe_times.push_back(tick);
+}
+
+const std::vector<int64_t>& HashState::probe_times(int p) const {
+  return partition(p).probe_times;
+}
+
+std::string HashState::DescribeState() const {
+  std::string out = name_ + " state: " + std::to_string(memory_tuples_) +
+                    " mem (" + std::to_string(memory_bytes_) + " B), " +
+                    std::to_string(disk_tuples_) + " disk, " +
+                    std::to_string(purge_buffer_tuples_) + " buffered\n";
+  for (int p = 0; p < num_partitions(); ++p) {
+    const Partition& part = partitions_[static_cast<size_t>(p)];
+    if (part.memory.empty() && part.disk_count == 0 &&
+        part.purge_buffer.empty()) {
+      continue;
+    }
+    out += "  partition " + std::to_string(p) + ": mem=" +
+           std::to_string(part.memory.size()) + " disk=" +
+           std::to_string(part.disk_count) + " buffered=" +
+           std::to_string(part.purge_buffer.size()) + " probes=" +
+           std::to_string(part.probe_times.size()) + "\n";
+  }
+  return out;
+}
+
+bool JoinedBefore(const TupleEntry& a, const std::vector<int64_t>& probes_a,
+                  const TupleEntry& b, const std::vector<int64_t>& probes_b) {
+  if (IntervalsOverlap(a, b)) return true;
+  // A disk probe of a's side at tick T joined (a, b) when a was on disk by T
+  // and b was memory-resident at T.
+  for (int64_t t : probes_a) {
+    if (a.dts <= t && b.ats <= t && t < b.dts) return true;
+  }
+  for (int64_t t : probes_b) {
+    if (b.dts <= t && a.ats <= t && t < a.dts) return true;
+  }
+  return false;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,150 @@
+// HashState: the join state of one input stream (paper §3.1).
+//
+// A fixed array of partitions; each partition has an in-memory portion (a
+// bucket of tuple entries probed by scanning, as in the paper), an on-disk
+// portion (via a SpillStore), and a purge buffer holding tuples that are
+// logically purged but still owe joins against the opposite stream's disk
+// portion. Probe history per partition supports XJoin-style timestamp
+// duplicate avoidance.
+
+#ifndef PJOIN_JOIN_HASH_STATE_H_
+#define PJOIN_JOIN_HASH_STATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "join/tuple_entry.h"
+#include "storage/spill_store.h"
+
+namespace pjoin {
+
+class HashState {
+ public:
+  /// `key_index` is the join attribute within `schema`. The state takes
+  /// ownership of its spill store.
+  HashState(std::string name, SchemaPtr schema, size_t key_index,
+            int num_partitions, std::unique_ptr<SpillStore> spill);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  size_t key_index() const { return key_index_; }
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  /// The join-key value of a tuple of this stream.
+  const Value& KeyOf(const Tuple& t) const { return t.field(key_index_); }
+  /// The partition a key hashes to.
+  int PartitionOf(const Value& key) const;
+
+  // ---- Memory portion ----
+
+  /// Appends an entry to the memory portion of its partition.
+  void InsertMemory(TupleEntry entry);
+
+  /// The in-memory bucket of partition `p` (probing scans this vector).
+  const std::vector<TupleEntry>& memory(int p) const;
+  std::vector<TupleEntry>& memory(int p);
+
+  /// Removes and returns all memory entries of partition `p` for which
+  /// `pred` holds, preserving order of the kept entries.
+  std::vector<TupleEntry> ExtractMemoryMatching(
+      int p, const std::function<bool(const TupleEntry&)>& pred);
+
+  int64_t memory_tuples() const { return memory_tuples_; }
+  /// Approximate bytes held by the memory portion (tuple payloads).
+  int64_t memory_bytes() const { return memory_bytes_; }
+
+  /// Partition with the largest memory portion, or -1 if all are empty.
+  int LargestMemoryPartition() const;
+
+  // ---- Disk portion ----
+
+  /// Moves the entire memory portion of partition `p` to disk, stamping the
+  /// entries' dts with `dts_tick` (state relocation, §3.3).
+  Status FlushPartitionToDisk(int p, int64_t dts_tick);
+
+  /// Reads back (deserializes) the disk portion of partition `p`.
+  Result<std::vector<TupleEntry>> ReadDiskPartition(int p);
+
+  /// Replaces the disk portion of partition `p` with `survivors` (used by
+  /// the disk join after purging disk-resident tuples).
+  Status RewriteDiskPartition(int p, const std::vector<TupleEntry>& survivors);
+
+  int64_t disk_tuples() const { return disk_tuples_; }
+  int64_t disk_tuples(int p) const;
+
+  // ---- Purge buffer ----
+
+  /// Moves an entry into the purge buffer of partition `p`.
+  void AddToPurgeBuffer(int p, TupleEntry entry);
+
+  const std::vector<TupleEntry>& purge_buffer(int p) const;
+  std::vector<TupleEntry>& purge_buffer(int p);
+
+  /// Discards the purge buffer of partition `p`, returning its entries.
+  std::vector<TupleEntry> TakePurgeBuffer(int p);
+
+  int64_t purge_buffer_tuples() const { return purge_buffer_tuples_; }
+
+  // ---- Duplicate-avoidance probe history ----
+
+  /// Records that the disk portion of partition `p` of *this* state was
+  /// probed against the opposite memory portion at `tick`.
+  void RecordProbe(int p, int64_t tick);
+  const std::vector<int64_t>& probe_times(int p) const;
+
+  // ---- Aggregates ----
+
+  /// All tuples retained anywhere in the state (memory + disk + purge
+  /// buffer): the paper's "number of tuples in the join state".
+  int64_t total_tuples() const {
+    return memory_tuples_ + disk_tuples_ + purge_buffer_tuples_;
+  }
+
+  /// True while some disk-resident entry may have pid == kNullPid, which
+  /// blocks punctuation propagation until a disk-join pass re-indexes it.
+  bool has_unindexed_disk() const { return has_unindexed_disk_; }
+  void set_has_unindexed_disk(bool v) { has_unindexed_disk_ = v; }
+
+  const IoStats& io_stats() const { return spill_->io_stats(); }
+  SpillStore* spill() { return spill_.get(); }
+
+  /// Multi-line occupancy report (memory/disk/purge-buffer tuples per
+  /// non-empty partition) for debugging.
+  std::string DescribeState() const;
+
+ private:
+  struct Partition {
+    std::vector<TupleEntry> memory;
+    std::vector<TupleEntry> purge_buffer;
+    std::vector<int64_t> probe_times;
+    int64_t disk_count = 0;
+  };
+
+  const Partition& partition(int p) const;
+  Partition& partition(int p);
+
+  std::string name_;
+  SchemaPtr schema_;
+  size_t key_index_;
+  std::unique_ptr<SpillStore> spill_;
+  std::vector<Partition> partitions_;
+  int64_t memory_tuples_ = 0;
+  int64_t memory_bytes_ = 0;
+  int64_t disk_tuples_ = 0;
+  int64_t purge_buffer_tuples_ = 0;
+  bool has_unindexed_disk_ = false;
+};
+
+/// True when the pair (a, b) — a from the state whose disk-probe history is
+/// `probes_a`, b from the opposite state with history `probes_b`, both of
+/// the same partition — has already been emitted by the memory stage or an
+/// earlier disk probe. The disk stages must skip such pairs.
+bool JoinedBefore(const TupleEntry& a, const std::vector<int64_t>& probes_a,
+                  const TupleEntry& b, const std::vector<int64_t>& probes_b);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_HASH_STATE_H_

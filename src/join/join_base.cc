@@ -1,0 +1,150 @@
+#include "join/join_base.h"
+
+#include "storage/simulated_disk.h"
+
+namespace pjoin {
+
+JoinOperator::JoinOperator(SchemaPtr left_schema, SchemaPtr right_schema,
+                           JoinOptions options)
+    : options_(std::move(options)),
+      state_series_(options_.state_sample_interval) {
+  if (!options_.spill_factory) {
+    options_.spill_factory = [] { return std::make_unique<SimulatedDisk>(); };
+  }
+  output_schema_ = Schema::Concat(*left_schema, *right_schema);
+  states_[0] = std::make_unique<HashState>(
+      "left", std::move(left_schema), options_.left_key,
+      options_.num_partitions, options_.spill_factory());
+  states_[1] = std::make_unique<HashState>(
+      "right", std::move(right_schema), options_.right_key,
+      options_.num_partitions, options_.spill_factory());
+}
+
+const HashState& JoinOperator::state(int side) const {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  return *states_[side];
+}
+
+HashState& JoinOperator::mutable_state(int side) {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  return *states_[side];
+}
+
+int64_t JoinOperator::total_state_tuples() const {
+  return states_[0]->total_tuples() + states_[1]->total_tuples();
+}
+
+int64_t JoinOperator::memory_state_tuples() const {
+  return states_[0]->memory_tuples() + states_[1]->memory_tuples();
+}
+
+int64_t JoinOperator::memory_state_bytes() const {
+  return states_[0]->memory_bytes() + states_[1]->memory_bytes();
+}
+
+Status JoinOperator::OnElement(int side, const StreamElement& element) {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  PJOIN_DCHECK(!finished_);
+  last_arrival_ = std::max(last_arrival_, element.arrival());
+  switch (element.kind()) {
+    case ElementKind::kTuple: {
+      counters_.Add("tuples_in");
+      PJOIN_RETURN_NOT_OK(OnTuple(side, element.tuple()));
+      break;
+    }
+    case ElementKind::kPunctuation: {
+      counters_.Add("puncts_in");
+      PJOIN_RETURN_NOT_OK(OnPunctuation(side, element.punctuation()));
+      break;
+    }
+    case ElementKind::kEndOfStream: {
+      eos_[side] = true;
+      if (eos_[0] && eos_[1]) {
+        finished_ = true;
+        PJOIN_RETURN_NOT_OK(Finish());
+      }
+      break;
+    }
+  }
+  SampleState();
+  return Status::OK();
+}
+
+Status JoinOperator::OnStreamsStalled() { return Status::OK(); }
+
+int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
+  HashState& own = *states_[side];
+  HashState& opp = *states_[1 - side];
+  const Value& key = own.KeyOf(tuple);
+  const int p = opp.PartitionOf(key);
+  int64_t emitted = 0;
+  int64_t compared = 0;
+  for (const TupleEntry& entry : opp.memory(p)) {
+    ++compared;
+    if (opp.KeyOf(entry.tuple) == key) {
+      if (side == 0) {
+        EmitResult(tuple, entry.tuple);
+      } else {
+        EmitResult(entry.tuple, tuple);
+      }
+      ++emitted;
+    }
+  }
+  counters_.Add("probe_comparisons", compared);
+  return emitted;
+}
+
+void JoinOperator::InsertTuple(int side, const Tuple& tuple, int64_t tick) {
+  TupleEntry entry;
+  entry.tuple = tuple;
+  entry.ats = tick;
+  states_[side]->InsertMemory(std::move(entry));
+}
+
+Status JoinOperator::RelocateUntilBelowThreshold() {
+  const int64_t threshold = options_.runtime.memory_threshold_tuples;
+  const int64_t byte_threshold = options_.runtime.memory_threshold_bytes;
+  while (memory_state_tuples() >= threshold ||
+         (byte_threshold > 0 && memory_state_bytes() >= byte_threshold)) {
+    // Flush the largest memory partition across both states.
+    int victim_side = -1;
+    int victim_partition = -1;
+    size_t victim_size = 0;
+    for (int side = 0; side < 2; ++side) {
+      const int p = states_[side]->LargestMemoryPartition();
+      if (p < 0) continue;
+      const size_t size = states_[side]->memory(p).size();
+      if (size > victim_size) {
+        victim_size = size;
+        victim_side = side;
+        victim_partition = p;
+      }
+    }
+    if (victim_side < 0) break;  // nothing left to flush
+    PJOIN_RETURN_NOT_OK(states_[victim_side]->FlushPartitionToDisk(
+        victim_partition, NextTick()));
+    counters_.Add("relocations");
+    counters_.Add("flushed_tuples", static_cast<int64_t>(victim_size));
+  }
+  return Status::OK();
+}
+
+void JoinOperator::EmitResult(const Tuple& left, const Tuple& right) {
+  ++results_emitted_;
+  if (on_result_) {
+    on_result_(Tuple::Concat(left, right, output_schema_));
+  }
+}
+
+void JoinOperator::EmitPunctuation(Punctuation punct) {
+  ++puncts_emitted_;
+  counters_.Add("puncts_propagated");
+  if (on_punct_) on_punct_(punct);
+}
+
+void JoinOperator::SampleState() {
+  if (options_.state_sample_interval <= 0) return;
+  state_series_.Record(last_arrival_, total_state_tuples());
+}
+
+}  // namespace pjoin

@@ -1,0 +1,165 @@
+// JoinOperator: the common interface and machinery of the stream equi-joins
+// in this library (SHJ, XJoin, PJoin): two HashStates, the per-tuple memory
+// join, state relocation, output callbacks and metrics.
+
+#ifndef PJOIN_JOIN_JOIN_BASE_H_
+#define PJOIN_JOIN_JOIN_BASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "exec/monitor.h"
+#include "join/hash_state.h"
+#include "stream/element.h"
+#include "storage/spill_store.h"
+
+namespace pjoin {
+
+/// How PJoin's state purge locates purgeable tuples.
+enum class PurgeMode {
+  /// Scan the memory state applying setMatch (the paper's algorithm; cost
+  /// proportional to state size — this is what makes eager purge expensive).
+  kScan,
+  /// Use the punctuation set's constant-pattern hash index to jump straight
+  /// to purgeable buckets (an extension beyond the paper; see ablation A2).
+  kIndexed,
+};
+
+/// Configuration shared by all join operators; PJoin-only fields are ignored
+/// by SHJ / XJoin.
+struct JoinOptions {
+  /// Join attribute index in each input schema.
+  size_t left_key = 0;
+  size_t right_key = 0;
+  /// Number of hash partitions per state.
+  int num_partitions = 16;
+  /// Thresholds (purge / memory / propagation / disk-join activation).
+  RuntimeParams runtime;
+  /// PJoin: drop arriving tuples already covered by the opposite stream's
+  /// punctuations (§4.3).
+  bool drop_on_the_fly = true;
+  /// PJoin: build the punctuation index on every punctuation arrival (eager)
+  /// instead of just before propagation (lazy, the Table 1 default).
+  bool eager_index_build = false;
+  /// PJoin: also run propagation right after every state purge, releasing
+  /// punctuations the moment their match count reaches zero instead of
+  /// waiting for the next push/pull trigger (the paper's §3.5 observation
+  /// that eager maintenance lets punctuations "be detected to be propagable
+  /// much earlier than the next invocation of propagation"). Requires
+  /// eager_index_build to be useful.
+  bool eager_propagation = false;
+  /// PJoin: run a final propagation when both inputs finish.
+  bool propagate_on_finish = true;
+  /// Validate the §2.2 prefix condition on incoming punctuations.
+  bool validate_prefix = false;
+  /// PJoin purge strategy implementation.
+  PurgeMode purge_mode = PurgeMode::kScan;
+  /// Spill-store factory, one call per input state. Defaults to
+  /// SimulatedDisk.
+  std::function<std::unique_ptr<SpillStore>()> spill_factory;
+  /// Record the join-state size every this many microseconds of stream
+  /// (virtual) time; 0 disables recording.
+  TimeMicros state_sample_interval = 0;
+};
+
+class JoinOperator {
+ public:
+  using ResultCallback = std::function<void(const Tuple&)>;
+  using PunctCallback = std::function<void(const Punctuation&)>;
+
+  JoinOperator(SchemaPtr left_schema, SchemaPtr right_schema,
+               JoinOptions options);
+  virtual ~JoinOperator() = default;
+  PJOIN_DISALLOW_COPY_AND_MOVE(JoinOperator);
+
+  /// Schema of result tuples (left fields then right fields).
+  const SchemaPtr& output_schema() const { return output_schema_; }
+
+  void set_result_callback(ResultCallback cb) { on_result_ = std::move(cb); }
+  void set_punct_callback(PunctCallback cb) { on_punct_ = std::move(cb); }
+
+  /// Feeds one element of input `side` (0 = left, 1 = right). When both
+  /// sides have delivered end-of-stream, Finish() runs automatically.
+  Status OnElement(int side, const StreamElement& element);
+
+  /// Hook for the driver when both inputs are stalled (network lull): XJoin
+  /// runs its reactive stage, PJoin its disk join. Default: no-op.
+  virtual Status OnStreamsStalled();
+
+  // ---- Introspection ----
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+  int64_t results_emitted() const { return results_emitted_; }
+  int64_t puncts_emitted() const { return puncts_emitted_; }
+
+  const HashState& state(int side) const;
+  /// Tuples retained across both states (memory + disk + purge buffers).
+  int64_t total_state_tuples() const;
+  /// In-memory tuples across both states.
+  int64_t memory_state_tuples() const;
+  /// Approximate in-memory payload bytes across both states.
+  int64_t memory_state_bytes() const;
+
+  /// State size over virtual time (when state_sample_interval > 0).
+  const TimeSeries& state_series() const { return state_series_; }
+  /// Virtual arrival time of the most recently processed element.
+  TimeMicros last_arrival() const { return last_arrival_; }
+
+ protected:
+  // ---- Subclass interface ----
+  virtual Status OnTuple(int side, const Tuple& tuple) = 0;
+  virtual Status OnPunctuation(int side, const Punctuation& punct) = 0;
+  /// Runs once after both inputs reached end-of-stream.
+  virtual Status Finish() = 0;
+
+  // ---- Shared machinery for subclasses ----
+
+  HashState& mutable_state(int side);
+
+  const JoinOptions& options() const { return options_; }
+
+  /// Monotone event ticks; every arrival / relocation / purge / disk probe
+  /// consumes one, giving a total order for duplicate avoidance.
+  int64_t NextTick() { return ++tick_; }
+  int64_t current_tick() const { return tick_; }
+
+  /// Probes the memory portion of the state opposite to `side` with `tuple`
+  /// and emits all matches. Returns the number of results emitted.
+  int64_t ProbeOppositeMemory(int side, const Tuple& tuple);
+
+  /// Inserts `tuple` into side's state with ats = `tick`.
+  void InsertTuple(int side, const Tuple& tuple, int64_t tick);
+
+  /// Flushes the largest memory partition(s) until the in-memory total drops
+  /// below the memory threshold (state relocation, §3.3).
+  Status RelocateUntilBelowThreshold();
+
+  /// Emits one join result (left must be a left-stream tuple).
+  void EmitResult(const Tuple& left, const Tuple& right);
+  /// Emits a punctuation on the output schema.
+  void EmitPunctuation(Punctuation punct);
+
+  /// Records a state-size sample at the current virtual time.
+  void SampleState();
+
+ private:
+  JoinOptions options_;
+  SchemaPtr output_schema_;
+  std::unique_ptr<HashState> states_[2];
+  ResultCallback on_result_;
+  PunctCallback on_punct_;
+  CounterSet counters_;
+  TimeSeries state_series_;
+  int64_t tick_ = 0;
+  int64_t results_emitted_ = 0;
+  int64_t puncts_emitted_ = 0;
+  TimeMicros last_arrival_ = 0;
+  bool eos_[2] = {false, false};
+  bool finished_ = false;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_JOIN_BASE_H_

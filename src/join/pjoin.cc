@@ -1,0 +1,416 @@
+#include "join/pjoin.h"
+
+#include <algorithm>
+
+namespace pjoin {
+
+// Maps the monitor's notion of "now" to the virtual time of the most
+// recently processed stream element.
+class PJoin::ArrivalClock : public Clock {
+ public:
+  explicit ArrivalClock(const JoinOperator* op) : op_(op) {}
+  TimeMicros NowMicros() const override { return op_->last_arrival(); }
+
+ private:
+  const JoinOperator* op_;
+};
+
+// An event listener that forwards to a PJoin member function.
+class PJoin::Component : public EventListener {
+ public:
+  using Handler = Status (PJoin::*)();
+
+  Component(PJoin* join, std::string name, Handler handler)
+      : join_(join), name_(std::move(name)), handler_(handler) {}
+
+  std::string_view name() const override { return name_; }
+
+  Status HandleEvent(const Event& event) override {
+    (void)event;
+    return (join_->*handler_)();
+  }
+
+ private:
+  PJoin* join_;
+  std::string name_;
+  Handler handler_;
+};
+
+PJoin::PJoin(SchemaPtr left_schema, SchemaPtr right_schema,
+             JoinOptions options)
+    : JoinOperator(std::move(left_schema), std::move(right_schema),
+                   std::move(options)) {
+  punct_sets_[0] = std::make_unique<PunctuationSet>(
+      this->options().left_key, this->options().validate_prefix);
+  punct_sets_[1] = std::make_unique<PunctuationSet>(
+      this->options().right_key, this->options().validate_prefix);
+  clock_ = std::make_unique<ArrivalClock>(this);
+  monitor_ =
+      std::make_unique<Monitor>(this->options().runtime, &registry_,
+                                clock_.get());
+  disk_pass_tick_.assign(
+      static_cast<size_t>(this->options().num_partitions), -1);
+
+  purge_component_ =
+      std::make_unique<Component>(this, "state-purge", &PJoin::RunPurge);
+  relocation_component_ = std::make_unique<Component>(
+      this, "state-relocation", &PJoin::RelocateUntilBelowThreshold);
+  disk_join_component_ =
+      std::make_unique<Component>(this, "disk-join", &PJoin::RunDiskJoin);
+  index_build_component_ = std::make_unique<Component>(
+      this, "index-build", &PJoin::RunIndexBuildBoth);
+  propagation_component_ = std::make_unique<Component>(
+      this, "propagation", &PJoin::RunPropagation);
+
+  // The event-listener registry (paper Table 1). Listeners run in
+  // registration order: before propagating we first finish left-over joins
+  // (disk join, only when some disk-resident tuple may be unindexed) and
+  // build the punctuation index.
+  registry_.Register(EventType::kPurgeThresholdReach, purge_component_.get());
+  registry_.Register(EventType::kStateFull, relocation_component_.get());
+  registry_.Register(EventType::kDiskJoinActivate, disk_join_component_.get());
+  for (EventType type :
+       {EventType::kPropagateCountReach, EventType::kPropagateTimeExpire,
+        EventType::kPropagateRequest}) {
+    registry_.Register(type, disk_join_component_.get(),
+                       [this](const Event&) {
+                         return state(0).has_unindexed_disk() ||
+                                state(1).has_unindexed_disk();
+                       });
+    registry_.Register(type, index_build_component_.get());
+    registry_.Register(type, propagation_component_.get());
+  }
+}
+
+PJoin::~PJoin() = default;
+
+const PunctuationSet& PJoin::punct_set(int side) const {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  return *punct_sets_[side];
+}
+
+Status PJoin::OnTuple(int side, const Tuple& tuple) {
+  const int64_t tick = NextTick();
+  HashState& own = mutable_state(side);
+  HashState& opp = mutable_state(1 - side);
+  ProbeOppositeMemory(side, tuple);
+
+  // On-the-fly drop (§4.3): a tuple already covered by the opposite
+  // stream's punctuations can never join future opposite tuples; it only
+  // still owes joins against the opposite disk portion, if any.
+  if (options().drop_on_the_fly &&
+      punct_sets_[1 - side]->SetMatchKey(own.KeyOf(tuple))) {
+    const int p = own.PartitionOf(own.KeyOf(tuple));
+    if (opp.disk_tuples(p) > 0) {
+      TupleEntry entry;
+      entry.tuple = tuple;
+      entry.ats = tick;
+      entry.dts = tick + 1;  // present only during its own arrival tick
+      own.AddToPurgeBuffer(p, std::move(entry));
+      counters().Add("otf_to_purge_buffer");
+    } else {
+      counters().Add("otf_drops");
+    }
+  } else {
+    InsertTuple(side, tuple, tick);
+  }
+
+  PJOIN_RETURN_NOT_OK(monitor_->OnStateSizeChanged(memory_state_tuples(),
+                                                   memory_state_bytes()));
+  return monitor_->Tick();
+}
+
+Status PJoin::OnPunctuation(int side, const Punctuation& punct) {
+  NextTick();
+  HashState& own = mutable_state(side);
+  Result<int64_t> pid = punct_sets_[side]->Add(punct, last_arrival());
+  PJOIN_RETURN_NOT_OK(pid.status());
+
+  // Disk-resident tuples of this stream have not been evaluated against the
+  // new punctuation; propagation must run a disk pass first.
+  if (own.disk_tuples() > 0) own.set_has_unindexed_disk(true);
+
+  if (options().eager_index_build) {
+    PJOIN_RETURN_NOT_OK(RunIndexBuild(side));
+  }
+  PJOIN_RETURN_NOT_OK(monitor_->OnPunctuationArrived(side));
+  return monitor_->Tick();
+}
+
+Status PJoin::OnStreamsStalled() {
+  return monitor_->OnStreamsEmpty(state(0).disk_tuples() +
+                                  state(1).disk_tuples());
+}
+
+Status PJoin::RequestPropagation() { return monitor_->RequestPropagation(); }
+
+Status PJoin::RunPurge() {
+  counters().Add("purge_runs");
+  PJOIN_RETURN_NOT_OK(PurgeState(0));
+  PJOIN_RETURN_NOT_OK(PurgeState(1));
+  monitor_->OnPurgeRan();
+  PJOIN_RETURN_NOT_OK(monitor_->OnStateSizeChanged(memory_state_tuples(),
+                                                   memory_state_bytes()));
+  if (options().eager_propagation) {
+    PJOIN_RETURN_NOT_OK(RunPropagation());
+  }
+  return Status::OK();
+}
+
+Status PJoin::PurgeState(int side) {
+  HashState& own = mutable_state(side);
+  HashState& opp = mutable_state(1 - side);
+  PunctuationSet& opp_ps = *punct_sets_[1 - side];
+  if (opp_ps.empty()) return Status::OK();
+  const int64_t purge_tick = NextTick();
+
+  auto dispose = [&](int p, std::vector<TupleEntry> extracted) {
+    for (TupleEntry& e : extracted) {
+      e.dts = purge_tick;
+      if (opp.disk_tuples(p) > 0) {
+        // The tuple may still join opposite disk-resident tuples: park it in
+        // the purge buffer until the disk join clears it (paper §3.1).
+        own.AddToPurgeBuffer(p, std::move(e));
+        counters().Add("purge_buffered");
+      } else {
+        DiscardEntry(side, e);
+        counters().Add("purged_tuples");
+      }
+    }
+  };
+
+  if (options().purge_mode == PurgeMode::kScan) {
+    // The paper's algorithm: scan the memory state applying setMatch. The
+    // scan cost, proportional to the state size, is what makes eager purge
+    // expensive (Fig 9).
+    (void)opp_ps.TakeUnappliedForPurge();  // mark them applied
+    for (int p = 0; p < own.num_partitions(); ++p) {
+      counters().Add("purge_scanned",
+                     static_cast<int64_t>(own.memory(p).size()));
+      dispose(p, own.ExtractMemoryMatching(p, [&](const TupleEntry& e) {
+        return opp_ps.SetMatchKey(own.KeyOf(e.tuple));
+      }));
+    }
+  } else {
+    // Indexed purge (extension): jump straight to the partitions named by
+    // the not-yet-applied punctuations. (Pair with drop_on_the_fly: covered
+    // tuples arriving after a punctuation was applied are handled there.)
+    for (int64_t pid : opp_ps.TakeUnappliedForPurge()) {
+      const PunctEntry* pe = opp_ps.Find(pid);
+      if (pe == nullptr || !pe->key_only) continue;
+      const Pattern& pattern = pe->punct.pattern(opp.key_index());
+      if (pattern.IsConstant()) {
+        const int p = own.PartitionOf(pattern.constant());
+        counters().Add("purge_scanned",
+                       static_cast<int64_t>(own.memory(p).size()));
+        dispose(p, own.ExtractMemoryMatching(p, [&](const TupleEntry& e) {
+          return own.KeyOf(e.tuple) == pattern.constant();
+        }));
+      } else {
+        for (int p = 0; p < own.num_partitions(); ++p) {
+          counters().Add("purge_scanned",
+                         static_cast<int64_t>(own.memory(p).size()));
+          dispose(p, own.ExtractMemoryMatching(p, [&](const TupleEntry& e) {
+            return pattern.Matches(own.KeyOf(e.tuple));
+          }));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PJoin::RunDiskJoin() {
+  counters().Add("disk_join_runs");
+  for (int p = 0; p < state(0).num_partitions(); ++p) {
+    PJOIN_RETURN_NOT_OK(DiskJoinPartition(p));
+  }
+  mutable_state(0).set_has_unindexed_disk(false);
+  mutable_state(1).set_has_unindexed_disk(false);
+  return Status::OK();
+}
+
+Status PJoin::DiskJoinPartition(int p) {
+  HashState& left = mutable_state(0);
+  HashState& right = mutable_state(1);
+  const bool any_disk = left.disk_tuples(p) > 0 || right.disk_tuples(p) > 0;
+  const bool any_buffered =
+      !left.purge_buffer(p).empty() || !right.purge_buffer(p).empty();
+  if (!any_disk && !any_buffered) return Status::OK();
+
+  const int64_t pass_tick = NextTick();
+  PJOIN_ASSIGN_OR_RETURN(std::vector<TupleEntry> disk_l,
+                         left.ReadDiskPartition(p));
+  PJOIN_ASSIGN_OR_RETURN(std::vector<TupleEntry> disk_r,
+                         right.ReadDiskPartition(p));
+  // Snapshot the probe histories before recording this pass.
+  const std::vector<int64_t> probes_l = left.probe_times(p);
+  const std::vector<int64_t> probes_r = right.probe_times(p);
+  static const std::vector<int64_t> kNoProbes;
+  int64_t compared = 0;
+
+  auto keys_equal = [&](const TupleEntry& l, const TupleEntry& r) {
+    ++compared;
+    return left.KeyOf(l.tuple) == right.KeyOf(r.tuple);
+  };
+
+  // 1) disk x opposite memory (XJoin's stages 2/3 combined).
+  for (const TupleEntry& l : disk_l) {
+    for (const TupleEntry& r : right.memory(p)) {
+      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, probes_r)) {
+        EmitResult(l.tuple, r.tuple);
+      }
+    }
+  }
+  for (const TupleEntry& r : disk_r) {
+    for (const TupleEntry& l : left.memory(p)) {
+      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, probes_r)) {
+        EmitResult(l.tuple, r.tuple);
+      }
+    }
+  }
+
+  // 2) disk x disk; pairs that were both on disk by the previous pass over
+  // this partition were already joined then.
+  const int64_t last_pass = disk_pass_tick_[static_cast<size_t>(p)];
+  for (const TupleEntry& l : disk_l) {
+    for (const TupleEntry& r : disk_r) {
+      if (last_pass >= 0 && l.dts <= last_pass && r.dts <= last_pass) {
+        continue;
+      }
+      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, probes_r)) {
+        EmitResult(l.tuple, r.tuple);
+      }
+    }
+  }
+
+  // 3) purge buffers x opposite disk, then discard the buffers: their
+  // entries owe nothing else (no future opposite tuple can match a purged
+  // tuple's key, by punctuation semantics).
+  std::vector<TupleEntry> buf_l = left.TakePurgeBuffer(p);
+  std::vector<TupleEntry> buf_r = right.TakePurgeBuffer(p);
+  for (const TupleEntry& l : buf_l) {
+    for (const TupleEntry& r : disk_r) {
+      if (keys_equal(l, r) && !JoinedBefore(l, kNoProbes, r, probes_r)) {
+        EmitResult(l.tuple, r.tuple);
+      }
+    }
+  }
+  for (const TupleEntry& r : buf_r) {
+    for (const TupleEntry& l : disk_l) {
+      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, kNoProbes)) {
+        EmitResult(l.tuple, r.tuple);
+      }
+    }
+  }
+  for (const TupleEntry& e : buf_l) DiscardEntry(0, e);
+  for (const TupleEntry& e : buf_r) DiscardEntry(1, e);
+  counters().Add("purge_buffer_cleared",
+                 static_cast<int64_t>(buf_l.size() + buf_r.size()));
+
+  // 4) purge and re-index the disk portions. A disk tuple covered by the
+  // opposite punctuations has now completed every owed join and can go;
+  // survivors that were flushed before they could be indexed get their pid
+  // assigned here.
+  auto compact = [&](int side, std::vector<TupleEntry>& entries) -> Status {
+    HashState& own = mutable_state(side);
+    PunctuationSet& own_ps = *punct_sets_[side];
+    PunctuationSet& opp_ps = *punct_sets_[1 - side];
+    std::vector<TupleEntry> survivors;
+    survivors.reserve(entries.size());
+    bool reindexed = false;
+    int64_t purged = 0;
+    for (TupleEntry& e : entries) {
+      if (opp_ps.SetMatchKey(own.KeyOf(e.tuple))) {
+        DiscardEntry(side, e);
+        ++purged;
+        continue;
+      }
+      if (e.pid == kNullPid) {
+        PunctuationIndexer::IndexEntry(&own_ps, &e);
+        if (e.pid != kNullPid) reindexed = true;
+      }
+      survivors.push_back(std::move(e));
+    }
+    if (purged > 0 || reindexed) {
+      PJOIN_RETURN_NOT_OK(own.RewriteDiskPartition(p, survivors));
+      counters().Add("disk_purged_tuples", purged);
+    }
+    return Status::OK();
+  };
+  if (left.disk_tuples(p) > 0) PJOIN_RETURN_NOT_OK(compact(0, disk_l));
+  if (right.disk_tuples(p) > 0) PJOIN_RETURN_NOT_OK(compact(1, disk_r));
+
+  counters().Add("disk_comparisons", compared);
+  left.RecordProbe(p, pass_tick);
+  right.RecordProbe(p, pass_tick);
+  disk_pass_tick_[static_cast<size_t>(p)] = pass_tick;
+  return Status::OK();
+}
+
+Status PJoin::RunIndexBuild(int side) {
+  PunctuationIndexer::BuildIndex(punct_sets_[side].get(),
+                                 &mutable_state(side), &counters());
+  return Status::OK();
+}
+
+Status PJoin::RunIndexBuildBoth() {
+  PJOIN_RETURN_NOT_OK(RunIndexBuild(0));
+  return RunIndexBuild(1);
+}
+
+Status PJoin::RunPropagation() {
+  // Defensive re-checks: the registry normally schedules the disk join and
+  // index build ahead of propagation, but pull-mode callers may reach this
+  // directly.
+  if (state(0).has_unindexed_disk() || state(1).has_unindexed_disk()) {
+    PJOIN_RETURN_NOT_OK(RunDiskJoin());
+  }
+  for (int side = 0; side < 2; ++side) {
+    PJOIN_RETURN_NOT_OK(RunIndexBuild(side));
+    std::vector<Punctuation> released =
+        Propagator::Propagate(punct_sets_[side].get());
+    for (const Punctuation& punct : released) {
+      EmitPunctuation(MakeOutputPunct(side, punct));
+    }
+  }
+  monitor_->OnPropagationRan();
+  counters().Add("propagation_runs");
+  return Status::OK();
+}
+
+Punctuation PJoin::MakeOutputPunct(int side,
+                                   const Punctuation& punct) const {
+  const size_t left_width = state(0).schema()->num_fields();
+  const size_t right_width = state(1).schema()->num_fields();
+  std::vector<Pattern> patterns(left_width + right_width,
+                                Pattern::Wildcard());
+  if (side == 0) {
+    for (size_t i = 0; i < left_width; ++i) patterns[i] = punct.pattern(i);
+    // The equi-join predicate transfers the key pattern to the other side.
+    patterns[left_width + options().right_key] =
+        punct.pattern(options().left_key);
+  } else {
+    for (size_t i = 0; i < right_width; ++i) {
+      patterns[left_width + i] = punct.pattern(i);
+    }
+    patterns[options().left_key] = punct.pattern(options().right_key);
+  }
+  return Punctuation(std::move(patterns));
+}
+
+void PJoin::DiscardEntry(int side, const TupleEntry& entry) {
+  PunctuationIndexer::OnEntryDiscarded(punct_sets_[side].get(), entry);
+}
+
+Status PJoin::Finish() {
+  // Complete all left-over joins (cleanup), then give punctuations a final
+  // chance to propagate.
+  PJOIN_RETURN_NOT_OK(RunDiskJoin());
+  if (options().propagate_on_finish) {
+    PJOIN_RETURN_NOT_OK(RunPropagation());
+  }
+  return Status::OK();
+}
+
+}  // namespace pjoin

@@ -1,0 +1,103 @@
+// PJoin: the paper's punctuation-exploiting stream join (§3).
+//
+// Six components, wired through the event-driven framework of §3.6:
+//   memory join        — per-tuple probing, with on-the-fly dropping of
+//                        tuples already covered by opposite punctuations;
+//   state relocation   — flush memory partitions to disk on StateFullEvent;
+//   disk join          — finish left-over joins (disk x memory, disk x disk,
+//                        purge-buffer x disk) with duplicate avoidance, purge
+//                        disk-resident tuples, re-index fetched tuples;
+//   state purge        — eager/lazy (purge threshold) removal of tuples
+//                        covered by the opposite stream's punctuations;
+//   index build        — paper Fig 3, eager (per punctuation) or lazy (at
+//                        propagation time);
+//   propagation        — push mode (count / time thresholds) and pull mode
+//                        (RequestPropagation), releasing punctuations whose
+//                        match count reached zero.
+
+#ifndef PJOIN_JOIN_PJOIN_H_
+#define PJOIN_JOIN_PJOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/monitor.h"
+#include "exec/registry.h"
+#include "join/join_base.h"
+#include "join/punct_index.h"
+#include "punct/punctuation_set.h"
+
+namespace pjoin {
+
+class PJoin : public JoinOperator {
+ public:
+  PJoin(SchemaPtr left_schema, SchemaPtr right_schema,
+        JoinOptions options = {});
+  ~PJoin() override;
+
+  /// Runs the disk join when the inputs stall and the activation threshold
+  /// is met (the paper's scheduling policy for the disk join, §3.2).
+  Status OnStreamsStalled() override;
+
+  /// Pull-mode propagation: a downstream operator asks PJoin to propagate
+  /// punctuations now (§3.5).
+  Status RequestPropagation();
+
+  // ---- Introspection ----
+  const PunctuationSet& punct_set(int side) const;
+  const EventRegistry& registry() const { return registry_; }
+  EventRegistry& registry() { return registry_; }
+  Monitor& monitor() { return *monitor_; }
+
+ protected:
+  Status OnTuple(int side, const Tuple& tuple) override;
+  Status OnPunctuation(int side, const Punctuation& punct) override;
+  Status Finish() override;
+
+ private:
+  // A component of §3.6: an event listener delegating to a PJoin method.
+  class Component;
+
+  /// State purge (§3.4): applies the purge rules to both states.
+  Status RunPurge();
+  Status PurgeState(int side);
+
+  /// Disk join (§3.2): one full pass over all partitions with disk-resident
+  /// or purge-buffered data.
+  Status RunDiskJoin();
+  Status DiskJoinPartition(int p);
+
+  /// Index build (Fig 3) over one stream's state.
+  Status RunIndexBuild(int side);
+  Status RunIndexBuildBoth();
+
+  /// Propagation (Fig 3 + safety gate); ensures left-over joins and index
+  /// building are complete first.
+  Status RunPropagation();
+
+  /// Lifts an input-side punctuation onto the output schema.
+  Punctuation MakeOutputPunct(int side, const Punctuation& punct) const;
+
+  /// Final disposal of a state entry; maintains punctuation match counts.
+  void DiscardEntry(int side, const TupleEntry& entry);
+
+  /// Clock mapping "now" to the last stream arrival time (virtual time).
+  class ArrivalClock;
+
+  std::unique_ptr<PunctuationSet> punct_sets_[2];
+  EventRegistry registry_;
+  std::unique_ptr<ArrivalClock> clock_;
+  std::unique_ptr<Monitor> monitor_;
+  /// Per partition: tick of the last disk-x-disk pass (both-disk pairs with
+  /// dts at or before it are already joined).
+  std::vector<int64_t> disk_pass_tick_;
+  std::unique_ptr<Component> purge_component_;
+  std::unique_ptr<Component> relocation_component_;
+  std::unique_ptr<Component> disk_join_component_;
+  std::unique_ptr<Component> index_build_component_;
+  std::unique_ptr<Component> propagation_component_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_PJOIN_H_

@@ -1,0 +1,51 @@
+#include "join/purge_tuner.h"
+
+#include <algorithm>
+
+namespace pjoin {
+
+PurgeThresholdTuner::PurgeThresholdTuner(PJoin* join)
+    : PurgeThresholdTuner(join, Options()) {}
+
+PurgeThresholdTuner::PurgeThresholdTuner(PJoin* join, Options options)
+    : join_(join), options_(options) {
+  PJOIN_DCHECK(join != nullptr);
+  PJOIN_DCHECK(options_.min_threshold >= 1);
+  PJOIN_DCHECK(options_.max_threshold >= options_.min_threshold);
+  PJOIN_DCHECK(options_.interval > 0);
+}
+
+int64_t PurgeThresholdTuner::current_threshold() const {
+  return join_->monitor().params().purge_threshold;
+}
+
+void PurgeThresholdTuner::Observe() {
+  if (++calls_ % options_.interval != 0) return;
+
+  const int64_t scanned = join_->counters().Get("purge_scanned");
+  const int64_t probed = join_->counters().Get("probe_comparisons");
+  const double d_scan = static_cast<double>(scanned - last_purge_scanned_);
+  const double d_probe =
+      static_cast<double>(probed - last_probe_comparisons_);
+  last_purge_scanned_ = scanned;
+  last_probe_comparisons_ = probed;
+
+  int64_t& threshold = join_->monitor().params().purge_threshold;
+  if (d_scan > options_.high_water * std::max(1.0, d_probe)) {
+    // Purging dominates: batch more punctuations per purge.
+    const int64_t next = std::min(options_.max_threshold, threshold * 2);
+    if (next != threshold) {
+      threshold = next;
+      ++ups_;
+    }
+  } else if (d_scan < options_.low_water * d_probe) {
+    // Probing dominates (the state has grown too fat): purge more often.
+    const int64_t next = std::max(options_.min_threshold, threshold / 2);
+    if (next != threshold) {
+      threshold = next;
+      ++downs_;
+    }
+  }
+}
+
+}  // namespace pjoin

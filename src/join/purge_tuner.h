@@ -1,0 +1,59 @@
+// PurgeThresholdTuner: closed-loop tuning of PJoin's purge threshold.
+//
+// Paper §3.4: "finding an appropriate purge threshold becomes an important
+// task" — and §3.6 makes every threshold runtime-tunable precisely so a
+// controller can adjust them. This tuner balances the two costs Figure 9
+// trades off:
+//   - purge cost: tuples scanned by the state purge (falls with a larger
+//     threshold, because scans are batched);
+//   - probe cost: comparisons in the memory join (rises with a larger
+//     threshold, because the state grows between purges).
+// Every `interval` observations it compares the two costs accrued since the
+// last adjustment and moves the threshold geometrically towards balance.
+
+#ifndef PJOIN_JOIN_PURGE_TUNER_H_
+#define PJOIN_JOIN_PURGE_TUNER_H_
+
+#include "join/pjoin.h"
+
+namespace pjoin {
+
+class PurgeThresholdTuner {
+ public:
+  struct Options {
+    int64_t min_threshold = 1;
+    int64_t max_threshold = 1024;
+    /// Purge cost above `high_water` x probe cost raises the threshold;
+    /// below `low_water` x probe cost lowers it.
+    double high_water = 1.0;
+    double low_water = 0.125;
+    /// Observations (calls to Observe) between adjustments.
+    int64_t interval = 1000;
+  };
+
+  /// The tuner adjusts `join`'s monitor parameters in place; it does not
+  /// own the join.
+  explicit PurgeThresholdTuner(PJoin* join);
+  PurgeThresholdTuner(PJoin* join, Options options);
+
+  /// Call once per processed element (cheap); every `interval` calls the
+  /// controller compares cost deltas and adjusts the purge threshold.
+  void Observe();
+
+  int64_t current_threshold() const;
+  int64_t adjustments_up() const { return ups_; }
+  int64_t adjustments_down() const { return downs_; }
+
+ private:
+  PJoin* join_;
+  Options options_;
+  int64_t calls_ = 0;
+  int64_t last_purge_scanned_ = 0;
+  int64_t last_probe_comparisons_ = 0;
+  int64_t ups_ = 0;
+  int64_t downs_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_PURGE_TUNER_H_

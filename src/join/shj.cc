@@ -1,0 +1,27 @@
+#include "join/shj.h"
+
+namespace pjoin {
+
+SymmetricHashJoin::SymmetricHashJoin(SchemaPtr left_schema,
+                                     SchemaPtr right_schema,
+                                     JoinOptions options)
+    : JoinOperator(std::move(left_schema), std::move(right_schema),
+                   std::move(options)) {}
+
+Status SymmetricHashJoin::OnTuple(int side, const Tuple& tuple) {
+  const int64_t tick = NextTick();
+  ProbeOppositeMemory(side, tuple);
+  InsertTuple(side, tuple, tick);
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::OnPunctuation(int side, const Punctuation& punct) {
+  (void)side;
+  (void)punct;
+  counters().Add("puncts_ignored");
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::Finish() { return Status::OK(); }
+
+}  // namespace pjoin

@@ -1,0 +1,116 @@
+#include "join/tuple_entry.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace pjoin {
+namespace {
+
+void PutRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void PutPod(std::string* out, T v) {
+  PutRaw(out, &v, sizeof(T));
+}
+
+template <typename T>
+bool GetPod(std::string_view in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutPod<uint8_t>(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutPod<int64_t>(out, v.AsInt64());
+      break;
+    case ValueType::kFloat64:
+      PutPod<double>(out, v.AsFloat64());
+      break;
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      PutPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+      PutRaw(out, s.data(), s.size());
+      break;
+    }
+  }
+}
+
+bool GetValue(std::string_view in, size_t* pos, Value* v) {
+  uint8_t tag;
+  if (!GetPod(in, pos, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kInt64: {
+      int64_t x;
+      if (!GetPod(in, pos, &x)) return false;
+      *v = Value(x);
+      return true;
+    }
+    case ValueType::kFloat64: {
+      double x;
+      if (!GetPod(in, pos, &x)) return false;
+      *v = Value(x);
+      return true;
+    }
+    case ValueType::kString: {
+      uint32_t len;
+      if (!GetPod(in, pos, &len)) return false;
+      if (*pos + len > in.size()) return false;
+      *v = Value(std::string(in.substr(*pos, len)));
+      *pos += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string TupleEntry::Serialize() const {
+  std::string out;
+  out.reserve(32 + tuple.ByteSize());
+  PutPod<int64_t>(&out, ats);
+  PutPod<int64_t>(&out, dts);
+  PutPod<int64_t>(&out, pid);
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(tuple.num_fields()));
+  for (const Value& v : tuple.values()) PutValue(&out, v);
+  return out;
+}
+
+Result<TupleEntry> TupleEntry::Deserialize(std::string_view record,
+                                           SchemaPtr schema) {
+  TupleEntry entry;
+  size_t pos = 0;
+  uint32_t nfields = 0;
+  if (!GetPod(record, &pos, &entry.ats) || !GetPod(record, &pos, &entry.dts) ||
+      !GetPod(record, &pos, &entry.pid) || !GetPod(record, &pos, &nfields)) {
+    return Status::Internal("truncated tuple entry header");
+  }
+  if (schema != nullptr && nfields != schema->num_fields()) {
+    return Status::Internal("tuple entry field count mismatch");
+  }
+  std::vector<Value> values;
+  values.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    Value v;
+    if (!GetValue(record, &pos, &v)) {
+      return Status::Internal("truncated tuple entry value");
+    }
+    values.push_back(std::move(v));
+  }
+  entry.tuple = Tuple(std::move(schema), std::move(values));
+  return entry;
+}
+
+}  // namespace pjoin

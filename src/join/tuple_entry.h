@@ -1,0 +1,52 @@
+// TupleEntry: a tuple as stored in a join state, carrying the bookkeeping
+// both XJoin and PJoin need:
+//  - ats/dts: arrival / memory-departure ticks, used by XJoin's timestamp
+//    based duplicate avoidance across memory, reactive and cleanup stages;
+//  - pid: the punctuation index field of paper Fig 2(b).
+
+#ifndef PJOIN_JOIN_TUPLE_ENTRY_H_
+#define PJOIN_JOIN_TUPLE_ENTRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/result.h"
+#include "punct/punctuation_set.h"
+#include "tuple/tuple.h"
+
+namespace pjoin {
+
+/// dts of an entry that has not left memory.
+constexpr int64_t kAliveDts = std::numeric_limits<int64_t>::max();
+
+struct TupleEntry {
+  Tuple tuple;
+  /// Join tick at which the tuple arrived.
+  int64_t ats = 0;
+  /// Join tick at which the tuple left the memory portion (flushed to disk
+  /// or moved to the purge buffer); kAliveDts while in memory.
+  int64_t dts = kAliveDts;
+  /// pid of the first-arrived punctuation matching this tuple, or kNullPid.
+  int64_t pid = kNullPid;
+
+  /// True while the entry resides in the in-memory portion.
+  bool InMemory() const { return dts == kAliveDts; }
+
+  /// Binary serialization for the spill store.
+  std::string Serialize() const;
+  /// Inverse of Serialize. `schema` becomes the tuple's schema.
+  static Result<TupleEntry> Deserialize(std::string_view record,
+                                        SchemaPtr schema);
+};
+
+/// True if the ats/dts presence intervals of `a` and `b` overlap, i.e. one
+/// tuple was in the memory state when the other arrived — which is exactly
+/// when the memory-join stage already produced this pair.
+inline bool IntervalsOverlap(const TupleEntry& a, const TupleEntry& b) {
+  return std::max(a.ats, b.ats) < std::min(a.dts, b.dts);
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_TUPLE_ENTRY_H_

@@ -1,0 +1,218 @@
+#include "nary/nary_pjoin.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "join/punct_index.h"
+
+namespace pjoin {
+
+NaryPJoin::NaryPJoin(std::vector<SchemaPtr> schemas, NaryJoinOptions options)
+    : options_(std::move(options)) {
+  PJOIN_DCHECK(schemas.size() >= 2);
+  PJOIN_DCHECK(options_.key_indexes.size() == schemas.size());
+  PJOIN_DCHECK(options_.num_partitions > 0);
+
+  std::vector<Field> out_fields;
+  sides_.reserve(schemas.size());
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    SideState side;
+    side.schema = schemas[i];
+    side.key_index = options_.key_indexes[i];
+    PJOIN_DCHECK(side.key_index < side.schema->num_fields());
+    side.buckets.resize(static_cast<size_t>(options_.num_partitions));
+    side.puncts = std::make_unique<PunctuationSet>(side.key_index);
+    for (const Field& f : side.schema->fields()) {
+      std::string name = f.name;
+      // Disambiguate colliding names with the stream index.
+      for (const Field& existing : out_fields) {
+        if (existing.name == name) {
+          name += "_s" + std::to_string(i);
+          break;
+        }
+      }
+      out_fields.push_back(Field{std::move(name), f.type});
+    }
+    sides_.push_back(std::move(side));
+  }
+  output_schema_ = Schema::Make(std::move(out_fields));
+  eos_.assign(sides_.size(), false);
+}
+
+int NaryPJoin::PartitionOf(const Value& key) const {
+  return static_cast<int>(key.Hash() %
+                          static_cast<uint64_t>(options_.num_partitions));
+}
+
+int64_t NaryPJoin::state_tuples() const {
+  int64_t total = 0;
+  for (const SideState& s : sides_) total += s.tuples;
+  return total;
+}
+
+int64_t NaryPJoin::state_tuples(int stream) const {
+  PJOIN_DCHECK(stream >= 0 && stream < num_streams());
+  return sides_[static_cast<size_t>(stream)].tuples;
+}
+
+Status NaryPJoin::OnElement(int stream, const StreamElement& element) {
+  PJOIN_DCHECK(stream >= 0 && stream < num_streams());
+  PJOIN_DCHECK(!finished_);
+  switch (element.kind()) {
+    case ElementKind::kTuple:
+      return OnTuple(stream, element.tuple(), element.arrival());
+    case ElementKind::kPunctuation:
+      return OnPunctuation(stream, element.punctuation(), element.arrival());
+    case ElementKind::kEndOfStream: {
+      eos_[static_cast<size_t>(stream)] = true;
+      for (bool e : eos_) {
+        if (!e) return Status::OK();
+      }
+      finished_ = true;
+      return Finish();
+    }
+  }
+  return Status::Internal("unknown element kind");
+}
+
+void NaryPJoin::EmitCombinations(int stream, const Tuple& tuple,
+                                 const Value& key) {
+  const int p = PartitionOf(key);
+  // Gather the key-matching tuples of every other stream; if any stream has
+  // none, there is no result.
+  std::vector<std::vector<const Tuple*>> partners(sides_.size());
+  for (size_t s = 0; s < sides_.size(); ++s) {
+    if (static_cast<int>(s) == stream) continue;
+    const SideState& side = sides_[s];
+    for (const Tuple& t : side.buckets[static_cast<size_t>(p)]) {
+      counters_.Add("probe_comparisons");
+      if (t.field(side.key_index) == key) partners[s].push_back(&t);
+    }
+    if (partners[s].empty()) return;
+  }
+
+  // Enumerate the cross product, assembling results in stream order.
+  std::vector<const Tuple*> current(sides_.size(), nullptr);
+  current[static_cast<size_t>(stream)] = &tuple;
+  std::function<void(size_t)> recurse = [&](size_t s) {
+    if (s == sides_.size()) {
+      std::vector<Value> values;
+      for (size_t i = 0; i < sides_.size(); ++i) {
+        const auto& vals = current[i]->values();
+        values.insert(values.end(), vals.begin(), vals.end());
+      }
+      ++results_emitted_;
+      if (on_result_) on_result_(Tuple(output_schema_, std::move(values)));
+      return;
+    }
+    if (static_cast<int>(s) == stream) {
+      recurse(s + 1);
+      return;
+    }
+    for (const Tuple* t : partners[s]) {
+      current[s] = t;
+      recurse(s + 1);
+    }
+  };
+  recurse(0);
+}
+
+bool NaryPJoin::CoveredByAllOthers(int stream, const Value& key) const {
+  for (size_t s = 0; s < sides_.size(); ++s) {
+    if (static_cast<int>(s) == stream) continue;
+    if (!sides_[s].puncts->SetMatchKey(key)) return false;
+  }
+  return true;
+}
+
+Status NaryPJoin::OnTuple(int stream, const Tuple& tuple,
+                          TimeMicros arrival) {
+  (void)arrival;
+  SideState& own = sides_[static_cast<size_t>(stream)];
+  const Value& key = tuple.field(own.key_index);
+  EmitCombinations(stream, tuple, key);
+  if (options_.drop_on_the_fly && CoveredByAllOthers(stream, key)) {
+    counters_.Add("otf_drops");
+    return Status::OK();
+  }
+  own.buckets[static_cast<size_t>(PartitionOf(key))].push_back(tuple);
+  ++own.tuples;
+  return Status::OK();
+}
+
+void NaryPJoin::PurgeAll() {
+  for (size_t s = 0; s < sides_.size(); ++s) {
+    SideState& side = sides_[s];
+    for (auto& bucket : side.buckets) {
+      auto keep_end = std::stable_partition(
+          bucket.begin(), bucket.end(), [&](const Tuple& t) {
+            counters_.Add("purge_scanned");
+            return !CoveredByAllOthers(static_cast<int>(s),
+                                       t.field(side.key_index));
+          });
+      const int64_t purged =
+          static_cast<int64_t>(std::distance(keep_end, bucket.end()));
+      bucket.erase(keep_end, bucket.end());
+      side.tuples -= purged;
+      counters_.Add("purged_tuples", purged);
+    }
+  }
+}
+
+Status NaryPJoin::OnPunctuation(int stream, const Punctuation& punct,
+                                TimeMicros arrival) {
+  SideState& own = sides_[static_cast<size_t>(stream)];
+  PJOIN_RETURN_NOT_OK(own.puncts->Add(punct, arrival).status());
+  // This operator scans rather than consumes the set's work queues; drain
+  // them so they do not accumulate.
+  (void)own.puncts->TakeUnappliedForPurge();
+  (void)own.puncts->TakeUnindexed();
+  if (options_.eager_purge) PurgeAll();
+  return PropagateStream(stream);
+}
+
+Status NaryPJoin::PropagateStream(int stream) {
+  SideState& own = sides_[static_cast<size_t>(stream)];
+  own.puncts->ForEach([](PunctEntry& e) {
+    e.match_count = 0;
+    e.indexed = true;
+  });
+  for (const auto& bucket : own.buckets) {
+    for (const Tuple& t : bucket) {
+      PunctEntry* match = own.puncts->FindFirstMatch(t);
+      if (match != nullptr) ++match->match_count;
+    }
+  }
+  std::vector<Punctuation> released = Propagator::Propagate(own.puncts.get());
+  for (const Punctuation& p : released) {
+    // Lift the punctuation onto the output schema: the key pattern holds on
+    // every stream's key column (equi-join), everything else is wildcard.
+    std::vector<Pattern> patterns(output_schema_->num_fields(),
+                                  Pattern::Wildcard());
+    size_t offset = 0;
+    const Pattern& key_pattern = p.pattern(own.key_index);
+    for (size_t s = 0; s < sides_.size(); ++s) {
+      if (static_cast<int>(s) == stream) {
+        for (size_t i = 0; i < sides_[s].schema->num_fields(); ++i) {
+          patterns[offset + i] = p.pattern(i);
+        }
+      } else {
+        patterns[offset + sides_[s].key_index] = key_pattern;
+      }
+      offset += sides_[s].schema->num_fields();
+    }
+    ++puncts_emitted_;
+    counters_.Add("puncts_propagated");
+    if (on_punct_) on_punct_(Punctuation(std::move(patterns)));
+  }
+  return Status::OK();
+}
+
+Status NaryPJoin::Finish() {
+  for (int s = 0; s < num_streams(); ++s) {
+    PJOIN_RETURN_NOT_OK(PropagateStream(s));
+  }
+  return Status::OK();
+}
+
+}  // namespace pjoin

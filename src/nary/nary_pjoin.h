@@ -1,0 +1,106 @@
+// NaryPJoin: the n-ary extension sketched in paper §6.
+//
+// n input streams equi-joined on one key attribute each; a result is one
+// tuple from every stream, all with equal keys, emitted when its last
+// component arrives. Per §6:
+//  - a punctuation from stream i lets the purge component purge the states
+//    of the other streams — a tuple is purgeable once its key is covered by
+//    the punctuation sets of *all* other streams (it can then never gain a
+//    new partner);
+//  - an arriving tuple whose key is covered by all other streams'
+//    punctuation sets is dropped on the fly after the memory join;
+//  - a punctuation from stream i propagates once no stream-i tuple matching
+//    it remains in state (every future result needs a stream-i component).
+//
+// The state is memory-only; the disk machinery of the binary PJoin is
+// orthogonal to the n-ary generalization and omitted here.
+
+#ifndef PJOIN_NARY_NARY_PJOIN_H_
+#define PJOIN_NARY_NARY_PJOIN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "punct/punctuation_set.h"
+#include "stream/element.h"
+#include "tuple/schema.h"
+
+namespace pjoin {
+
+struct NaryJoinOptions {
+  /// Join-attribute index per stream; must have one entry per input schema.
+  std::vector<size_t> key_indexes;
+  int num_partitions = 16;
+  bool drop_on_the_fly = true;
+  /// Purge other states eagerly on every punctuation arrival.
+  bool eager_purge = true;
+};
+
+class NaryPJoin {
+ public:
+  using ResultCallback = std::function<void(const Tuple&)>;
+  using PunctCallback = std::function<void(const Punctuation&)>;
+
+  NaryPJoin(std::vector<SchemaPtr> schemas, NaryJoinOptions options);
+  PJOIN_DISALLOW_COPY_AND_MOVE(NaryPJoin);
+
+  int num_streams() const { return static_cast<int>(sides_.size()); }
+  const SchemaPtr& output_schema() const { return output_schema_; }
+  void set_result_callback(ResultCallback cb) { on_result_ = std::move(cb); }
+  void set_punct_callback(PunctCallback cb) { on_punct_ = std::move(cb); }
+
+  Status OnElement(int stream, const StreamElement& element);
+
+  // ---- Introspection ----
+  int64_t results_emitted() const { return results_emitted_; }
+  int64_t puncts_emitted() const { return puncts_emitted_; }
+  int64_t state_tuples() const;
+  int64_t state_tuples(int stream) const;
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  struct SideState {
+    SchemaPtr schema;
+    size_t key_index;
+    std::vector<std::vector<Tuple>> buckets;  // per partition
+    std::unique_ptr<PunctuationSet> puncts;
+    int64_t tuples = 0;
+  };
+
+  Status OnTuple(int stream, const Tuple& tuple, TimeMicros arrival);
+  Status OnPunctuation(int stream, const Punctuation& punct,
+                       TimeMicros arrival);
+  Status Finish();
+
+  /// Emits every result combining `tuple` (stream `stream`) with one
+  /// key-matching tuple from each other stream.
+  void EmitCombinations(int stream, const Tuple& tuple, const Value& key);
+
+  /// True when `key` is covered by the punctuation sets of every stream
+  /// except `stream`.
+  bool CoveredByAllOthers(int stream, const Value& key) const;
+
+  /// Purges every state whose tuples became purgeable.
+  void PurgeAll();
+
+  Status PropagateStream(int stream);
+
+  int PartitionOf(const Value& key) const;
+
+  NaryJoinOptions options_;
+  SchemaPtr output_schema_;
+  std::vector<SideState> sides_;
+  ResultCallback on_result_;
+  PunctCallback on_punct_;
+  CounterSet counters_;
+  int64_t results_emitted_ = 0;
+  int64_t puncts_emitted_ = 0;
+  std::vector<bool> eos_;
+  bool finished_ = false;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_NARY_NARY_PJOIN_H_

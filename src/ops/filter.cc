@@ -1,0 +1,20 @@
+#include "ops/filter.h"
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+Filter::Filter(Predicate predicate) : predicate_(std::move(predicate)) {
+  PJOIN_DCHECK(predicate_ != nullptr);
+}
+
+Status Filter::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  if (!predicate_(tuple)) {
+    ++dropped_;
+    return Status::OK();
+  }
+  ++passed_;
+  return EmitTuple(tuple, arrival);
+}
+
+}  // namespace pjoin

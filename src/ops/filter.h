@@ -1,0 +1,32 @@
+// Filter: tuple selection. Punctuations pass through unchanged — whatever
+// the source promised not to send, the filtered stream will not send either.
+
+#ifndef PJOIN_OPS_FILTER_H_
+#define PJOIN_OPS_FILTER_H_
+
+#include <functional>
+
+#include "ops/operator.h"
+
+namespace pjoin {
+
+class Filter : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  explicit Filter(Predicate predicate);
+
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+
+  int64_t passed() const { return passed_; }
+  int64_t dropped() const { return dropped_; }
+
+ private:
+  Predicate predicate_;
+  int64_t passed_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_FILTER_H_

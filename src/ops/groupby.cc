@@ -1,0 +1,167 @@
+#include "ops/groupby.h"
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+GroupBy::GroupBy(SchemaPtr input_schema, size_t group_field,
+                 std::vector<AggSpec> aggs, std::vector<size_t> group_aliases)
+    : input_schema_(std::move(input_schema)),
+      group_field_(group_field),
+      aggs_(std::move(aggs)),
+      group_aliases_(std::move(group_aliases)) {
+  PJOIN_DCHECK(input_schema_ != nullptr);
+  PJOIN_DCHECK(group_field_ < input_schema_->num_fields());
+  for (size_t a : group_aliases_) {
+    PJOIN_DCHECK(a < input_schema_->num_fields());
+    PJOIN_DCHECK(a != group_field_);
+  }
+  std::vector<Field> fields;
+  fields.push_back(input_schema_->field(group_field_));
+  for (const AggSpec& agg : aggs_) {
+    PJOIN_DCHECK(agg.kind == AggKind::kCount ||
+                 agg.field < input_schema_->num_fields());
+    ValueType type;
+    switch (agg.kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        type = ValueType::kFloat64;
+        break;
+      case AggKind::kCount:
+        type = ValueType::kInt64;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        type = input_schema_->field(agg.field).type;
+        break;
+    }
+    fields.push_back(Field{agg.name, type});
+  }
+  output_schema_ = Schema::Make(std::move(fields));
+}
+
+double GroupBy::NumericValue(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(v.AsInt64());
+    case ValueType::kFloat64:
+      return v.AsFloat64();
+    default:
+      return 0.0;
+  }
+}
+
+Status GroupBy::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  (void)arrival;
+  auto [it, inserted] = groups_.try_emplace(tuple.field(group_field_));
+  if (inserted) it->second.resize(aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = it->second[i];
+    const AggSpec& spec = aggs_[i];
+    ++st.count;
+    if (spec.kind == AggKind::kCount) continue;
+    const Value& v = tuple.field(spec.field);
+    st.sum += NumericValue(v);
+    if (st.count == 1 || v < st.min) st.min = v;
+    if (st.count == 1 || st.max < v) st.max = v;
+  }
+  counters_.Add("tuples_in");
+  return Status::OK();
+}
+
+Status GroupBy::EmitGroup(const Value& key,
+                          const std::vector<AggState>& states,
+                          TimeMicros arrival) {
+  std::vector<Value> values;
+  values.reserve(1 + aggs_.size());
+  values.push_back(key);
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggState& st = states[i];
+    switch (aggs_[i].kind) {
+      case AggKind::kSum:
+        values.emplace_back(st.sum);
+        break;
+      case AggKind::kCount:
+        values.emplace_back(st.count);
+        break;
+      case AggKind::kAvg:
+        values.emplace_back(st.count == 0
+                                ? 0.0
+                                : st.sum / static_cast<double>(st.count));
+        break;
+      case AggKind::kMin:
+        values.push_back(st.min);
+        break;
+      case AggKind::kMax:
+        values.push_back(st.max);
+        break;
+    }
+  }
+  ++results_emitted_;
+  return EmitTuple(Tuple(output_schema_, std::move(values)), arrival);
+}
+
+Status GroupBy::OnPunctuation(const Punctuation& punct, TimeMicros arrival) {
+  counters_.Add("puncts_in");
+  PJOIN_DCHECK(punct.num_patterns() == input_schema_->num_fields());
+  // Only a punctuation that constrains nothing but the group attribute (or
+  // its declared aliases) guarantees a group is complete: a constraint on
+  // any other field leaves room for future tuples of the same group.
+  auto is_group_or_alias = [this](size_t i) {
+    if (i == group_field_) return true;
+    for (size_t a : group_aliases_) {
+      if (a == i) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < punct.num_patterns(); ++i) {
+    if (!is_group_or_alias(i) && !punct.pattern(i).IsWildcard()) {
+      counters_.Add("puncts_unusable");
+      return Status::OK();
+    }
+  }
+  // Alias fields always carry the same value as the group field, so their
+  // patterns compose by intersection.
+  Pattern pattern = punct.pattern(group_field_);
+  for (size_t a : group_aliases_) {
+    pattern = Pattern::And(pattern, punct.pattern(a));
+  }
+  if (pattern.IsWildcard()) {
+    counters_.Add("puncts_unusable");
+    return Status::OK();
+  }
+
+  if (pattern.IsConstant()) {
+    auto it = groups_.find(pattern.constant());
+    if (it != groups_.end()) {
+      PJOIN_RETURN_NOT_OK(EmitGroup(it->first, it->second, arrival));
+      groups_.erase(it);
+    }
+  } else {
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      if (pattern.Matches(it->first)) {
+        PJOIN_RETURN_NOT_OK(EmitGroup(it->first, it->second, arrival));
+        it = groups_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  counters_.Add("groups_closed_by_punct");
+  // The punctuation also holds on the output: no further result rows for
+  // the covered groups will appear.
+  std::vector<Pattern> out_patterns(output_schema_->num_fields(),
+                                    Pattern::Wildcard());
+  out_patterns[0] = pattern;
+  return EmitPunctuation(Punctuation(std::move(out_patterns)), arrival);
+}
+
+Status GroupBy::OnEndOfStream() {
+  for (const auto& [key, states] : groups_) {
+    PJOIN_RETURN_NOT_OK(EmitGroup(key, states, 0));
+  }
+  groups_.clear();
+  return EmitEndOfStream();
+}
+
+}  // namespace pjoin

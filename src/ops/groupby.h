@@ -1,0 +1,86 @@
+// GroupBy: a punctuation-aware grouping aggregate.
+//
+// This is the blocking operator of the paper's motivating query (Fig 1):
+// without punctuations it could only emit at end-of-stream; punctuations on
+// the grouping attribute let it emit a group's result — and release its
+// state — as soon as the group is known to be complete.
+
+#ifndef PJOIN_OPS_GROUPBY_H_
+#define PJOIN_OPS_GROUPBY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "ops/operator.h"
+#include "tuple/schema.h"
+
+namespace pjoin {
+
+enum class AggKind { kSum = 0, kCount, kAvg, kMin, kMax };
+
+/// One aggregate column: `kind` applied to input field `field`, named
+/// `name` in the output schema. kCount ignores `field`.
+struct AggSpec {
+  AggKind kind;
+  size_t field;
+  std::string name;
+};
+
+class GroupBy : public Operator {
+ public:
+  /// Groups the input by `group_field` and computes `aggs`. Output schema:
+  /// (<group field>, <agg name>...); sums/avgs are float64, counts int64,
+  /// min/max keep the input field type.
+  ///
+  /// `group_aliases` lists fields known to always equal the group field —
+  /// e.g. the other key column of an upstream equi-join. Punctuation
+  /// patterns on an alias then count as constraints on the group.
+  GroupBy(SchemaPtr input_schema, size_t group_field,
+          std::vector<AggSpec> aggs, std::vector<size_t> group_aliases = {});
+
+  const SchemaPtr& output_schema() const { return output_schema_; }
+
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+
+  /// A punctuation whose group-attribute pattern is accompanied by
+  /// wildcards elsewhere closes every covered group: their results are
+  /// emitted, their state dropped, and the punctuation is forwarded.
+  Status OnPunctuation(const Punctuation& punct, TimeMicros arrival) override;
+
+  /// Emits all remaining groups.
+  Status OnEndOfStream() override;
+
+  /// Number of groups currently held in state.
+  int64_t open_groups() const { return static_cast<int64_t>(groups_.size()); }
+  int64_t results_emitted() const { return results_emitted_; }
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  struct AggState {
+    double sum = 0.0;
+    int64_t count = 0;
+    Value min;
+    Value max;
+  };
+
+  /// Emits the result row of one group.
+  Status EmitGroup(const Value& key, const std::vector<AggState>& states,
+                   TimeMicros arrival);
+
+  double NumericValue(const Value& v) const;
+
+  SchemaPtr input_schema_;
+  SchemaPtr output_schema_;
+  size_t group_field_;
+  std::vector<AggSpec> aggs_;
+  std::vector<size_t> group_aliases_;
+  std::map<Value, std::vector<AggState>> groups_;
+  int64_t results_emitted_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_GROUPBY_H_

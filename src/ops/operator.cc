@@ -1,0 +1,39 @@
+#include "ops/operator.h"
+
+namespace pjoin {
+
+Status Operator::OnPunctuation(const Punctuation& punct, TimeMicros arrival) {
+  return EmitPunctuation(punct, arrival);
+}
+
+Status Operator::OnEndOfStream() { return EmitEndOfStream(); }
+
+Status Operator::OnElement(const StreamElement& element) {
+  switch (element.kind()) {
+    case ElementKind::kTuple:
+      return OnTuple(element.tuple(), element.arrival());
+    case ElementKind::kPunctuation:
+      return OnPunctuation(element.punctuation(), element.arrival());
+    case ElementKind::kEndOfStream:
+      return OnEndOfStream();
+  }
+  return Status::Internal("unknown element kind");
+}
+
+Status Operator::EmitTuple(const Tuple& tuple, TimeMicros arrival) {
+  if (downstream_ == nullptr) return Status::OK();
+  return downstream_->OnTuple(tuple, arrival);
+}
+
+Status Operator::EmitPunctuation(const Punctuation& punct,
+                                 TimeMicros arrival) {
+  if (downstream_ == nullptr) return Status::OK();
+  return downstream_->OnPunctuation(punct, arrival);
+}
+
+Status Operator::EmitEndOfStream() {
+  if (downstream_ == nullptr) return Status::OK();
+  return downstream_->OnEndOfStream();
+}
+
+}  // namespace pjoin

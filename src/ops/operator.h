@@ -1,0 +1,41 @@
+// Operator: base class for unary push-based stream operators downstream of
+// a join (group-by, filter, project, sinks).
+
+#ifndef PJOIN_OPS_OPERATOR_H_
+#define PJOIN_OPS_OPERATOR_H_
+
+#include "common/status.h"
+#include "stream/element.h"
+
+namespace pjoin {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Processes one input tuple.
+  virtual Status OnTuple(const Tuple& tuple, TimeMicros arrival) = 0;
+  /// Processes one input punctuation. Default: forward unchanged.
+  virtual Status OnPunctuation(const Punctuation& punct, TimeMicros arrival);
+  /// Input exhausted. Default: forward end-of-stream.
+  virtual Status OnEndOfStream();
+
+  /// Dispatches a stream element to the handler above.
+  Status OnElement(const StreamElement& element);
+
+  /// Sets the next operator; may be null (results are dropped).
+  void set_downstream(Operator* downstream) { downstream_ = downstream; }
+  Operator* downstream() const { return downstream_; }
+
+ protected:
+  Status EmitTuple(const Tuple& tuple, TimeMicros arrival);
+  Status EmitPunctuation(const Punctuation& punct, TimeMicros arrival);
+  Status EmitEndOfStream();
+
+ private:
+  Operator* downstream_ = nullptr;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_OPERATOR_H_

@@ -1,0 +1,52 @@
+// JoinPipeline: drives a binary join from two element streams in global
+// arrival order and routes the join output into a chain of downstream
+// operators — the execution harness used by examples, tests and benches.
+
+#ifndef PJOIN_OPS_PIPELINE_H_
+#define PJOIN_OPS_PIPELINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "gen/stream_generator.h"
+#include "join/join_base.h"
+#include "ops/operator.h"
+
+namespace pjoin {
+
+struct PipelineOptions {
+  /// When the gap between consecutive global arrivals is at least this
+  /// large, the driver reports a stall to the join (which may schedule its
+  /// reactive/disk work, as XJoin and PJoin do). 0 disables stall detection.
+  TimeMicros stall_gap_micros = 0;
+  /// Invoked after each element is processed; receives the element count so
+  /// far. Benches use it to sample throughput.
+  std::function<void(int64_t)> progress = nullptr;
+};
+
+class JoinPipeline {
+ public:
+  /// The pipeline does not take ownership of `join` or `head`. `head` (may
+  /// be null) receives the join output: result tuples, propagated
+  /// punctuations, and one end-of-stream after the join finishes.
+  JoinPipeline(JoinOperator* join, Operator* head, PipelineOptions options = {});
+
+  /// Feeds both element vectors to completion in arrival order (ties broken
+  /// towards the left stream).
+  Status Run(const std::vector<StreamElement>& left,
+             const std::vector<StreamElement>& right);
+
+  int64_t elements_processed() const { return elements_processed_; }
+  int64_t stalls_detected() const { return stalls_detected_; }
+
+ private:
+  JoinOperator* join_;
+  Operator* head_;
+  PipelineOptions options_;
+  int64_t elements_processed_ = 0;
+  int64_t stalls_detected_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_PIPELINE_H_

@@ -1,0 +1,45 @@
+#include "ops/project.h"
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+Project::Project(SchemaPtr input_schema, std::vector<size_t> columns)
+    : input_schema_(std::move(input_schema)), columns_(std::move(columns)) {
+  PJOIN_DCHECK(input_schema_ != nullptr);
+  std::vector<Field> fields;
+  fields.reserve(columns_.size());
+  for (size_t c : columns_) {
+    PJOIN_DCHECK(c < input_schema_->num_fields());
+    fields.push_back(input_schema_->field(c));
+  }
+  output_schema_ = Schema::Make(std::move(fields));
+}
+
+Status Project::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (size_t c : columns_) values.push_back(tuple.field(c));
+  return EmitTuple(Tuple(output_schema_, std::move(values)), arrival);
+}
+
+Status Project::OnPunctuation(const Punctuation& punct, TimeMicros arrival) {
+  PJOIN_DCHECK(punct.num_patterns() == input_schema_->num_fields());
+  // A punctuation is only projectable when every dropped column is the
+  // wildcard: <key=5, payload=3> rules out (5, 3) tuples but says nothing
+  // about key=5 with other payloads, so it must not become <key=5>.
+  std::vector<bool> kept(input_schema_->num_fields(), false);
+  for (size_t c : columns_) kept[c] = true;
+  for (size_t i = 0; i < punct.num_patterns(); ++i) {
+    if (!kept[i] && !punct.pattern(i).IsWildcard()) return Status::OK();
+  }
+  std::vector<Pattern> patterns;
+  patterns.reserve(columns_.size());
+  for (size_t c : columns_) patterns.push_back(punct.pattern(c));
+  Punctuation projected(std::move(patterns));
+  // Keep it only if it still constrains something.
+  if (projected.IsAllWildcard()) return Status::OK();
+  return EmitPunctuation(projected, arrival);
+}
+
+}  // namespace pjoin

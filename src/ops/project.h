@@ -1,0 +1,33 @@
+// Project: column selection/reordering. Punctuation patterns are projected
+// along with the columns; dropping a constrained column widens the
+// punctuation (the kept patterns still hold).
+
+#ifndef PJOIN_OPS_PROJECT_H_
+#define PJOIN_OPS_PROJECT_H_
+
+#include <vector>
+
+#include "ops/operator.h"
+#include "tuple/schema.h"
+
+namespace pjoin {
+
+class Project : public Operator {
+ public:
+  /// Keeps input fields `columns`, in that order.
+  Project(SchemaPtr input_schema, std::vector<size_t> columns);
+
+  const SchemaPtr& output_schema() const { return output_schema_; }
+
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+  Status OnPunctuation(const Punctuation& punct, TimeMicros arrival) override;
+
+ private:
+  SchemaPtr input_schema_;
+  SchemaPtr output_schema_;
+  std::vector<size_t> columns_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_PROJECT_H_

@@ -1,0 +1,57 @@
+#include "ops/sink.h"
+
+namespace pjoin {
+
+Status CollectorSink::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  (void)arrival;
+  tuples_.push_back(tuple);
+  return Status::OK();
+}
+
+Status CollectorSink::OnPunctuation(const Punctuation& punct,
+                                    TimeMicros arrival) {
+  (void)arrival;
+  puncts_.push_back(punct);
+  return Status::OK();
+}
+
+Status CollectorSink::OnEndOfStream() {
+  eos_ = true;
+  return Status::OK();
+}
+
+Status CountingSink::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  (void)tuple;
+  (void)arrival;
+  ++tuple_count_;
+  return Status::OK();
+}
+
+Status CountingSink::OnPunctuation(const Punctuation& punct,
+                                   TimeMicros arrival) {
+  (void)punct;
+  (void)arrival;
+  ++punct_count_;
+  return Status::OK();
+}
+
+Status CountingSink::OnEndOfStream() {
+  eos_ = true;
+  return Status::OK();
+}
+
+CallbackSink::CallbackSink(TupleFn on_tuple, PunctFn on_punct)
+    : on_tuple_(std::move(on_tuple)), on_punct_(std::move(on_punct)) {}
+
+Status CallbackSink::OnTuple(const Tuple& tuple, TimeMicros arrival) {
+  if (on_tuple_) on_tuple_(tuple, arrival);
+  return Status::OK();
+}
+
+Status CallbackSink::OnPunctuation(const Punctuation& punct,
+                                   TimeMicros arrival) {
+  if (on_punct_) on_punct_(punct, arrival);
+  return Status::OK();
+}
+
+}  // namespace pjoin

@@ -1,0 +1,65 @@
+// Sinks: terminal operators that collect or count stream output.
+
+#ifndef PJOIN_OPS_SINK_H_
+#define PJOIN_OPS_SINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace pjoin {
+
+/// Collects every tuple and punctuation it receives.
+class CollectorSink : public Operator {
+ public:
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+  Status OnPunctuation(const Punctuation& punct, TimeMicros arrival) override;
+  Status OnEndOfStream() override;
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const std::vector<Punctuation>& punctuations() const { return puncts_; }
+  bool saw_end_of_stream() const { return eos_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::vector<Punctuation> puncts_;
+  bool eos_ = false;
+};
+
+/// Counts tuples/punctuations without retaining them.
+class CountingSink : public Operator {
+ public:
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+  Status OnPunctuation(const Punctuation& punct, TimeMicros arrival) override;
+  Status OnEndOfStream() override;
+
+  int64_t tuple_count() const { return tuple_count_; }
+  int64_t punct_count() const { return punct_count_; }
+  bool saw_end_of_stream() const { return eos_; }
+
+ private:
+  int64_t tuple_count_ = 0;
+  int64_t punct_count_ = 0;
+  bool eos_ = false;
+};
+
+/// Invokes callbacks; useful for ad-hoc instrumentation in benches.
+class CallbackSink : public Operator {
+ public:
+  using TupleFn = std::function<void(const Tuple&, TimeMicros)>;
+  using PunctFn = std::function<void(const Punctuation&, TimeMicros)>;
+
+  CallbackSink(TupleFn on_tuple, PunctFn on_punct = nullptr);
+
+  Status OnTuple(const Tuple& tuple, TimeMicros arrival) override;
+  Status OnPunctuation(const Punctuation& punct, TimeMicros arrival) override;
+
+ private:
+  TupleFn on_tuple_;
+  PunctFn on_punct_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_SINK_H_

@@ -1,0 +1,72 @@
+#include "ops/threaded_pipeline.h"
+
+#include <thread>
+
+namespace pjoin {
+
+ThreadedJoinPipeline::ThreadedJoinPipeline(JoinOperator* join,
+                                           ThreadedPipelineOptions options)
+    : join_(join), options_(options) {
+  PJOIN_DCHECK(join != nullptr);
+  PJOIN_DCHECK(options_.producer_burst > 0);
+}
+
+Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
+                                 const std::vector<StreamElement>& right) {
+  StreamBuffer buffers[2];
+  auto producer = [this](const std::vector<StreamElement>& elements,
+                         StreamBuffer* buffer) {
+    int64_t in_burst = 0;
+    for (const StreamElement& e : elements) {
+      buffer->Push(e);
+      if (++in_burst >= options_.producer_burst) {
+        in_burst = 0;
+        std::this_thread::yield();
+      }
+    }
+    buffer->Close();
+  };
+  std::thread t0(producer, std::cref(left), &buffers[0]);
+  std::thread t1(producer, std::cref(right), &buffers[1]);
+
+  Status status;
+  int64_t dry_polls = 0;
+  // Merge loop: consume the earlier-timestamped head. To keep global
+  // arrival order we only consume from a buffer when the other side either
+  // has a head to compare against or is done for good.
+  while (status.ok()) {
+    auto a0 = buffers[0].PeekArrival();
+    auto a1 = buffers[1].PeekArrival();
+    const bool done0 = buffers[0].exhausted();
+    const bool done1 = buffers[1].exhausted();
+    if (done0 && done1) break;
+
+    int side = -1;
+    if (a0.has_value() && (a1.has_value() ? *a0 <= *a1 : done1)) {
+      side = 0;
+    } else if (a1.has_value() && (a0.has_value() ? *a1 < *a0 : done0)) {
+      side = 1;
+    }
+    if (side < 0) {
+      // At least one open buffer is momentarily empty: the join may use the
+      // lull for background work (reactive disk stage).
+      if (++dry_polls % options_.stall_report_interval == 0) {
+        ++stalls_reported_;
+        status = join_->OnStreamsStalled();
+        if (!status.ok()) break;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    auto element = buffers[side].Pop();
+    PJOIN_DCHECK(element.has_value());
+    status = join_->OnElement(side, *element);
+    ++elements_processed_;
+  }
+
+  t0.join();
+  t1.join();
+  return status;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,49 @@
+// ThreadedJoinPipeline: multi-threaded execution — one producer thread per
+// input stream delivering elements into StreamBuffers (playing the role of
+// the network), and the join running on the consumer thread, which merges
+// the buffers in arrival order and reports stalls when both inputs are
+// momentarily dry (triggering XJoin's reactive stage / PJoin's disk join,
+// exactly the scheduling situation of paper §3.2).
+
+#ifndef PJOIN_OPS_THREADED_PIPELINE_H_
+#define PJOIN_OPS_THREADED_PIPELINE_H_
+
+#include <vector>
+
+#include "join/join_base.h"
+#include "stream/stream_buffer.h"
+
+namespace pjoin {
+
+struct ThreadedPipelineOptions {
+  /// Producers deliver this many elements per burst before yielding, which
+  /// creates realistic interleavings and occasional consumer stalls.
+  int64_t producer_burst = 64;
+  /// Consumer reports at most one stall to the join per this many dry
+  /// polls.
+  int64_t stall_report_interval = 256;
+};
+
+class ThreadedJoinPipeline {
+ public:
+  explicit ThreadedJoinPipeline(JoinOperator* join,
+                                ThreadedPipelineOptions options = {});
+
+  /// Runs producers on background threads and the join on the calling
+  /// thread until both inputs are exhausted.
+  Status Run(const std::vector<StreamElement>& left,
+             const std::vector<StreamElement>& right);
+
+  int64_t stalls_reported() const { return stalls_reported_; }
+  int64_t elements_processed() const { return elements_processed_; }
+
+ private:
+  JoinOperator* join_;
+  ThreadedPipelineOptions options_;
+  int64_t stalls_reported_ = 0;
+  int64_t elements_processed_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_THREADED_PIPELINE_H_

@@ -1,0 +1,174 @@
+#include "plan/query_plan.h"
+
+#include <sstream>
+
+#include "join/pjoin.h"
+#include "join/shj.h"
+#include "join/xjoin.h"
+#include "ops/filter.h"
+#include "ops/project.h"
+
+namespace pjoin {
+
+Status QueryPlan::Run() {
+  Operator* head =
+      operators_.empty() ? sink_ : operators_.front().get();
+  JoinPipeline pipeline(join_.get(), head, pipeline_options_);
+  return pipeline.Run(inputs_[0], inputs_[1]);
+}
+
+std::string QueryPlan::Explain() const {
+  std::ostringstream os;
+  for (const std::string& line : description_) os << line << "\n";
+  return os.str();
+}
+
+QueryPlanBuilder::QueryPlanBuilder()
+    : plan_(std::unique_ptr<QueryPlan>(new QueryPlan())) {}
+
+QueryPlanBuilder::~QueryPlanBuilder() = default;
+
+QueryPlanBuilder& QueryPlanBuilder::Source(
+    SchemaPtr schema, std::vector<StreamElement> elements) {
+  if (!deferred_error_.ok()) return *this;
+  if (sources_ >= 2) {
+    deferred_error_ = Status::InvalidArgument("a plan has two sources");
+    return *this;
+  }
+  plan_->description_.push_back("source[" + std::to_string(sources_) +
+                                "] " + schema->ToString());
+  plan_->schemas_[sources_] = std::move(schema);
+  plan_->inputs_[sources_] = std::move(elements);
+  ++sources_;
+  return *this;
+}
+
+template <typename JoinType>
+QueryPlanBuilder& QueryPlanBuilder::AddJoin(JoinOptions options,
+                                            const std::string& name) {
+  if (!deferred_error_.ok()) return *this;
+  if (sources_ != 2) {
+    deferred_error_ =
+        Status::FailedPrecondition("add both sources before the join");
+    return *this;
+  }
+  if (plan_->join_ != nullptr) {
+    deferred_error_ = Status::FailedPrecondition("plan already has a join");
+    return *this;
+  }
+  plan_->join_ = std::make_unique<JoinType>(plan_->schemas_[0],
+                                            plan_->schemas_[1], options);
+  current_schema_ = plan_->join_->output_schema();
+  plan_->description_.push_back(name + " -> " + current_schema_->ToString());
+  return *this;
+}
+
+QueryPlanBuilder& QueryPlanBuilder::PJoin(JoinOptions options) {
+  return AddJoin<::pjoin::PJoin>(std::move(options), "pjoin");
+}
+
+QueryPlanBuilder& QueryPlanBuilder::XJoin(JoinOptions options) {
+  return AddJoin<::pjoin::XJoin>(std::move(options), "xjoin");
+}
+
+QueryPlanBuilder& QueryPlanBuilder::SymmetricHashJoin(JoinOptions options) {
+  return AddJoin<::pjoin::SymmetricHashJoin>(std::move(options), "shj");
+}
+
+QueryPlanBuilder& QueryPlanBuilder::Filter(
+    std::function<bool(const Tuple&)> predicate, const std::string& label) {
+  if (!deferred_error_.ok()) return *this;
+  if (current_schema_ == nullptr) {
+    deferred_error_ = Status::FailedPrecondition("add the join first");
+    return *this;
+  }
+  plan_->operators_.push_back(
+      std::make_unique<::pjoin::Filter>(std::move(predicate)));
+  plan_->description_.push_back(label);
+  return *this;
+}
+
+QueryPlanBuilder& QueryPlanBuilder::Project(std::vector<size_t> columns) {
+  if (!deferred_error_.ok()) return *this;
+  if (current_schema_ == nullptr) {
+    deferred_error_ = Status::FailedPrecondition("add the join first");
+    return *this;
+  }
+  for (size_t c : columns) {
+    if (c >= current_schema_->num_fields()) {
+      deferred_error_ = Status::InvalidArgument(
+          "project column " + std::to_string(c) + " out of range for " +
+          current_schema_->ToString());
+      return *this;
+    }
+  }
+  auto op = std::make_unique<::pjoin::Project>(current_schema_,
+                                               std::move(columns));
+  current_schema_ = op->output_schema();
+  plan_->description_.push_back("project -> " + current_schema_->ToString());
+  plan_->operators_.push_back(std::move(op));
+  return *this;
+}
+
+QueryPlanBuilder& QueryPlanBuilder::GroupBy(
+    size_t group_field, std::vector<AggSpec> aggs,
+    std::vector<size_t> group_aliases) {
+  if (!deferred_error_.ok()) return *this;
+  if (current_schema_ == nullptr) {
+    deferred_error_ = Status::FailedPrecondition("add the join first");
+    return *this;
+  }
+  if (group_field >= current_schema_->num_fields()) {
+    deferred_error_ = Status::InvalidArgument("group field out of range");
+    return *this;
+  }
+  for (const AggSpec& agg : aggs) {
+    if (agg.kind != AggKind::kCount &&
+        agg.field >= current_schema_->num_fields()) {
+      deferred_error_ =
+          Status::InvalidArgument("aggregate field out of range");
+      return *this;
+    }
+  }
+  auto op = std::make_unique<::pjoin::GroupBy>(
+      current_schema_, group_field, std::move(aggs),
+      std::move(group_aliases));
+  current_schema_ = op->output_schema();
+  plan_->description_.push_back("group-by -> " + current_schema_->ToString());
+  plan_->operators_.push_back(std::move(op));
+  return *this;
+}
+
+QueryPlanBuilder& QueryPlanBuilder::CollectInto(Operator* sink) {
+  if (!deferred_error_.ok()) return *this;
+  plan_->sink_ = sink;
+  plan_->description_.push_back("sink");
+  return *this;
+}
+
+QueryPlanBuilder& QueryPlanBuilder::StallGap(TimeMicros gap) {
+  plan_->pipeline_options_.stall_gap_micros = gap;
+  return *this;
+}
+
+SchemaPtr QueryPlanBuilder::CurrentSchema() const { return current_schema_; }
+
+Result<std::unique_ptr<QueryPlan>> QueryPlanBuilder::Build() {
+  PJOIN_RETURN_NOT_OK(deferred_error_);
+  if (sources_ != 2) {
+    return Status::FailedPrecondition("plan needs two sources");
+  }
+  if (plan_->join_ == nullptr) {
+    return Status::FailedPrecondition("plan needs a join");
+  }
+  // Wire the operator chain.
+  for (size_t i = 0; i + 1 < plan_->operators_.size(); ++i) {
+    plan_->operators_[i]->set_downstream(plan_->operators_[i + 1].get());
+  }
+  if (!plan_->operators_.empty() && plan_->sink_ != nullptr) {
+    plan_->operators_.back()->set_downstream(plan_->sink_);
+  }
+  return std::move(plan_);
+}
+
+}  // namespace pjoin

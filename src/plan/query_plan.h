@@ -1,0 +1,105 @@
+// QueryPlan: a small declarative layer for assembling and running the
+// continuous query shapes of the paper (Fig 1(c)): two punctuated sources,
+// a binary join, and a chain of unary operators ending in a sink.
+//
+//   QueryPlanBuilder builder;
+//   builder.Source(open_schema, open_elements)
+//          .Source(bid_schema, bid_elements)
+//          .PJoin(options)
+//          .GroupBy(0, {{AggKind::kSum, 5, "sum"}}, {3})
+//          .CollectInto(&sink);
+//   PJOIN_CHECK(builder.Build().value()->Run().ok());
+//
+// The plan owns its operators; the sink is caller-owned.
+
+#ifndef PJOIN_PLAN_QUERY_PLAN_H_
+#define PJOIN_PLAN_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "join/join_base.h"
+#include "ops/groupby.h"
+#include "ops/pipeline.h"
+#include "ops/sink.h"
+
+namespace pjoin {
+
+/// A fully assembled, runnable query plan.
+class QueryPlan {
+ public:
+  /// Runs the plan to completion (all sources drained, join finished, all
+  /// downstream operators flushed).
+  Status Run();
+
+  /// The join at the root of the pipeline (for metrics inspection).
+  JoinOperator& join() { return *join_; }
+  const JoinOperator& join() const { return *join_; }
+
+  /// Multi-line description of the plan shape.
+  std::string Explain() const;
+
+ private:
+  friend class QueryPlanBuilder;
+  QueryPlan() = default;
+
+  SchemaPtr schemas_[2];
+  std::vector<StreamElement> inputs_[2];
+  std::unique_ptr<JoinOperator> join_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  Operator* sink_ = nullptr;  // not owned
+  PipelineOptions pipeline_options_;
+  std::vector<std::string> description_;
+};
+
+/// Step-by-step construction; calls must follow the order
+/// Source, Source, <join>, [unary ops...], [CollectInto].
+class QueryPlanBuilder {
+ public:
+  QueryPlanBuilder();
+  ~QueryPlanBuilder();
+  PJOIN_DISALLOW_COPY_AND_MOVE(QueryPlanBuilder);
+
+  /// Adds an input stream (first call = side 0, second = side 1).
+  QueryPlanBuilder& Source(SchemaPtr schema,
+                           std::vector<StreamElement> elements);
+
+  /// Roots the plan with the given join algorithm (exactly one of these).
+  QueryPlanBuilder& PJoin(JoinOptions options = {});
+  QueryPlanBuilder& XJoin(JoinOptions options = {});
+  QueryPlanBuilder& SymmetricHashJoin(JoinOptions options = {});
+
+  /// Appends unary operators to the join output, in order.
+  QueryPlanBuilder& Filter(std::function<bool(const Tuple&)> predicate,
+                           const std::string& label = "filter");
+  QueryPlanBuilder& Project(std::vector<size_t> columns);
+  QueryPlanBuilder& GroupBy(size_t group_field, std::vector<AggSpec> aggs,
+                            std::vector<size_t> group_aliases = {});
+
+  /// Routes the final output into a caller-owned sink.
+  QueryPlanBuilder& CollectInto(Operator* sink);
+
+  /// Stall-detection gap forwarded to the pipeline driver.
+  QueryPlanBuilder& StallGap(TimeMicros gap);
+
+  /// Validates and produces the plan. Errors: missing sources or join,
+  /// operator schema mismatches.
+  Result<std::unique_ptr<QueryPlan>> Build();
+
+  /// Output schema at the current tail of the plan (for wiring checks).
+  SchemaPtr CurrentSchema() const;
+
+ private:
+  template <typename JoinType>
+  QueryPlanBuilder& AddJoin(JoinOptions options, const std::string& name);
+
+  std::unique_ptr<QueryPlan> plan_;
+  SchemaPtr current_schema_;
+  int sources_ = 0;
+  Status deferred_error_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_PLAN_QUERY_PLAN_H_

@@ -1,0 +1,122 @@
+#include "storage/file_spill_store.h"
+
+#include <cstring>
+#include <memory>
+
+namespace pjoin {
+
+Result<std::unique_ptr<FileSpillStore>> FileSpillStore::Open(
+    const std::string& path, size_t page_size) {
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open spill file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileSpillStore>(
+      new FileSpillStore(file, path, page_size));
+}
+
+FileSpillStore::FileSpillStore(std::FILE* file, std::string path,
+                               size_t page_size)
+    : file_(file), path_(std::move(path)), page_size_(page_size) {}
+
+FileSpillStore::~FileSpillStore() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+Status FileSpillStore::WritePage(const std::string& page,
+                                 int64_t* page_index) {
+  const int64_t index = next_page_index_;
+  if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short write to spill file");
+  }
+  ++next_page_index_;
+  ++stats_.pages_written;
+  *page_index = index;
+  return Status::OK();
+}
+
+Status FileSpillStore::AppendBatch(int partition,
+                                   const std::vector<std::string>& records) {
+  if (records.empty()) return Status::OK();
+  Partition& part = partitions_[partition];
+  PageWriter writer(page_size_);
+  for (const auto& record : records) {
+    if (record.size() + 8 > page_size_) {
+      return Status::InvalidArgument("record larger than page size");
+    }
+    if (!writer.Append(record)) {
+      int64_t index = 0;
+      PJOIN_RETURN_NOT_OK(WritePage(writer.Finish(), &index));
+      part.page_indexes.push_back(index);
+      const bool ok = writer.Append(record);
+      PJOIN_DCHECK(ok);
+    }
+    ++part.record_count;
+    ++stats_.records_written;
+  }
+  if (!writer.empty()) {
+    int64_t index = 0;
+    PJOIN_RETURN_NOT_OK(WritePage(writer.Finish(), &index));
+    part.page_indexes.push_back(index);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
+  std::vector<std::string> records;
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return records;
+  std::string page(page_size_, '\0');
+  for (int64_t index : it->second.page_indexes) {
+    if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
+        0) {
+      return Status::IOError("seek failed");
+    }
+    if (std::fread(page.data(), 1, page_size_, file_) != page_size_) {
+      return Status::IOError("short read from spill file");
+    }
+    ++stats_.pages_read;
+    PageReader reader(page);
+    std::string_view record;
+    while (reader.Next(&record)) {
+      records.emplace_back(record);
+      ++stats_.records_read;
+    }
+  }
+  return records;
+}
+
+Status FileSpillStore::ClearPartition(int partition) {
+  // Pages are not reclaimed (append-only file); the partition is forgotten.
+  partitions_.erase(partition);
+  return Status::OK();
+}
+
+int64_t FileSpillStore::PartitionRecordCount(int partition) const {
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? 0 : it->second.record_count;
+}
+
+int64_t FileSpillStore::TotalRecordCount() const {
+  int64_t total = 0;
+  for (const auto& [id, part] : partitions_) total += part.record_count;
+  return total;
+}
+
+std::vector<int> FileSpillStore::NonEmptyPartitions() const {
+  std::vector<int> ids;
+  for (const auto& [id, part] : partitions_) {
+    if (part.record_count > 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,56 @@
+// FileSpillStore: a SpillStore writing pages to one real temporary file.
+
+#ifndef PJOIN_STORAGE_FILE_SPILL_STORE_H_
+#define PJOIN_STORAGE_FILE_SPILL_STORE_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/page.h"
+#include "storage/spill_store.h"
+
+namespace pjoin {
+
+class FileSpillStore : public SpillStore {
+ public:
+  /// Opens (creates/truncates) the backing file at `path`.
+  static Result<std::unique_ptr<FileSpillStore>> Open(
+      const std::string& path, size_t page_size = kDefaultPageSize);
+
+  ~FileSpillStore() override;
+  PJOIN_DISALLOW_COPY_AND_MOVE(FileSpillStore);
+
+  Status AppendBatch(int partition,
+                     const std::vector<std::string>& records) override;
+  Result<std::vector<std::string>> ReadPartition(int partition) override;
+  Status ClearPartition(int partition) override;
+  int64_t PartitionRecordCount(int partition) const override;
+  int64_t TotalRecordCount() const override;
+  std::vector<int> NonEmptyPartitions() const override;
+  const IoStats& io_stats() const override { return stats_; }
+
+ private:
+  FileSpillStore(std::FILE* file, std::string path, size_t page_size);
+
+  Status WritePage(const std::string& page, int64_t* page_index);
+
+  struct Partition {
+    std::vector<int64_t> page_indexes;
+    int64_t record_count = 0;
+  };
+
+  std::FILE* file_;
+  std::string path_;
+  size_t page_size_;
+  int64_t next_page_index_ = 0;
+  std::map<int, Partition> partitions_;
+  IoStats stats_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_FILE_SPILL_STORE_H_

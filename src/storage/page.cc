@@ -1,0 +1,71 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace pjoin {
+namespace {
+
+void PutU32(std::string* buf, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  buf->append(bytes, 4);
+}
+
+uint32_t GetU32(std::string_view buf, size_t pos) {
+  uint32_t v;
+  PJOIN_DCHECK(pos + 4 <= buf.size());
+  std::memcpy(&v, buf.data() + pos, 4);
+  return v;
+}
+
+}  // namespace
+
+PageWriter::PageWriter(size_t page_size)
+    : page_size_(page_size), record_count_(0) {
+  PJOIN_DCHECK(page_size >= 16);
+  buffer_.reserve(page_size);
+  PutU32(&buffer_, 0);  // record count placeholder
+}
+
+bool PageWriter::Append(std::string_view record) {
+  const size_t needed = 4 + record.size();
+  if (buffer_.size() + needed > page_size_) return false;
+  PutU32(&buffer_, static_cast<uint32_t>(record.size()));
+  buffer_.append(record.data(), record.size());
+  ++record_count_;
+  return true;
+}
+
+std::string PageWriter::Finish() {
+  std::string page = std::move(buffer_);
+  uint32_t count = record_count_;
+  std::memcpy(page.data(), &count, 4);
+  page.resize(page_size_, '\0');
+  // Reset for reuse.
+  buffer_.clear();
+  buffer_.reserve(page_size_);
+  record_count_ = 0;
+  PutU32(&buffer_, 0);
+  return page;
+}
+
+PageReader::PageReader(std::string_view page)
+    : page_(page), pos_(4), consumed_(0) {
+  PJOIN_DCHECK(page.size() >= 4);
+  record_count_ = GetU32(page, 0);
+}
+
+bool PageReader::Next(std::string_view* record) {
+  if (consumed_ >= record_count_) return false;
+  const uint32_t len = GetU32(page_, pos_);
+  pos_ += 4;
+  PJOIN_DCHECK(pos_ + len <= page_.size());
+  *record = page_.substr(pos_, len);
+  pos_ += len;
+  ++consumed_;
+  return true;
+}
+
+}  // namespace pjoin

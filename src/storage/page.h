@@ -1,0 +1,63 @@
+// Page: a fixed-size byte page holding variable-length records. The unit of
+// I/O for the spill stores used by state relocation and disk join.
+
+#ifndef PJOIN_STORAGE_PAGE_H_
+#define PJOIN_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pjoin {
+
+constexpr size_t kDefaultPageSize = 4096;
+
+/// A page is a byte buffer with records appended front-to-back. Layout:
+///   [u32 record_count][record...]
+///   record := [u32 length][bytes]
+/// Records never span pages; a record larger than the page capacity is
+/// rejected by the writer.
+class PageWriter {
+ public:
+  explicit PageWriter(size_t page_size = kDefaultPageSize);
+
+  /// Appends a record if it fits; returns false when the page is full.
+  bool Append(std::string_view record);
+
+  /// True if no record has been appended.
+  bool empty() const { return record_count_ == 0; }
+  size_t record_count() const { return record_count_; }
+  size_t page_size() const { return page_size_; }
+
+  /// Finalizes and returns the page bytes (always exactly page_size long),
+  /// resetting the writer for reuse.
+  std::string Finish();
+
+ private:
+  size_t page_size_;
+  std::string buffer_;
+  uint32_t record_count_;
+};
+
+/// Iterates the records of one page produced by PageWriter.
+class PageReader {
+ public:
+  explicit PageReader(std::string_view page);
+
+  /// Returns the next record, or false when the page is exhausted. The
+  /// returned view borrows from the page buffer.
+  bool Next(std::string_view* record);
+
+  uint32_t record_count() const { return record_count_; }
+
+ private:
+  std::string_view page_;
+  size_t pos_;
+  uint32_t record_count_;
+  uint32_t consumed_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_PAGE_H_

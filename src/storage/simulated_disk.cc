@@ -1,0 +1,90 @@
+#include "storage/simulated_disk.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "pages_written=" << pages_written << " pages_read=" << pages_read
+     << " records_written=" << records_written
+     << " records_read=" << records_read
+     << " simulated_latency_micros=" << simulated_latency_micros;
+  return os.str();
+}
+
+SimulatedDisk::SimulatedDisk(SimulatedDiskOptions options)
+    : options_(options) {}
+
+Status SimulatedDisk::AppendBatch(int partition,
+                                  const std::vector<std::string>& records) {
+  if (records.empty()) return Status::OK();
+  Partition& part = partitions_[partition];
+  PageWriter writer(options_.page_size);
+  for (const auto& record : records) {
+    if (record.size() + 8 > options_.page_size) {
+      return Status::InvalidArgument("record larger than page size");
+    }
+    if (!writer.Append(record)) {
+      part.pages.push_back(writer.Finish());
+      ++stats_.pages_written;
+      stats_.simulated_latency_micros += options_.page_latency_micros;
+      const bool ok = writer.Append(record);
+      PJOIN_DCHECK(ok);
+    }
+    ++part.record_count;
+    ++stats_.records_written;
+  }
+  if (!writer.empty()) {
+    part.pages.push_back(writer.Finish());
+    ++stats_.pages_written;
+    stats_.simulated_latency_micros += options_.page_latency_micros;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SimulatedDisk::ReadPartition(int partition) {
+  std::vector<std::string> records;
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return records;
+  records.reserve(static_cast<size_t>(it->second.record_count));
+  for (const auto& page : it->second.pages) {
+    ++stats_.pages_read;
+    stats_.simulated_latency_micros += options_.page_latency_micros;
+    PageReader reader(page);
+    std::string_view record;
+    while (reader.Next(&record)) {
+      records.emplace_back(record);
+      ++stats_.records_read;
+    }
+  }
+  return records;
+}
+
+Status SimulatedDisk::ClearPartition(int partition) {
+  partitions_.erase(partition);
+  return Status::OK();
+}
+
+int64_t SimulatedDisk::PartitionRecordCount(int partition) const {
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? 0 : it->second.record_count;
+}
+
+int64_t SimulatedDisk::TotalRecordCount() const {
+  int64_t total = 0;
+  for (const auto& [id, part] : partitions_) total += part.record_count;
+  return total;
+}
+
+std::vector<int> SimulatedDisk::NonEmptyPartitions() const {
+  std::vector<int> ids;
+  for (const auto& [id, part] : partitions_) {
+    if (part.record_count > 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace pjoin

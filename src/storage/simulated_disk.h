@@ -1,0 +1,47 @@
+// SimulatedDisk: an in-memory SpillStore with page-granular I/O accounting
+// and a configurable per-page latency model.
+
+#ifndef PJOIN_STORAGE_SIMULATED_DISK_H_
+#define PJOIN_STORAGE_SIMULATED_DISK_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/spill_store.h"
+
+namespace pjoin {
+
+struct SimulatedDiskOptions {
+  size_t page_size = kDefaultPageSize;
+  /// Simulated latency charged per page read or written.
+  int64_t page_latency_micros = 100;
+};
+
+class SimulatedDisk : public SpillStore {
+ public:
+  explicit SimulatedDisk(SimulatedDiskOptions options = {});
+
+  Status AppendBatch(int partition,
+                     const std::vector<std::string>& records) override;
+  Result<std::vector<std::string>> ReadPartition(int partition) override;
+  Status ClearPartition(int partition) override;
+  int64_t PartitionRecordCount(int partition) const override;
+  int64_t TotalRecordCount() const override;
+  std::vector<int> NonEmptyPartitions() const override;
+  const IoStats& io_stats() const override { return stats_; }
+
+ private:
+  struct Partition {
+    std::vector<std::string> pages;
+    int64_t record_count = 0;
+  };
+
+  SimulatedDiskOptions options_;
+  std::map<int, Partition> partitions_;
+  IoStats stats_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_SIMULATED_DISK_H_

@@ -1,0 +1,65 @@
+// SpillStore: partition-addressed record storage backing state relocation
+// (paper §3.3) and disk join (§3.2).
+//
+// The join serializes tuple entries to byte records; the store only sees
+// bytes grouped into pages. Two implementations:
+//  - SimulatedDisk: pages kept in memory with full I/O accounting. This is
+//    the default substrate — the algorithms only need a partition-addressed
+//    page store, and I/O *counts* are what the analysis uses (DESIGN.md,
+//    substitution table).
+//  - FileSpillStore: pages written to a real temporary file.
+
+#ifndef PJOIN_STORAGE_SPILL_STORE_H_
+#define PJOIN_STORAGE_SPILL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pjoin {
+
+/// I/O accounting common to all spill stores.
+struct IoStats {
+  int64_t pages_written = 0;
+  int64_t pages_read = 0;
+  int64_t records_written = 0;
+  int64_t records_read = 0;
+  /// Simulated time spent on I/O given a per-page latency model.
+  int64_t simulated_latency_micros = 0;
+
+  std::string ToString() const;
+};
+
+class SpillStore {
+ public:
+  virtual ~SpillStore() = default;
+
+  /// Appends records to the given partition.
+  virtual Status AppendBatch(int partition,
+                             const std::vector<std::string>& records) = 0;
+
+  /// Reads back every record ever appended to the partition, in append
+  /// order. The partition keeps its contents.
+  virtual Result<std::vector<std::string>> ReadPartition(int partition) = 0;
+
+  /// Drops all records of the partition.
+  virtual Status ClearPartition(int partition) = 0;
+
+  /// Number of records currently stored in the partition.
+  virtual int64_t PartitionRecordCount(int partition) const = 0;
+
+  /// Total records across all partitions.
+  virtual int64_t TotalRecordCount() const = 0;
+
+  /// Partitions with at least one record.
+  virtual std::vector<int> NonEmptyPartitions() const = 0;
+
+  virtual const IoStats& io_stats() const = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_SPILL_STORE_H_

@@ -1,0 +1,57 @@
+#include "stream/element.h"
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+StreamElement StreamElement::MakeTuple(Tuple t, TimeMicros arrival,
+                                       int64_t seq) {
+  StreamElement e;
+  e.kind_ = ElementKind::kTuple;
+  e.payload_ = std::move(t);
+  e.arrival_ = arrival;
+  e.seq_ = seq;
+  return e;
+}
+
+StreamElement StreamElement::MakePunctuation(Punctuation p, TimeMicros arrival,
+                                             int64_t seq) {
+  StreamElement e;
+  e.kind_ = ElementKind::kPunctuation;
+  e.payload_ = std::move(p);
+  e.arrival_ = arrival;
+  e.seq_ = seq;
+  return e;
+}
+
+StreamElement StreamElement::MakeEndOfStream(TimeMicros arrival, int64_t seq) {
+  StreamElement e;
+  e.kind_ = ElementKind::kEndOfStream;
+  e.arrival_ = arrival;
+  e.seq_ = seq;
+  return e;
+}
+
+const Tuple& StreamElement::tuple() const {
+  PJOIN_DCHECK(is_tuple());
+  return std::get<Tuple>(payload_);
+}
+
+const Punctuation& StreamElement::punctuation() const {
+  PJOIN_DCHECK(is_punctuation());
+  return std::get<Punctuation>(payload_);
+}
+
+std::string StreamElement::ToString() const {
+  switch (kind_) {
+    case ElementKind::kTuple:
+      return "t@" + std::to_string(arrival_) + " " + tuple().ToString();
+    case ElementKind::kPunctuation:
+      return "p@" + std::to_string(arrival_) + " " + punctuation().ToString();
+    case ElementKind::kEndOfStream:
+      return "eos@" + std::to_string(arrival_);
+  }
+  return "?";
+}
+
+}  // namespace pjoin

@@ -1,0 +1,50 @@
+#include "stream/stream_buffer.h"
+
+namespace pjoin {
+
+void StreamBuffer::Push(StreamElement element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PJOIN_DCHECK(!closed_);
+  queue_.push_back(std::move(element));
+}
+
+void StreamBuffer::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+std::optional<StreamElement> StreamBuffer::Pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  std::optional<StreamElement> e(std::in_place, std::move(queue_.front()));
+  queue_.pop_front();
+  return e;
+}
+
+std::optional<TimeMicros> StreamBuffer::PeekArrival() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front().arrival();
+}
+
+bool StreamBuffer::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty();
+}
+
+size_t StreamBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool StreamBuffer::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+bool StreamBuffer::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_ && queue_.empty();
+}
+
+}  // namespace pjoin

@@ -1,0 +1,61 @@
+// StreamBuffer: a FIFO of stream elements between a producer (generator or
+// upstream operator) and a consumer (operator or driver).
+//
+// The buffer distinguishes "temporarily empty" (producer still open — the
+// consumer may block or switch to background work, cf. XJoin's reactive
+// stage) from "closed" (end of stream).
+
+#ifndef PJOIN_STREAM_STREAM_BUFFER_H_
+#define PJOIN_STREAM_STREAM_BUFFER_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/macros.h"
+#include "stream/element.h"
+
+namespace pjoin {
+
+class StreamBuffer {
+ public:
+  StreamBuffer() = default;
+  PJOIN_DISALLOW_COPY_AND_MOVE(StreamBuffer);
+
+  /// Appends an element. Pushing to a closed buffer is an error.
+  void Push(StreamElement element);
+
+  /// Marks the producer side finished; Pop drains the remainder then reports
+  /// closure via std::nullopt with closed() == true.
+  void Close();
+
+  /// Removes and returns the oldest element, or nullopt if none available.
+  std::optional<StreamElement> Pop();
+
+  /// Peeks at the arrival time of the oldest element without removing it.
+  std::optional<TimeMicros> PeekArrival() const;
+
+  bool empty() const;
+  size_t size() const;
+  /// True once Close() was called (elements may still be queued).
+  bool closed() const;
+  /// True when closed and fully drained.
+  bool exhausted() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<StreamElement> queue_;
+  bool closed_ = false;
+};
+
+/// Pull-style element source (generators implement this).
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+  /// Produces the next element, or nullopt when the stream ends.
+  virtual std::optional<StreamElement> Next() = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STREAM_STREAM_BUFFER_H_

@@ -1,0 +1,57 @@
+#include "tuple/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+SchemaPtr Schema::Make(std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+const Field& Schema::field(size_t i) const {
+  PJOIN_DCHECK(i < fields_.size());
+  return fields_[i];
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+SchemaPtr Schema::Concat(const Schema& left, const Schema& right,
+                         const std::string& suffix) {
+  std::vector<Field> fields = left.fields_;
+  std::unordered_set<std::string> taken;
+  for (const auto& f : fields) taken.insert(f.name);
+  for (const auto& f : right.fields_) {
+    std::string name = f.name;
+    while (taken.count(name) > 0) name += suffix;
+    taken.insert(name);
+    fields.push_back(Field{name, f.type});
+  }
+  return Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pjoin

@@ -1,0 +1,64 @@
+// Schema: an ordered list of named, typed fields.
+
+#ifndef PJOIN_TUPLE_SCHEMA_H_
+#define PJOIN_TUPLE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tuple/value.h"
+
+namespace pjoin {
+
+/// One field of a schema.
+struct Field {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable tuple layout. Shared between all tuples of one stream.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Convenience factory returning a shared immutable schema.
+  static SchemaPtr Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a field named `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// Schema of the concatenation of a left and a right tuple, as produced by
+  /// a join. Right-side names that collide get a `suffix` appended.
+  static SchemaPtr Concat(const Schema& left, const Schema& right,
+                          const std::string& suffix = "_r");
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TUPLE_SCHEMA_H_

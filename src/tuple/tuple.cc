@@ -1,0 +1,80 @@
+#include "tuple/tuple.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+Tuple::Tuple(SchemaPtr schema, std::vector<Value> values)
+    : schema_(std::move(schema)), values_(std::move(values)) {
+  PJOIN_DCHECK(schema_ != nullptr);
+  PJOIN_DCHECK(schema_->num_fields() == values_.size());
+}
+
+const Value& Tuple::field(size_t i) const {
+  PJOIN_DCHECK(i < values_.size());
+  return values_[i];
+}
+
+const Value& Tuple::field(const std::string& name) const {
+  auto idx = schema_->IndexOf(name);
+  PJOIN_DCHECK(idx.ok());
+  return values_[idx.value()];
+}
+
+size_t Tuple::ByteSize() const {
+  size_t total = sizeof(Tuple);
+  for (const auto& v : values_) total += v.ByteSize();
+  return total;
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right,
+                    SchemaPtr out_schema) {
+  std::vector<Value> values;
+  values.reserve(left.values_.size() + right.values_.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(out_schema), std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (schema_ != nullptr) os << schema_->field(i).name << "=";
+    os << values_[i].ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.values_.size(), b.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.values_[i] < b.values_[i]) return true;
+    if (b.values_[i] < a.values_[i]) return false;
+  }
+  return a.values_.size() < b.values_.size();
+}
+
+TupleBuilder::TupleBuilder(SchemaPtr schema) : schema_(std::move(schema)) {
+  PJOIN_DCHECK(schema_ != nullptr);
+  values_.reserve(schema_->num_fields());
+}
+
+TupleBuilder& TupleBuilder::Add(Value v) {
+  PJOIN_DCHECK(values_.size() < schema_->num_fields());
+  const Field& f = schema_->field(values_.size());
+  PJOIN_DCHECK(v.is_null() || v.type() == f.type);
+  values_.push_back(std::move(v));
+  return *this;
+}
+
+Tuple TupleBuilder::Build() {
+  PJOIN_DCHECK(values_.size() == schema_->num_fields());
+  return Tuple(schema_, std::move(values_));
+}
+
+}  // namespace pjoin

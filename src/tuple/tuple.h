@@ -1,0 +1,70 @@
+// Tuple: a row of Values conforming to a Schema.
+
+#ifndef PJOIN_TUPLE_TUPLE_H_
+#define PJOIN_TUPLE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "tuple/schema.h"
+#include "tuple/value.h"
+
+namespace pjoin {
+
+/// A row of field values. Value-semantic: copies are deep (strings copy).
+/// The schema is shared and never owned uniquely by a tuple.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaPtr schema, std::vector<Value> values);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_fields() const { return values_.size(); }
+
+  const Value& field(size_t i) const;
+  /// Field by name; the name must exist (checked).
+  const Value& field(const std::string& name) const;
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Approximate in-memory footprint of the payload in bytes.
+  size_t ByteSize() const;
+
+  /// Concatenation of this tuple and `right` under a pre-computed schema.
+  static Tuple Concat(const Tuple& left, const Tuple& right,
+                      SchemaPtr out_schema);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  /// Lexicographic order over values; used to canonicalize result multisets
+  /// in tests.
+  friend bool operator<(const Tuple& a, const Tuple& b);
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+/// Fluent construction of tuples against a schema, with type checking.
+class TupleBuilder {
+ public:
+  explicit TupleBuilder(SchemaPtr schema);
+
+  /// Appends the next field value; its type must match the schema (or be
+  /// null).
+  TupleBuilder& Add(Value v);
+
+  /// Finishes the tuple; all fields must have been added.
+  Tuple Build();
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TUPLE_TUPLE_H_

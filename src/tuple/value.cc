@@ -1,0 +1,133 @@
+#include "tuple/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace pjoin {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kFloat64:
+      return "float64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (payload_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kFloat64;
+    default:
+      return ValueType::kString;
+  }
+}
+
+int64_t Value::AsInt64() const {
+  PJOIN_DCHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsFloat64() const {
+  PJOIN_DCHECK(type() == ValueType::kFloat64);
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  PJOIN_DCHECK(type() == ValueType::kString);
+  return std::get<std::string>(payload_);
+}
+
+namespace {
+
+// 64-bit FNV-1a over raw bytes, with a per-type seed so that e.g. int64(0)
+// and float64(0.0) do not collide structurally.
+uint64_t FnvHash(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kInt64: {
+      int64_t v = std::get<int64_t>(payload_);
+      return FnvHash(&v, sizeof(v), 1);
+    }
+    case ValueType::kFloat64: {
+      double d = std::get<double>(payload_);
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return FnvHash(&d, sizeof(d), 2);
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(payload_);
+      return FnvHash(s.data(), s.size(), 3);
+    }
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  size_t base = sizeof(Value);
+  if (type() == ValueType::kString) base += std::get<std::string>(payload_).size();
+  return base;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(payload_));
+    case ValueType::kFloat64: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(payload_));
+      return buf;
+    }
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(payload_) + "\"";
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  return a.payload_ == b.payload_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && !b.is_null();
+  PJOIN_DCHECK(a.type() == b.type());
+  switch (a.type()) {
+    case ValueType::kInt64:
+      return std::get<int64_t>(a.payload_) < std::get<int64_t>(b.payload_);
+    case ValueType::kFloat64:
+      return std::get<double>(a.payload_) < std::get<double>(b.payload_);
+    case ValueType::kString:
+      return std::get<std::string>(a.payload_) <
+             std::get<std::string>(b.payload_);
+    default:
+      return false;
+  }
+}
+
+}  // namespace pjoin

@@ -1,0 +1,78 @@
+// Value: a dynamically typed field value (null / int64 / float64 / string).
+
+#ifndef PJOIN_TUPLE_VALUE_H_
+#define PJOIN_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace pjoin {
+
+/// Runtime type of a Value / schema field.
+enum class ValueType { kNull = 0, kInt64, kFloat64, kString };
+
+std::string_view ValueTypeName(ValueType type);
+
+/// A single dynamically typed field value. Small, value-semantic, ordered.
+///
+/// Ordering and equality are only meaningful between values of the same type
+/// (enforced with PJOIN_DCHECK); nulls compare equal to each other and less
+/// than everything else.
+class Value {
+ public:
+  /// Null value.
+  Value() : payload_(std::monostate{}) {}
+  /// Integer value.
+  Value(int64_t v) : payload_(v) {}  // NOLINT(runtime/explicit)
+  /// Floating-point value.
+  Value(double v) : payload_(v) {}  // NOLINT(runtime/explicit)
+  /// String value.
+  Value(std::string v)  // NOLINT(runtime/explicit)
+      : payload_(std::move(v)) {}
+  /// String value from a literal.
+  Value(const char* v) : payload_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the value must hold the requested type.
+  int64_t AsInt64() const;
+  double AsFloat64() const;
+  const std::string& AsString() const;
+
+  /// Stable 64-bit hash (used by the join hash tables).
+  uint64_t Hash() const;
+
+  /// Approximate in-memory footprint in bytes (for state accounting).
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+  /// Three-way comparison; both values must have the same type unless one
+  /// is null (null sorts first).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> payload_;
+};
+
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+inline bool operator>(const Value& a, const Value& b) { return b < a; }
+inline bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+inline bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+/// Hash functor for use with unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TUPLE_VALUE_H_

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/auction.h"
+
+namespace pjoin {
+namespace {
+
+AuctionSpec SmallAuction() {
+  AuctionSpec spec;
+  spec.num_bids = 1000;
+  spec.open_window = 10;
+  spec.close_mean_interarrival_bids = 20.0;
+  return spec;
+}
+
+TEST(AuctionTest, Deterministic) {
+  AuctionStreams a = GenerateAuction(SmallAuction(), 5);
+  AuctionStreams b = GenerateAuction(SmallAuction(), 5);
+  ASSERT_EQ(a.open.size(), b.open.size());
+  ASSERT_EQ(a.bid.size(), b.bid.size());
+  for (size_t i = 0; i < a.bid.size(); ++i) {
+    EXPECT_EQ(a.bid[i].ToString(), b.bid[i].ToString());
+  }
+}
+
+TEST(AuctionTest, OpenStreamHasUniqueItems) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 7);
+  std::set<int64_t> items;
+  for (const StreamElement& e : s.open) {
+    if (!e.is_tuple()) continue;
+    int64_t id = e.tuple().field(0).AsInt64();
+    EXPECT_TRUE(items.insert(id).second) << "duplicate item " << id;
+  }
+  EXPECT_GE(static_cast<int64_t>(items.size()), SmallAuction().open_window);
+}
+
+TEST(AuctionTest, OpenPunctuationFollowsEachItem) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 9);
+  // With key-derived punctuations, each Open tuple is followed by a
+  // punctuation for exactly its item.
+  for (size_t i = 0; i + 1 < s.open.size(); ++i) {
+    if (!s.open[i].is_tuple()) continue;
+    ASSERT_TRUE(s.open[i + 1].is_punctuation());
+    EXPECT_EQ(s.open[i + 1].punctuation().pattern(0).constant(),
+              s.open[i].tuple().field(0));
+  }
+}
+
+TEST(AuctionTest, BidPunctuationsAreSound) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 11);
+  for (size_t i = 0; i < s.bid.size(); ++i) {
+    if (!s.bid[i].is_punctuation()) continue;
+    const Punctuation& p = s.bid[i].punctuation();
+    for (size_t j = i + 1; j < s.bid.size(); ++j) {
+      if (!s.bid[j].is_tuple()) continue;
+      EXPECT_FALSE(p.Matches(s.bid[j].tuple()))
+          << "bid after close of item " << p.ToString();
+    }
+  }
+}
+
+TEST(AuctionTest, FlushClosesEveryOpenedItem) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 13);
+  std::set<int64_t> opened;
+  for (const StreamElement& e : s.open) {
+    if (e.is_tuple()) opened.insert(e.tuple().field(0).AsInt64());
+  }
+  std::set<int64_t> closed;
+  for (const StreamElement& e : s.bid) {
+    if (e.is_punctuation()) {
+      closed.insert(e.punctuation().pattern(0).constant().AsInt64());
+    }
+  }
+  EXPECT_EQ(opened, closed);
+}
+
+TEST(AuctionTest, NoFlushLeavesItemsOpen) {
+  AuctionSpec spec = SmallAuction();
+  spec.flush_at_end = false;
+  AuctionStreams s = GenerateAuction(spec, 13);
+  std::set<int64_t> opened;
+  for (const StreamElement& e : s.open) {
+    if (e.is_tuple()) opened.insert(e.tuple().field(0).AsInt64());
+  }
+  std::set<int64_t> closed;
+  for (const StreamElement& e : s.bid) {
+    if (e.is_punctuation()) {
+      closed.insert(e.punctuation().pattern(0).constant().AsInt64());
+    }
+  }
+  EXPECT_LT(closed.size(), opened.size());
+}
+
+TEST(AuctionTest, BidCountExact) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 17);
+  int64_t bids = 0;
+  for (const StreamElement& e : s.bid) {
+    if (e.is_tuple()) ++bids;
+  }
+  EXPECT_EQ(bids, SmallAuction().num_bids);
+}
+
+TEST(AuctionTest, SchemasAsDocumented) {
+  AuctionStreams s = GenerateAuction(SmallAuction(), 19);
+  EXPECT_EQ(s.open_schema->ToString(),
+            "(item_id:int64, seller:int64, reserve:int64)");
+  EXPECT_EQ(s.bid_schema->ToString(),
+            "(item_id:int64, bidder:int64, increase:float64)");
+}
+
+TEST(AuctionTest, OpenStreamPunctuationsCanBeDisabled) {
+  AuctionSpec spec = SmallAuction();
+  spec.open_stream_punctuations = false;
+  AuctionStreams s = GenerateAuction(spec, 21);
+  for (const StreamElement& e : s.open) {
+    EXPECT_FALSE(e.is_punctuation());
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,216 @@
+// The library's central correctness property (DESIGN.md invariant 1):
+// for any generated punctuated input, SHJ, XJoin (any memory threshold) and
+// PJoin (any purge / propagation configuration) produce exactly the
+// reference nested-loop result multiset — no missing pairs, no duplicates.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "gen/stream_generator.h"
+#include "join/pjoin.h"
+#include "join/shj.h"
+#include "join/xjoin.h"
+#include "storage/file_spill_store.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ReferenceJoinRows;
+using testing::RunJoin;
+
+struct Scenario {
+  int64_t num_tuples;
+  double punct_a;
+  double punct_b;
+  int64_t window;
+  PunctStyle style;
+  uint64_t seed;
+  bool clustered = false;
+  double zipf_s = 0.0;
+};
+
+GeneratedStreams Generate(const Scenario& sc) {
+  DomainSpec d;
+  d.window_size = sc.window;
+  StreamSpec a;
+  a.num_tuples = sc.num_tuples;
+  a.punct_mean_interarrival_tuples = sc.punct_a;
+  a.punct_style = sc.style;
+  a.punct_batch = sc.style == PunctStyle::kConstant ? 1 : 3;
+  a.clustered = sc.clustered;
+  a.zipf_s = sc.zipf_s;
+  StreamSpec b = a;
+  b.punct_mean_interarrival_tuples = sc.punct_b;
+  return GenerateStreams(d, a, b, sc.seed);
+}
+
+class EquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t>> {};
+
+TEST_P(EquivalenceSweep, AllJoinsMatchReference) {
+  const auto [scenario_idx, purge_threshold, memory_threshold] = GetParam();
+  static const Scenario kScenarios[] = {
+      // symmetric, constant punctuations
+      {400, 10, 10, 8, PunctStyle::kConstant, 101},
+      // asymmetric rates
+      {400, 10, 40, 8, PunctStyle::kConstant, 202},
+      // range punctuations
+      {400, 15, 15, 10, PunctStyle::kRange, 303},
+      // enum punctuations, sparse
+      {400, 30, 30, 6, PunctStyle::kEnumList, 404},
+      // clustered (k-constraint) arrival
+      {400, 12, 12, 8, PunctStyle::kConstant, 505, /*clustered=*/true},
+      // Zipf-skewed keys
+      {400, 12, 12, 8, PunctStyle::kConstant, 606, /*clustered=*/false,
+       /*zipf_s=*/1.2},
+  };
+  const Scenario& sc = kScenarios[scenario_idx];
+  GeneratedStreams g = Generate(sc);
+
+  // Reference.
+  SymmetricHashJoin shj(g.schema_a, g.schema_b);
+  auto shj_run = RunJoin(&shj, g.a, g.b);
+  auto reference =
+      ReferenceJoinRows(g.a, g.b, shj.output_schema(), 0, 0);
+  ASSERT_EQ(shj_run.results, reference);
+
+  // XJoin under the same memory threshold.
+  {
+    JoinOptions opts;
+    opts.runtime.memory_threshold_tuples = memory_threshold;
+    XJoin join(g.schema_a, g.schema_b, opts);
+    auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/9000);
+    EXPECT_EQ(run.results, reference) << "XJoin mem=" << memory_threshold;
+  }
+
+  // PJoin across purge thresholds, memory thresholds, both index modes.
+  for (bool eager_index : {false, true}) {
+    JoinOptions opts;
+    opts.runtime.purge_threshold = purge_threshold;
+    opts.runtime.memory_threshold_tuples = memory_threshold;
+    opts.runtime.propagate_count_threshold = 5;
+    opts.eager_index_build = eager_index;
+    PJoin join(g.schema_a, g.schema_b, opts);
+    auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/9000);
+    EXPECT_EQ(run.results, reference)
+        << "PJoin purge=" << purge_threshold << " mem=" << memory_threshold
+        << " eager_index=" << eager_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, EquivalenceSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),  // scenario
+                       ::testing::Values(1, 7, 50),       // purge threshold
+                       ::testing::Values(16, 1000000)));  // memory threshold
+
+TEST(EquivalenceTest, PJoinWithoutOtfDropMatchesReference) {
+  Scenario sc{400, 10, 20, 8, PunctStyle::kConstant, 707};
+  GeneratedStreams g = Generate(sc);
+  JoinOptions opts;
+  opts.drop_on_the_fly = false;
+  opts.runtime.memory_threshold_tuples = 32;
+  PJoin join(g.schema_a, g.schema_b, opts);
+  auto run = RunJoin(&join, g.a, g.b);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
+TEST(EquivalenceTest, PJoinIndexedPurgeMatchesReference) {
+  Scenario sc{400, 8, 8, 8, PunctStyle::kConstant, 808};
+  GeneratedStreams g = Generate(sc);
+  JoinOptions opts;
+  opts.purge_mode = PurgeMode::kIndexed;
+  opts.runtime.memory_threshold_tuples = 24;
+  PJoin join(g.schema_a, g.schema_b, opts);
+  auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/9000);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
+TEST(EquivalenceTest, PJoinWithFileSpillMatchesReference) {
+  Scenario sc{300, 10, 10, 8, PunctStyle::kConstant, 909};
+  GeneratedStreams g = Generate(sc);
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 16;
+  int file_counter = 0;
+  opts.spill_factory = [&file_counter]() -> std::unique_ptr<SpillStore> {
+    auto store = FileSpillStore::Open("/tmp/pjoin_equiv_spill_" +
+                                      std::to_string(file_counter++) +
+                                      ".bin");
+    PJOIN_DCHECK(store.ok());
+    return std::move(store).value();
+  };
+  PJoin join(g.schema_a, g.schema_b, opts);
+  auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/9000);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
+TEST(EquivalenceTest, StringKeyedJoinWithPunctuations) {
+  // Keys are strings; punctuations use constant and range string patterns.
+  SchemaPtr sa = Schema::Make(
+      {{"key", ValueType::kString}, {"a", ValueType::kInt64}});
+  SchemaPtr sb = Schema::Make(
+      {{"key", ValueType::kString}, {"b", ValueType::kInt64}});
+  Rng rng(31337);
+  const char* keys[] = {"alpha", "bravo", "charlie", "delta", "echo"};
+  auto make_stream = [&](const SchemaPtr& schema) {
+    std::vector<StreamElement> out;
+    TimeMicros now = 0;
+    int64_t seq = 0;
+    for (int i = 0; i < 120; ++i) {
+      now += 1000;
+      out.push_back(StreamElement::MakeTuple(
+          Tuple(schema, {Value(std::string(keys[rng.NextBounded(5)])),
+                         Value(static_cast<int64_t>(i))}),
+          now, seq++));
+    }
+    // Punctuate a constant and a range of keys at the end (sound: no
+    // tuples follow).
+    out.push_back(StreamElement::MakePunctuation(
+        Punctuation::ForAttribute(2, 0,
+                                  Pattern::Constant(Value("alpha"))),
+        now, seq++));
+    out.push_back(StreamElement::MakePunctuation(
+        Punctuation::ForAttribute(
+            2, 0, Pattern::Range(Value("bravo"), Value("delta"))),
+        now, seq++));
+    out.push_back(StreamElement::MakeEndOfStream(now, seq++));
+    return out;
+  };
+  auto left = make_stream(sa);
+  auto right = make_stream(sb);
+
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 24;
+  opts.runtime.propagate_count_threshold = 1;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, right, /*stall_gap=*/5000);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(left, right, join.output_schema(), 0, 0));
+  // All keys except "echo" are punctuated on both sides; with the final
+  // propagation, those punctuations must come out.
+  EXPECT_GE(run.punctuations.size(), 2u);
+  EXPECT_GT(join.counters().Get("purged_tuples") +
+                join.counters().Get("disk_purged_tuples"),
+            0);
+}
+
+TEST(EquivalenceTest, HeavySpillTinyMemory) {
+  // Pathological: memory threshold of 2 tuples forces constant relocation.
+  Scenario sc{200, 10, 10, 6, PunctStyle::kConstant, 111};
+  GeneratedStreams g = Generate(sc);
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 2;
+  PJoin join(g.schema_a, g.schema_b, opts);
+  auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/6000);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "join/hash_state.h"
+#include "storage/simulated_disk.h"
+
+namespace pjoin {
+namespace {
+
+SchemaPtr KP() {
+  return Schema::Make({{"key", ValueType::kInt64}, {"p", ValueType::kInt64}});
+}
+
+TupleEntry MakeEntry(const SchemaPtr& s, int64_t key, int64_t payload,
+                     int64_t ats) {
+  TupleEntry e;
+  e.tuple = Tuple(s, {Value(key), Value(payload)});
+  e.ats = ats;
+  return e;
+}
+
+class HashStateTest : public ::testing::Test {
+ protected:
+  HashStateTest()
+      : schema_(KP()),
+        state_("test", schema_, 0, 4, std::make_unique<SimulatedDisk>()) {}
+
+  SchemaPtr schema_;
+  HashState state_;
+};
+
+TEST_F(HashStateTest, InsertAndAccounting) {
+  EXPECT_EQ(state_.memory_tuples(), 0);
+  state_.InsertMemory(MakeEntry(schema_, 1, 10, 1));
+  state_.InsertMemory(MakeEntry(schema_, 2, 20, 2));
+  EXPECT_EQ(state_.memory_tuples(), 2);
+  EXPECT_EQ(state_.total_tuples(), 2);
+  EXPECT_EQ(state_.disk_tuples(), 0);
+}
+
+TEST_F(HashStateTest, PartitionOfIsStableAndAligned) {
+  const Value key(int64_t{7});
+  EXPECT_EQ(state_.PartitionOf(key), state_.PartitionOf(key));
+  EXPECT_LT(state_.PartitionOf(key), state_.num_partitions());
+  EXPECT_GE(state_.PartitionOf(key), 0);
+}
+
+TEST_F(HashStateTest, InsertGoesToKeyPartition) {
+  state_.InsertMemory(MakeEntry(schema_, 5, 0, 1));
+  const int p = state_.PartitionOf(Value(int64_t{5}));
+  ASSERT_EQ(state_.memory(p).size(), 1u);
+  EXPECT_EQ(state_.KeyOf(state_.memory(p)[0].tuple).AsInt64(), 5);
+}
+
+TEST_F(HashStateTest, ExtractMemoryMatching) {
+  for (int64_t i = 0; i < 10; ++i) {
+    state_.InsertMemory(MakeEntry(schema_, 1, i, i));
+  }
+  const int p = state_.PartitionOf(Value(int64_t{1}));
+  auto extracted = state_.ExtractMemoryMatching(p, [](const TupleEntry& e) {
+    return e.tuple.field(1).AsInt64() % 2 == 0;
+  });
+  EXPECT_EQ(extracted.size(), 5u);
+  EXPECT_EQ(state_.memory_tuples(), 5);
+  // Kept entries preserve arrival order.
+  const auto& mem = state_.memory(p);
+  for (size_t i = 1; i < mem.size(); ++i) {
+    EXPECT_LT(mem[i - 1].ats, mem[i].ats);
+  }
+}
+
+TEST_F(HashStateTest, LargestMemoryPartition) {
+  EXPECT_EQ(state_.LargestMemoryPartition(), -1);
+  // Put 3 entries of one key, 1 of another.
+  state_.InsertMemory(MakeEntry(schema_, 1, 0, 1));
+  state_.InsertMemory(MakeEntry(schema_, 1, 1, 2));
+  state_.InsertMemory(MakeEntry(schema_, 1, 2, 3));
+  state_.InsertMemory(MakeEntry(schema_, 2, 0, 4));
+  const int largest = state_.LargestMemoryPartition();
+  EXPECT_EQ(largest, state_.PartitionOf(Value(int64_t{1})));
+}
+
+TEST_F(HashStateTest, FlushReadRoundtrip) {
+  state_.InsertMemory(MakeEntry(schema_, 1, 10, 1));
+  state_.InsertMemory(MakeEntry(schema_, 1, 11, 2));
+  const int p = state_.PartitionOf(Value(int64_t{1}));
+  ASSERT_TRUE(state_.FlushPartitionToDisk(p, 5).ok());
+  EXPECT_EQ(state_.memory_tuples(), 0);
+  EXPECT_EQ(state_.disk_tuples(), 2);
+  EXPECT_EQ(state_.disk_tuples(p), 2);
+  EXPECT_EQ(state_.total_tuples(), 2);
+  EXPECT_TRUE(state_.has_unindexed_disk());  // flushed pid-null entries
+
+  auto entries = state_.ReadDiskPartition(p);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].dts, 5);
+  EXPECT_EQ((*entries)[0].tuple.field(1).AsInt64(), 10);
+  EXPECT_EQ((*entries)[1].tuple.field(1).AsInt64(), 11);
+}
+
+TEST_F(HashStateTest, FlushEmptyPartitionIsNoop) {
+  ASSERT_TRUE(state_.FlushPartitionToDisk(0, 5).ok());
+  EXPECT_EQ(state_.disk_tuples(), 0);
+  EXPECT_FALSE(state_.has_unindexed_disk());
+}
+
+TEST_F(HashStateTest, FlushIndexedEntriesDoesNotMarkUnindexed) {
+  TupleEntry e = MakeEntry(schema_, 1, 10, 1);
+  e.pid = 3;
+  const int p = state_.PartitionOf(Value(int64_t{1}));
+  state_.InsertMemory(std::move(e));
+  ASSERT_TRUE(state_.FlushPartitionToDisk(p, 5).ok());
+  EXPECT_FALSE(state_.has_unindexed_disk());
+}
+
+TEST_F(HashStateTest, RewriteDiskPartition) {
+  state_.InsertMemory(MakeEntry(schema_, 1, 10, 1));
+  state_.InsertMemory(MakeEntry(schema_, 1, 11, 2));
+  const int p = state_.PartitionOf(Value(int64_t{1}));
+  ASSERT_TRUE(state_.FlushPartitionToDisk(p, 5).ok());
+  auto entries = state_.ReadDiskPartition(p);
+  ASSERT_TRUE(entries.ok());
+  std::vector<TupleEntry> survivors = {std::move((*entries)[1])};
+  ASSERT_TRUE(state_.RewriteDiskPartition(p, survivors).ok());
+  EXPECT_EQ(state_.disk_tuples(p), 1);
+  auto again = state_.ReadDiskPartition(p);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 1u);
+  EXPECT_EQ((*again)[0].tuple.field(1).AsInt64(), 11);
+  // Rewrite to empty clears.
+  ASSERT_TRUE(state_.RewriteDiskPartition(p, {}).ok());
+  EXPECT_EQ(state_.disk_tuples(), 0);
+}
+
+TEST_F(HashStateTest, PurgeBufferLifecycle) {
+  TupleEntry e = MakeEntry(schema_, 1, 10, 1);
+  e.dts = 2;
+  state_.AddToPurgeBuffer(0, std::move(e));
+  EXPECT_EQ(state_.purge_buffer_tuples(), 1);
+  EXPECT_EQ(state_.total_tuples(), 1);
+  EXPECT_EQ(state_.purge_buffer(0).size(), 1u);
+  auto taken = state_.TakePurgeBuffer(0);
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_EQ(state_.purge_buffer_tuples(), 0);
+  EXPECT_TRUE(state_.purge_buffer(0).empty());
+}
+
+TEST_F(HashStateTest, MemoryBytesAccounting) {
+  EXPECT_EQ(state_.memory_bytes(), 0);
+  state_.InsertMemory(MakeEntry(schema_, 1, 10, 1));
+  state_.InsertMemory(MakeEntry(schema_, 2, 20, 2));
+  const int64_t two = state_.memory_bytes();
+  EXPECT_GT(two, 0);
+  // Flush removes the bytes of the flushed partition.
+  const int p = state_.PartitionOf(Value(int64_t{1}));
+  ASSERT_TRUE(state_.FlushPartitionToDisk(p, 5).ok());
+  EXPECT_LT(state_.memory_bytes(), two);
+  // Extraction removes the rest.
+  const int p2 = state_.PartitionOf(Value(int64_t{2}));
+  state_.ExtractMemoryMatching(p2, [](const TupleEntry&) { return true; });
+  EXPECT_EQ(state_.memory_bytes(), 0);
+}
+
+TEST_F(HashStateTest, DescribeStateListsOccupiedPartitions) {
+  state_.InsertMemory(MakeEntry(schema_, 1, 10, 1));
+  TupleEntry buffered = MakeEntry(schema_, 2, 0, 2);
+  buffered.dts = 3;
+  state_.AddToPurgeBuffer(0, std::move(buffered));
+  const std::string desc = state_.DescribeState();
+  EXPECT_NE(desc.find("test state: 1 mem"), std::string::npos);
+  EXPECT_NE(desc.find("partition"), std::string::npos);
+  EXPECT_NE(desc.find("buffered=1"), std::string::npos);
+}
+
+TEST_F(HashStateTest, ProbeHistory) {
+  EXPECT_TRUE(state_.probe_times(1).empty());
+  state_.RecordProbe(1, 42);
+  state_.RecordProbe(1, 50);
+  EXPECT_EQ(state_.probe_times(1), (std::vector<int64_t>{42, 50}));
+  EXPECT_TRUE(state_.probe_times(2).empty());
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nary/nary_pjoin.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+
+class NaryPJoinTest : public ::testing::Test {
+ protected:
+  NaryPJoinTest() {
+    schemas_ = {KeyPayloadSchema("a"), KeyPayloadSchema("b"),
+                KeyPayloadSchema("c")};
+  }
+
+  std::unique_ptr<NaryPJoin> MakeJoin(NaryJoinOptions opts = {}) {
+    if (opts.key_indexes.empty()) opts.key_indexes = {0, 0, 0};
+    return std::make_unique<NaryPJoin>(schemas_, std::move(opts));
+  }
+
+  StreamElement Tup(int stream, int64_t key, int64_t payload,
+                    TimeMicros at = 0) {
+    return StreamElement::MakeTuple(
+        KP(schemas_[static_cast<size_t>(stream)], key, payload), at, 0);
+  }
+
+  std::vector<SchemaPtr> schemas_;
+};
+
+TEST_F(NaryPJoinTest, ThreeWayJoinProducesAllCombinations) {
+  auto join = MakeJoin();
+  int64_t results = 0;
+  join->set_result_callback([&results](const Tuple& t) {
+    ++results;
+    EXPECT_EQ(t.num_fields(), 6u);
+    // All three key columns equal.
+    EXPECT_EQ(t.field(0), t.field(2));
+    EXPECT_EQ(t.field(0), t.field(4));
+  });
+  // 2 x 3 x 2 tuples with key 7 -> 12 results.
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 7, 1)).ok());
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 7, 2)).ok());
+  ASSERT_TRUE(join->OnElement(1, Tup(1, 7, 3)).ok());
+  ASSERT_TRUE(join->OnElement(1, Tup(1, 7, 4)).ok());
+  ASSERT_TRUE(join->OnElement(1, Tup(1, 7, 5)).ok());
+  ASSERT_TRUE(join->OnElement(2, Tup(2, 7, 6)).ok());
+  ASSERT_TRUE(join->OnElement(2, Tup(2, 7, 7)).ok());
+  EXPECT_EQ(results, 12);
+  EXPECT_EQ(join->results_emitted(), 12);
+}
+
+TEST_F(NaryPJoinTest, NoResultWithoutAllStreams) {
+  auto join = MakeJoin();
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 1, 0)).ok());
+  ASSERT_TRUE(join->OnElement(1, Tup(1, 1, 0)).ok());
+  // Stream 2 never delivers key 1.
+  ASSERT_TRUE(join->OnElement(2, Tup(2, 9, 0)).ok());
+  EXPECT_EQ(join->results_emitted(), 0);
+}
+
+TEST_F(NaryPJoinTest, MatchesBruteForceOnRandomInput) {
+  auto join = MakeJoin();
+  std::vector<std::vector<int64_t>> keys(3);
+  Rng rng(55);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 30; ++i) {
+      keys[static_cast<size_t>(s)].push_back(
+          static_cast<int64_t>(rng.NextBounded(6)));
+    }
+  }
+  // Feed round-robin.
+  for (int i = 0; i < 30; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      ASSERT_TRUE(
+          join->OnElement(s, Tup(s, keys[static_cast<size_t>(s)]
+                                        [static_cast<size_t>(i)],
+                                 i))
+              .ok());
+    }
+  }
+  int64_t expected = 0;
+  for (int64_t ka : keys[0]) {
+    for (int64_t kb : keys[1]) {
+      for (int64_t kc : keys[2]) {
+        if (ka == kb && kb == kc) ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(join->results_emitted(), expected);
+}
+
+TEST_F(NaryPJoinTest, PurgeRequiresCoverageByAllOtherStreams) {
+  auto join = MakeJoin();
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 1, 0)).ok());
+  EXPECT_EQ(join->state_tuples(0), 1);
+  // Punct from stream 1 alone cannot purge stream 0 (stream 2 may still
+  // deliver key 1, requiring the stream-0 tuple).
+  ASSERT_TRUE(join->OnElement(1, StreamElement::MakePunctuation(
+                                     KeyPunct(1), 10))
+                  .ok());
+  EXPECT_EQ(join->state_tuples(0), 1);
+  // Once stream 2 also punctuates key 1, the stream-0 tuple is unreachable.
+  ASSERT_TRUE(join->OnElement(2, StreamElement::MakePunctuation(
+                                     KeyPunct(1), 20))
+                  .ok());
+  EXPECT_EQ(join->state_tuples(0), 0);
+  EXPECT_GT(join->counters().Get("purged_tuples"), 0);
+}
+
+TEST_F(NaryPJoinTest, OnTheFlyDropWhenCoveredByAllOthers) {
+  auto join = MakeJoin();
+  ASSERT_TRUE(join->OnElement(1, StreamElement::MakePunctuation(
+                                     KeyPunct(5), 0))
+                  .ok());
+  ASSERT_TRUE(join->OnElement(2, StreamElement::MakePunctuation(
+                                     KeyPunct(5), 1))
+                  .ok());
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 5, 0, 2)).ok());
+  EXPECT_EQ(join->state_tuples(0), 0);
+  EXPECT_EQ(join->counters().Get("otf_drops"), 1);
+}
+
+TEST_F(NaryPJoinTest, PropagatesWhenOwnStateDrains) {
+  auto join = MakeJoin();
+  std::vector<Punctuation> puncts;
+  join->set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+  // Stream 0 punctuates a key it never sent: propagable at once.
+  ASSERT_TRUE(join->OnElement(0, StreamElement::MakePunctuation(
+                                     KeyPunct(3), 0))
+                  .ok());
+  ASSERT_EQ(puncts.size(), 1u);
+  // Key pattern lands on every stream's key column of the output schema.
+  EXPECT_EQ(puncts[0].pattern(0), Pattern::Constant(Value(int64_t{3})));
+  EXPECT_EQ(puncts[0].pattern(2), Pattern::Constant(Value(int64_t{3})));
+  EXPECT_EQ(puncts[0].pattern(4), Pattern::Constant(Value(int64_t{3})));
+}
+
+TEST_F(NaryPJoinTest, PropagationBlockedByOwnTuples) {
+  auto join = MakeJoin();
+  std::vector<Punctuation> puncts;
+  join->set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 3, 0)).ok());
+  ASSERT_TRUE(join->OnElement(0, StreamElement::MakePunctuation(
+                                     KeyPunct(3), 10))
+                  .ok());
+  EXPECT_TRUE(puncts.empty());
+}
+
+TEST_F(NaryPJoinTest, OutputSchemaDisambiguatesNames) {
+  auto join = MakeJoin();
+  const SchemaPtr& out = join->output_schema();
+  ASSERT_EQ(out->num_fields(), 6u);
+  EXPECT_EQ(out->field(0).name, "key");
+  EXPECT_EQ(out->field(2).name, "key_s1");
+  EXPECT_EQ(out->field(4).name, "key_s2");
+}
+
+TEST_F(NaryPJoinTest, EndOfStreamFinishPropagates) {
+  auto join = MakeJoin();
+  std::vector<Punctuation> puncts;
+  join->set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+  ASSERT_TRUE(join->OnElement(0, Tup(0, 3, 0)).ok());
+  ASSERT_TRUE(join->OnElement(0, StreamElement::MakePunctuation(
+                                     KeyPunct(3), 10))
+                  .ok());
+  // Streams 1 and 2 punctuate key 3 -> stream 0 tuple purged.
+  ASSERT_TRUE(join->OnElement(1, StreamElement::MakePunctuation(
+                                     KeyPunct(3), 20))
+                  .ok());
+  ASSERT_TRUE(join->OnElement(2, StreamElement::MakePunctuation(
+                                     KeyPunct(3), 30))
+                  .ok());
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(join->OnElement(s, StreamElement::MakeEndOfStream(40)).ok());
+  }
+  // All three streams' punctuations for key 3 eventually propagate.
+  EXPECT_EQ(puncts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pjoin

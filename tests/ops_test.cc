@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ops/filter.h"
+#include "ops/groupby.h"
+#include "ops/project.h"
+#include "ops/sink.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+
+TEST(GroupByTest, OutputSchemaPerAggKind) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0,
+             {{AggKind::kSum, 1, "total"},
+              {AggKind::kCount, 0, "n"},
+              {AggKind::kAvg, 1, "mean"},
+              {AggKind::kMin, 1, "lo"},
+              {AggKind::kMax, 1, "hi"}});
+  EXPECT_EQ(gb.output_schema()->ToString(),
+            "(key:int64, total:float64, n:int64, mean:float64, lo:int64, "
+            "hi:int64)");
+}
+
+TEST(GroupByTest, AggregatesPerGroup) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0,
+             {{AggKind::kSum, 1, "total"},
+              {AggKind::kCount, 0, "n"},
+              {AggKind::kAvg, 1, "mean"},
+              {AggKind::kMin, 1, "lo"},
+              {AggKind::kMax, 1, "hi"}});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(gb.OnTuple(KP(s, 1, 10), 0).ok());
+  ASSERT_TRUE(gb.OnTuple(KP(s, 1, 30), 0).ok());
+  ASSERT_TRUE(gb.OnTuple(KP(s, 2, 5), 0).ok());
+  EXPECT_EQ(gb.open_groups(), 2);
+  ASSERT_TRUE(gb.OnEndOfStream().ok());
+  ASSERT_EQ(sink.tuples().size(), 2u);
+  const Tuple& g1 = sink.tuples()[0];
+  EXPECT_EQ(g1.field("key").AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(g1.field("total").AsFloat64(), 40.0);
+  EXPECT_EQ(g1.field("n").AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(g1.field("mean").AsFloat64(), 20.0);
+  EXPECT_EQ(g1.field("lo").AsInt64(), 10);
+  EXPECT_EQ(g1.field("hi").AsInt64(), 30);
+  EXPECT_TRUE(sink.saw_end_of_stream());
+  EXPECT_EQ(gb.open_groups(), 0);
+}
+
+TEST(GroupByTest, PunctuationClosesGroupEarly) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0, {{AggKind::kSum, 1, "total"}});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(gb.OnTuple(KP(s, 1, 10), 0).ok());
+  ASSERT_TRUE(gb.OnTuple(KP(s, 2, 20), 0).ok());
+  ASSERT_TRUE(gb.OnPunctuation(KeyPunct(1), 100).ok());
+  // Group 1 emitted immediately (the paper's partial-result motivation),
+  // group 2 still open.
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(sink.tuples()[0].field("key").AsInt64(), 1);
+  EXPECT_EQ(gb.open_groups(), 1);
+  // The punctuation is forwarded on the output schema.
+  ASSERT_EQ(sink.punctuations().size(), 1u);
+  EXPECT_EQ(sink.punctuations()[0].pattern(0),
+            Pattern::Constant(Value(int64_t{1})));
+}
+
+TEST(GroupByTest, RangePunctuationClosesManyGroups) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0, {{AggKind::kCount, 0, "n"}});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(gb.OnTuple(KP(s, k, k), 0).ok());
+  }
+  ASSERT_TRUE(gb.OnPunctuation(
+                    Punctuation::ForAttribute(
+                        2, 0,
+                        Pattern::Range(Value(int64_t{0}), Value(int64_t{4}))),
+                    0)
+                  .ok());
+  EXPECT_EQ(sink.tuples().size(), 5u);
+  EXPECT_EQ(gb.open_groups(), 5);
+}
+
+TEST(GroupByTest, NonGroupAttributePunctuationIsUnusable) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0, {{AggKind::kSum, 1, "total"}});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(gb.OnTuple(KP(s, 1, 10), 0).ok());
+  // Punctuation on the payload attribute cannot close key groups.
+  ASSERT_TRUE(gb.OnPunctuation(
+                    Punctuation::ForAttribute(
+                        2, 1, Pattern::Constant(Value(int64_t{10}))),
+                    0)
+                  .ok());
+  EXPECT_TRUE(sink.tuples().empty());
+  EXPECT_EQ(gb.open_groups(), 1);
+  EXPECT_EQ(gb.counters().Get("puncts_unusable"), 1);
+}
+
+TEST(GroupByTest, PunctuationForEmptyGroupEmitsNothingButForwards) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  GroupBy gb(s, 0, {{AggKind::kSum, 1, "total"}});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(gb.OnPunctuation(KeyPunct(77), 0).ok());
+  EXPECT_TRUE(sink.tuples().empty());
+  EXPECT_EQ(sink.punctuations().size(), 1u);
+}
+
+TEST(GroupByTest, PartialResultsPlusFinalEqualsFullAggregate) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  // Run once with punctuations interleaved, once without; the union of
+  // emitted groups must be identical.
+  std::vector<std::pair<int64_t, int64_t>> data = {
+      {1, 5}, {2, 6}, {1, 7}, {3, 8}, {2, 9}, {3, 1}, {4, 2}};
+  auto run = [&](bool with_puncts) {
+    GroupBy gb(s, 0, {{AggKind::kSum, 1, "total"}, {AggKind::kCount, 0, "n"}});
+    CollectorSink sink;
+    gb.set_downstream(&sink);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_TRUE(gb.OnTuple(KP(s, data[i].first, data[i].second), 0).ok());
+      if (with_puncts && i == 4) {
+        // Keys 1 and 2 are complete at this point.
+        EXPECT_TRUE(gb.OnPunctuation(KeyPunct(1), 0).ok());
+        EXPECT_TRUE(gb.OnPunctuation(KeyPunct(2), 0).ok());
+      }
+    }
+    EXPECT_TRUE(gb.OnEndOfStream().ok());
+    std::vector<std::string> rows;
+    for (const Tuple& t : sink.tuples()) rows.push_back(t.ToString());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(GroupByTest, AliasPunctuationClosesGroup) {
+  // Schema mimics a join output: (key, v, key_r) with key_r == key always.
+  SchemaPtr s = Schema::Make({{"key", ValueType::kInt64},
+                              {"v", ValueType::kInt64},
+                              {"key_r", ValueType::kInt64}});
+  GroupBy gb(s, 0, {{AggKind::kCount, 0, "n"}}, /*group_aliases=*/{2});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(
+      gb.OnTuple(Tuple(s, {Value(int64_t{1}), Value(int64_t{5}),
+                           Value(int64_t{1})}),
+                 0)
+          .ok());
+  // Punctuation constraining only the alias column.
+  ASSERT_TRUE(gb.OnPunctuation(
+                    Punctuation::ForAttribute(
+                        3, 2, Pattern::Constant(Value(int64_t{1}))),
+                    0)
+                  .ok());
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(sink.tuples()[0].field(0).AsInt64(), 1);
+  EXPECT_EQ(gb.open_groups(), 0);
+}
+
+TEST(GroupByTest, AliasAndGroupPatternsIntersect) {
+  SchemaPtr s = Schema::Make({{"key", ValueType::kInt64},
+                              {"v", ValueType::kInt64},
+                              {"key_r", ValueType::kInt64}});
+  GroupBy gb(s, 0, {{AggKind::kCount, 0, "n"}}, /*group_aliases=*/{2});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(
+        gb.OnTuple(Tuple(s, {Value(k), Value(k), Value(k)}), 0).ok());
+  }
+  // [0..6] on the group column AND [4..9] on the alias: effective [4..6].
+  Punctuation p({Pattern::Range(Value(int64_t{0}), Value(int64_t{6})),
+                 Pattern::Wildcard(),
+                 Pattern::Range(Value(int64_t{4}), Value(int64_t{9}))});
+  ASSERT_TRUE(gb.OnPunctuation(p, 0).ok());
+  EXPECT_EQ(sink.tuples().size(), 3u);  // groups 4, 5, 6
+  EXPECT_EQ(gb.open_groups(), 7);
+}
+
+TEST(GroupByTest, NonAliasConstraintStillUnusable) {
+  SchemaPtr s = Schema::Make({{"key", ValueType::kInt64},
+                              {"v", ValueType::kInt64},
+                              {"key_r", ValueType::kInt64}});
+  GroupBy gb(s, 0, {{AggKind::kCount, 0, "n"}}, /*group_aliases=*/{2});
+  CollectorSink sink;
+  gb.set_downstream(&sink);
+  ASSERT_TRUE(
+      gb.OnTuple(Tuple(s, {Value(int64_t{1}), Value(int64_t{5}),
+                           Value(int64_t{1})}),
+                 0)
+          .ok());
+  // Constrains the middle (non-alias) column: cannot close groups.
+  Punctuation p({Pattern::Constant(Value(int64_t{1})),
+                 Pattern::Constant(Value(int64_t{5})),
+                 Pattern::Wildcard()});
+  ASSERT_TRUE(gb.OnPunctuation(p, 0).ok());
+  EXPECT_TRUE(sink.tuples().empty());
+  EXPECT_EQ(gb.counters().Get("puncts_unusable"), 1);
+}
+
+TEST(FilterTest, PassesAndDrops) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  Filter filter([](const Tuple& t) { return t.field(0).AsInt64() % 2 == 0; });
+  CollectorSink sink;
+  filter.set_downstream(&sink);
+  for (int64_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(filter.OnTuple(KP(s, k, 0), 0).ok());
+  }
+  EXPECT_EQ(filter.passed(), 3);
+  EXPECT_EQ(filter.dropped(), 3);
+  EXPECT_EQ(sink.tuples().size(), 3u);
+}
+
+TEST(FilterTest, PunctuationsPassThrough) {
+  Filter filter([](const Tuple&) { return false; });
+  CollectorSink sink;
+  filter.set_downstream(&sink);
+  ASSERT_TRUE(filter.OnPunctuation(KeyPunct(1), 0).ok());
+  EXPECT_EQ(sink.punctuations().size(), 1u);
+}
+
+TEST(ProjectTest, SelectsAndReordersColumns) {
+  SchemaPtr s = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64},
+                              {"c", ValueType::kInt64}});
+  Project proj(s, {2, 0});
+  EXPECT_EQ(proj.output_schema()->ToString(), "(c:int64, a:int64)");
+  CollectorSink sink;
+  proj.set_downstream(&sink);
+  ASSERT_TRUE(proj.OnTuple(Tuple(s, {Value(int64_t{1}), Value(int64_t{2}),
+                                     Value(int64_t{3})}),
+                           0)
+                  .ok());
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(sink.tuples()[0].field(0).AsInt64(), 3);
+  EXPECT_EQ(sink.tuples()[0].field(1).AsInt64(), 1);
+}
+
+TEST(ProjectTest, ProjectsPunctuationOnKeptColumns) {
+  SchemaPtr s = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64}});
+  Project proj(s, {0});
+  CollectorSink sink;
+  proj.set_downstream(&sink);
+  ASSERT_TRUE(proj.OnPunctuation(
+                      Punctuation::ForAttribute(
+                          2, 0, Pattern::Constant(Value(int64_t{5}))),
+                      0)
+                  .ok());
+  ASSERT_EQ(sink.punctuations().size(), 1u);
+  EXPECT_EQ(sink.punctuations()[0].num_patterns(), 1u);
+  EXPECT_EQ(sink.punctuations()[0].pattern(0),
+            Pattern::Constant(Value(int64_t{5})));
+}
+
+TEST(ProjectTest, DropsPunctuationConstrainingRemovedColumn) {
+  SchemaPtr s = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64}});
+  Project proj(s, {0});
+  CollectorSink sink;
+  proj.set_downstream(&sink);
+  // <a=5, b=3> does not imply <a=5>: must not be forwarded.
+  Punctuation p({Pattern::Constant(Value(int64_t{5})),
+                 Pattern::Constant(Value(int64_t{3}))});
+  ASSERT_TRUE(proj.OnPunctuation(p, 0).ok());
+  EXPECT_TRUE(sink.punctuations().empty());
+}
+
+TEST(ProjectTest, DropsAllWildcardProjection) {
+  SchemaPtr s = Schema::Make({{"a", ValueType::kInt64},
+                              {"b", ValueType::kInt64}});
+  Project proj(s, {1});
+  CollectorSink sink;
+  proj.set_downstream(&sink);
+  // Punctuation on only dropped column "a"... constrains a -> dropped.
+  ASSERT_TRUE(proj.OnPunctuation(
+                      Punctuation::ForAttribute(
+                          2, 0, Pattern::Constant(Value(int64_t{5}))),
+                      0)
+                  .ok());
+  EXPECT_TRUE(sink.punctuations().empty());
+}
+
+TEST(SinkTest, CountingSinkCounts) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  CountingSink sink;
+  ASSERT_TRUE(sink.OnTuple(KP(s, 1, 1), 0).ok());
+  ASSERT_TRUE(sink.OnTuple(KP(s, 2, 2), 0).ok());
+  ASSERT_TRUE(sink.OnPunctuation(KeyPunct(1), 0).ok());
+  ASSERT_TRUE(sink.OnEndOfStream().ok());
+  EXPECT_EQ(sink.tuple_count(), 2);
+  EXPECT_EQ(sink.punct_count(), 1);
+  EXPECT_TRUE(sink.saw_end_of_stream());
+}
+
+TEST(SinkTest, CallbackSinkInvokes) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  int tuples = 0;
+  int puncts = 0;
+  CallbackSink sink([&tuples](const Tuple&, TimeMicros) { ++tuples; },
+                    [&puncts](const Punctuation&, TimeMicros) { ++puncts; });
+  ASSERT_TRUE(sink.OnTuple(KP(s, 1, 1), 0).ok());
+  ASSERT_TRUE(sink.OnPunctuation(KeyPunct(1), 0).ok());
+  EXPECT_EQ(tuples, 1);
+  EXPECT_EQ(puncts, 1);
+}
+
+TEST(OperatorTest, ChainForwardsThroughMultipleStages) {
+  SchemaPtr s = KeyPayloadSchema("v");
+  Filter f1([](const Tuple& t) { return t.field(0).AsInt64() > 0; });
+  Project p1(s, {0});
+  CollectorSink sink;
+  f1.set_downstream(&p1);
+  p1.set_downstream(&sink);
+  ASSERT_TRUE(f1.OnTuple(KP(s, 5, 50), 0).ok());
+  ASSERT_TRUE(f1.OnTuple(KP(s, 0, 60), 0).ok());
+  ASSERT_TRUE(f1.OnEndOfStream().ok());
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(sink.tuples()[0].num_fields(), 1u);
+  EXPECT_TRUE(sink.saw_end_of_stream());
+}
+
+}  // namespace
+}  // namespace pjoin

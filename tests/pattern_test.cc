@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "punct/pattern.h"
+
+namespace pjoin {
+namespace {
+
+Value V(int64_t x) { return Value(x); }
+
+TEST(PatternTest, WildcardMatchesEverything) {
+  Pattern p = Pattern::Wildcard();
+  EXPECT_TRUE(p.IsWildcard());
+  EXPECT_TRUE(p.Matches(V(0)));
+  EXPECT_TRUE(p.Matches(Value("s")));
+  EXPECT_TRUE(p.Matches(Value()));
+  EXPECT_EQ(p.ToString(), "*");
+}
+
+TEST(PatternTest, ConstantMatchesExactly) {
+  Pattern p = Pattern::Constant(V(5));
+  EXPECT_TRUE(p.IsConstant());
+  EXPECT_TRUE(p.Matches(V(5)));
+  EXPECT_FALSE(p.Matches(V(6)));
+  EXPECT_EQ(p.constant(), V(5));
+}
+
+TEST(PatternTest, RangeIsClosedInterval) {
+  Pattern p = Pattern::Range(V(2), V(5));
+  EXPECT_EQ(p.kind(), PatternKind::kRange);
+  EXPECT_FALSE(p.Matches(V(1)));
+  EXPECT_TRUE(p.Matches(V(2)));
+  EXPECT_TRUE(p.Matches(V(4)));
+  EXPECT_TRUE(p.Matches(V(5)));
+  EXPECT_FALSE(p.Matches(V(6)));
+  EXPECT_EQ(p.ToString(), "[2, 5]");
+}
+
+TEST(PatternTest, EnumListMatchesMembers) {
+  Pattern p = Pattern::EnumList({V(7), V(3), V(5)});
+  EXPECT_EQ(p.kind(), PatternKind::kEnumList);
+  EXPECT_TRUE(p.Matches(V(3)));
+  EXPECT_TRUE(p.Matches(V(5)));
+  EXPECT_TRUE(p.Matches(V(7)));
+  EXPECT_FALSE(p.Matches(V(4)));
+  // Members come out sorted.
+  EXPECT_EQ(p.members()[0], V(3));
+  EXPECT_EQ(p.members()[2], V(7));
+}
+
+TEST(PatternTest, EmptyMatchesNothing) {
+  Pattern p = Pattern::Empty();
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_FALSE(p.Matches(V(0)));
+}
+
+TEST(PatternTest, CanonicalizationRules) {
+  // Inverted range -> empty.
+  EXPECT_TRUE(Pattern::Range(V(5), V(2)).IsEmpty());
+  // Degenerate range -> constant.
+  EXPECT_EQ(Pattern::Range(V(3), V(3)), Pattern::Constant(V(3)));
+  // Empty enum -> empty.
+  EXPECT_TRUE(Pattern::EnumList({}).IsEmpty());
+  // Singleton enum -> constant.
+  EXPECT_EQ(Pattern::EnumList({V(4)}), Pattern::Constant(V(4)));
+  // Duplicate members collapse.
+  EXPECT_EQ(Pattern::EnumList({V(1), V(1)}), Pattern::Constant(V(1)));
+}
+
+TEST(PatternTest, StringPatterns) {
+  Pattern c = Pattern::Constant(Value("ab"));
+  EXPECT_TRUE(c.Matches(Value("ab")));
+  EXPECT_FALSE(c.Matches(Value("ac")));
+  Pattern r = Pattern::Range(Value("b"), Value("d"));
+  EXPECT_TRUE(r.Matches(Value("c")));
+  EXPECT_FALSE(r.Matches(Value("a")));
+}
+
+TEST(PatternAndTest, WildcardIsIdentity) {
+  Pattern r = Pattern::Range(V(1), V(5));
+  EXPECT_EQ(Pattern::And(Pattern::Wildcard(), r), r);
+  EXPECT_EQ(Pattern::And(r, Pattern::Wildcard()), r);
+}
+
+TEST(PatternAndTest, EmptyAnnihilates) {
+  Pattern r = Pattern::Range(V(1), V(5));
+  EXPECT_TRUE(Pattern::And(Pattern::Empty(), r).IsEmpty());
+  EXPECT_TRUE(Pattern::And(r, Pattern::Empty()).IsEmpty());
+}
+
+TEST(PatternAndTest, ConstantMembership) {
+  Pattern c = Pattern::Constant(V(3));
+  EXPECT_EQ(Pattern::And(c, Pattern::Range(V(1), V(5))), c);
+  EXPECT_TRUE(Pattern::And(c, Pattern::Range(V(4), V(5))).IsEmpty());
+  EXPECT_EQ(Pattern::And(c, Pattern::EnumList({V(3), V(9)})), c);
+  EXPECT_TRUE(Pattern::And(c, Pattern::Constant(V(4))).IsEmpty());
+  EXPECT_EQ(Pattern::And(c, Pattern::Constant(V(3))), c);
+}
+
+TEST(PatternAndTest, RangeIntersection) {
+  Pattern a = Pattern::Range(V(1), V(10));
+  Pattern b = Pattern::Range(V(5), V(20));
+  EXPECT_EQ(Pattern::And(a, b), Pattern::Range(V(5), V(10)));
+  EXPECT_TRUE(
+      Pattern::And(Pattern::Range(V(1), V(2)), Pattern::Range(V(3), V(4)))
+          .IsEmpty());
+  // Touching ranges intersect in a single point -> constant.
+  EXPECT_EQ(
+      Pattern::And(Pattern::Range(V(1), V(5)), Pattern::Range(V(5), V(9))),
+      Pattern::Constant(V(5)));
+}
+
+TEST(PatternAndTest, EnumFiltering) {
+  Pattern e = Pattern::EnumList({V(1), V(3), V(5), V(7)});
+  EXPECT_EQ(Pattern::And(e, Pattern::Range(V(2), V(6))),
+            Pattern::EnumList({V(3), V(5)}));
+  EXPECT_EQ(Pattern::And(e, Pattern::EnumList({V(5), V(7), V(9)})),
+            Pattern::EnumList({V(5), V(7)}));
+  EXPECT_TRUE(Pattern::And(e, Pattern::EnumList({V(2), V(4)})).IsEmpty());
+  // Result collapsing to a single member canonicalizes to constant.
+  EXPECT_EQ(Pattern::And(e, Pattern::Range(V(3), V(3))),
+            Pattern::Constant(V(3)));
+}
+
+TEST(PatternAndTest, Commutative) {
+  std::vector<Pattern> patterns = {
+      Pattern::Wildcard(),      Pattern::Constant(V(3)),
+      Pattern::Range(V(1), V(5)), Pattern::EnumList({V(2), V(4)}),
+      Pattern::Empty(),
+  };
+  for (const Pattern& a : patterns) {
+    for (const Pattern& b : patterns) {
+      EXPECT_EQ(Pattern::And(a, b), Pattern::And(b, a))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+// Property: And(a, b) matches v iff a and b both match v.
+class PatternAndProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternAndProperty, IntersectionSemantics) {
+  const int idx = GetParam();
+  std::vector<Pattern> patterns = {
+      Pattern::Wildcard(),
+      Pattern::Constant(V(3)),
+      Pattern::Constant(V(11)),
+      Pattern::Range(V(1), V(5)),
+      Pattern::Range(V(4), V(9)),
+      Pattern::EnumList({V(2), V(4), V(6)}),
+      Pattern::EnumList({V(4), V(8)}),
+      Pattern::Empty(),
+  };
+  const Pattern& a = patterns[static_cast<size_t>(idx) % patterns.size()];
+  for (const Pattern& b : patterns) {
+    Pattern both = Pattern::And(a, b);
+    for (int64_t v = -1; v <= 12; ++v) {
+      EXPECT_EQ(both.Matches(V(v)), a.Matches(V(v)) && b.Matches(V(v)))
+          << a.ToString() << " & " << b.ToString() << " at " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatternKinds, PatternAndProperty,
+                         ::testing::Range(0, 8));
+
+TEST(PatternCoversTest, BasicCases) {
+  EXPECT_TRUE(Pattern::Covers(Pattern::Wildcard(), Pattern::Constant(V(1))));
+  EXPECT_TRUE(Pattern::Covers(Pattern::Range(V(1), V(9)),
+                              Pattern::Range(V(2), V(5))));
+  EXPECT_FALSE(Pattern::Covers(Pattern::Range(V(1), V(4)),
+                               Pattern::Range(V(2), V(5))));
+  EXPECT_TRUE(Pattern::Covers(Pattern::EnumList({V(1), V(2), V(3)}),
+                              Pattern::EnumList({V(1), V(3)})));
+  EXPECT_FALSE(Pattern::Covers(Pattern::Constant(V(1)),
+                               Pattern::Wildcard()));
+  EXPECT_TRUE(Pattern::Covers(Pattern::Empty(), Pattern::Empty()));
+  EXPECT_TRUE(Pattern::Covers(Pattern::Constant(V(1)), Pattern::Empty()));
+  EXPECT_FALSE(Pattern::Covers(Pattern::Empty(), Pattern::Constant(V(1))));
+}
+
+TEST(PatternCoversTest, ConsistentWithAnd) {
+  // Covers(outer, inner) should imply And(outer, inner) == inner.
+  std::vector<Pattern> patterns = {
+      Pattern::Wildcard(),      Pattern::Constant(V(3)),
+      Pattern::Range(V(1), V(5)), Pattern::EnumList({V(2), V(4)}),
+      Pattern::Empty(),
+  };
+  for (const Pattern& outer : patterns) {
+    for (const Pattern& inner : patterns) {
+      if (Pattern::Covers(outer, inner)) {
+        EXPECT_EQ(Pattern::And(outer, inner), inner)
+            << outer.ToString() << " covers " << inner.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "gen/stream_generator.h"
+#include "join/pjoin.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+using testing::ReferenceJoinRows;
+using testing::RunJoin;
+
+TEST(PJoinTest, JoinsLikeShjWithoutPunctuations) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 1))
+                  .Tup(KP(sa, 2, 2))
+                  .Finish();
+  auto right = ElementsBuilder()
+                   .Tup(KP(sb, 1, 3))
+                   .Tup(KP(sb, 2, 4))
+                   .Finish();
+  PJoin join(sa, sb);
+  auto run = RunJoin(&join, left, right);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(left, right, join.output_schema(), 0, 0));
+}
+
+TEST(PJoinTest, EagerPurgeRemovesCoveredTuples) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Left gets tuples with keys 1 and 2; a right punctuation for key 1 purges
+  // the key-1 left tuples.
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Tup(KP(sa, 1, 1))
+                  .Tup(KP(sa, 2, 2))
+                  .Finish();
+  auto right = ElementsBuilder(/*step=*/10000)
+                   .Tup(KP(sb, 1, 9))
+                   .Punct(KeyPunct(1))
+                   .Finish();
+  PJoin join(sa, sb);  // defaults: eager purge
+  auto run = RunJoin(&join, left, right);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(left, right, join.output_schema(), 0, 0));
+  // Both key-1 left tuples must be gone; key-2 remains. The right tuple is
+  // never covered (no left punctuations) and remains too.
+  EXPECT_EQ(join.state(0).total_tuples(), 1);
+  EXPECT_GT(join.counters().Get("purge_runs"), 0);
+  EXPECT_EQ(join.counters().Get("purged_tuples"), 2);
+}
+
+TEST(PJoinTest, LazyPurgeWaitsForThreshold) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder lb;
+  for (int64_t k = 0; k < 6; ++k) lb.Tup(KP(sa, k, k));
+  auto left = lb.Finish();
+  ElementsBuilder rb(/*step=*/10000);
+  for (int64_t k = 0; k < 3; ++k) rb.Punct(KeyPunct(k));
+  auto right = rb.Finish();
+
+  JoinOptions opts;
+  opts.runtime.purge_threshold = 4;  // three punctuations never reach it
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  RunJoin(&join, left, right);
+  EXPECT_EQ(join.counters().Get("purge_runs"), 0);
+  EXPECT_EQ(join.state(0).total_tuples(), 6);  // nothing purged
+
+  // Same input with threshold 3: one purge run removing keys 0..2.
+  PJoin join2(sa, sb, [] {
+    JoinOptions o;
+    o.runtime.purge_threshold = 3;
+    o.propagate_on_finish = false;
+    return o;
+  }());
+  RunJoin(&join2, left, right);
+  EXPECT_EQ(join2.counters().Get("purge_runs"), 1);
+  EXPECT_EQ(join2.state(0).total_tuples(), 3);
+}
+
+TEST(PJoinTest, OnTheFlyDropSkipsCoveredArrivals) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Right punctuates key 1 early; later left arrivals with key 1 are joined
+  // against existing right tuples but never stored.
+  auto left = ElementsBuilder(/*step=*/10000)
+                  .Tup(KP(sa, 1, 0))
+                  .Finish();
+  auto right = ElementsBuilder()
+                   .Tup(KP(sb, 1, 5))
+                   .Punct(KeyPunct(1))
+                   .Finish();
+  PJoin join(sa, sb);
+  auto run = RunJoin(&join, left, right);
+  ASSERT_EQ(run.results.size(), 1u);  // the probe still found the match
+  EXPECT_EQ(join.counters().Get("otf_drops"), 1);
+  EXPECT_EQ(join.state(0).total_tuples(), 0);
+}
+
+TEST(PJoinTest, OnTheFlyDropDisabled) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder(/*step=*/10000).Tup(KP(sa, 1, 0)).Finish();
+  auto right = ElementsBuilder()
+                   .Tup(KP(sb, 1, 5))
+                   .Punct(KeyPunct(1))
+                   .Finish();
+  JoinOptions opts;
+  opts.drop_on_the_fly = false;
+  opts.runtime.purge_threshold = 1000;  // no purge either
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  RunJoin(&join, left, right);
+  EXPECT_EQ(join.counters().Get("otf_drops"), 0);
+  EXPECT_EQ(join.state(0).total_tuples(), 1);
+}
+
+TEST(PJoinTest, PurgeBufferHoldsTuplesOwingDiskJoins) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Fill the right state until it spills, then purge left... Construct:
+  // right tuples with key 1 spill to disk; left tuple with key 1 arrives
+  // (probes memory only); right punctuates key 1 -> left tuple must wait in
+  // the purge buffer for the disk join, which finally emits the pairs.
+  ElementsBuilder rb;
+  for (int i = 0; i < 12; ++i) rb.Tup(KP(sb, 1, i));
+  rb.Punct(KeyPunct(1));
+  auto right = rb.Finish();
+  auto left = ElementsBuilder(/*step=*/1100).Tup(KP(sa, 1, 77)).Finish();
+
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 4;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, right);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(left, right, join.output_schema(), 0, 0));
+  EXPECT_GT(join.counters().Get("purge_buffered") +
+                join.counters().Get("otf_to_purge_buffer"),
+            0);
+  EXPECT_EQ(join.state(0).purge_buffer_tuples(), 0);  // cleared by disk join
+}
+
+TEST(PJoinTest, StateStaysBoundedWithPunctuations) {
+  DomainSpec d;
+  d.window_size = 10;
+  StreamSpec spec;
+  spec.num_tuples = 2000;
+  spec.punct_mean_interarrival_tuples = 10;
+  GeneratedStreams g = GenerateStreams(d, spec, spec, 7);
+
+  JoinOptions opts;
+  opts.state_sample_interval = 1;
+  PJoin join(g.schema_a, g.schema_b, opts);
+  RunJoin(&join, g.a, g.b);
+  // Eager purge keeps the state near the live window; far below the 4000
+  // tuples an XJoin would hold.
+  EXPECT_LT(join.state_series().MaxValue(), 1500);
+  EXPECT_GT(join.counters().Get("purged_tuples") +
+                join.counters().Get("otf_drops"),
+            1000);
+}
+
+TEST(PJoinTest, RegistryTableListsComponents) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  PJoin join(sa, sb);
+  std::string table = join.registry().ToString();
+  EXPECT_NE(table.find("PurgeThresholdReachEvent -> state-purge"),
+            std::string::npos);
+  EXPECT_NE(table.find("StateFullEvent -> state-relocation"),
+            std::string::npos);
+  EXPECT_NE(table.find("DiskJoinActivateEvent -> disk-join"),
+            std::string::npos);
+  // Propagation entries order disk-join, index-build before propagation.
+  EXPECT_NE(table.find("PropagateCountReachEvent -> disk-join [cond], "
+                       "index-build, propagation"),
+            std::string::npos);
+}
+
+TEST(PJoinTest, IndexedPurgeModeMatchesScanResults) {
+  DomainSpec d;
+  StreamSpec spec;
+  spec.num_tuples = 400;
+  spec.punct_mean_interarrival_tuples = 8;
+  GeneratedStreams g = GenerateStreams(d, spec, spec, 21);
+
+  JoinOptions scan_opts;
+  scan_opts.purge_mode = PurgeMode::kScan;
+  PJoin scan_join(g.schema_a, g.schema_b, scan_opts);
+  auto scan_run = RunJoin(&scan_join, g.a, g.b);
+
+  JoinOptions idx_opts;
+  idx_opts.purge_mode = PurgeMode::kIndexed;
+  PJoin idx_join(g.schema_a, g.schema_b, idx_opts);
+  auto idx_run = RunJoin(&idx_join, g.a, g.b);
+
+  EXPECT_EQ(scan_run.results, idx_run.results);
+  // The indexed mode scans far fewer entries.
+  EXPECT_LT(idx_join.counters().Get("purge_scanned"),
+            scan_join.counters().Get("purge_scanned"));
+}
+
+TEST(PJoinTest, ValidatePrefixRejectsBadStream) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Punct(Punctuation::ForAttribute(
+                      2, 0, Pattern::Range(Value(int64_t{0}),
+                                           Value(int64_t{10}))))
+                  .Punct(Punctuation::ForAttribute(
+                      2, 0, Pattern::Range(Value(int64_t{5}),
+                                           Value(int64_t{20}))))
+                  .Finish();
+  JoinOptions opts;
+  opts.validate_prefix = true;
+  PJoin join(sa, sb, opts);
+  join.set_result_callback(nullptr);
+  JoinPipeline pipe(&join, nullptr);
+  Status s = pipe.Run(left, ElementsBuilder().Finish());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PJoinTest, ByteMemoryThresholdTriggersSpill) {
+  DomainSpec d;
+  StreamSpec spec;
+  spec.num_tuples = 300;
+  spec.punct_mean_interarrival_tuples = 0;  // nothing ever purges
+  GeneratedStreams g = GenerateStreams(d, spec, spec, 61);
+
+  JoinOptions opts;
+  opts.runtime.memory_threshold_bytes = 4096;
+  PJoin join(g.schema_a, g.schema_b, opts);
+  auto run = RunJoin(&join, g.a, g.b, /*stall_gap=*/8000);
+  EXPECT_GT(join.counters().Get("relocations"), 0);
+  EXPECT_LT(join.memory_state_bytes(), 4096 + 1024);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
+TEST(PJoinTest, AllWildcardPunctuationDrainsOppositeState) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder lb;
+  for (int64_t k = 0; k < 8; ++k) lb.Tup(KP(sa, k, k));
+  auto left = lb.Finish();
+  // "Stream B is finished entirely": an all-wildcard punctuation covers
+  // every key, so the whole left state purges at once.
+  auto right = ElementsBuilder(/*step=*/20000)
+                   .Punct(Punctuation::ForAttribute(2, 0,
+                                                    Pattern::Wildcard()))
+                   .Finish();
+  PJoin join(sa, sb);
+  RunJoin(&join, left, right);
+  EXPECT_EQ(join.state(0).total_tuples(), 0);
+  EXPECT_EQ(join.counters().Get("purged_tuples"), 8);
+}
+
+TEST(PJoinTest, DiskJoinRunsOnStall) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder lb(/*step=*/50000);
+  for (int i = 0; i < 20; ++i) lb.Tup(KP(sa, i % 2, i));
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 4;
+  opts.runtime.disk_join_activation_threshold = 1;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, lb.Finish(), ElementsBuilder().Finish(),
+                     /*stall_gap=*/10000);
+  EXPECT_GT(run.stalls, 0);
+  EXPECT_GT(join.counters().Get("disk_join_runs"), 0);
+}
+
+}  // namespace
+}  // namespace pjoin

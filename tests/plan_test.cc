@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/auction.h"
+#include "gen/stream_generator.h"
+#include "join/nlj.h"
+#include "plan/query_plan.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPayloadSchema;
+using testing::KP;
+
+GeneratedStreams SmallStreams(uint64_t seed) {
+  DomainSpec d;
+  StreamSpec spec;
+  spec.num_tuples = 300;
+  spec.punct_mean_interarrival_tuples = 10;
+  return GenerateStreams(d, spec, spec, seed);
+}
+
+TEST(QueryPlanTest, MinimalJoinPlan) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  CollectorSink sink;
+  QueryPlanBuilder builder;
+  builder.Source(sa, ElementsBuilder().Tup(KP(sa, 1, 10)).Finish())
+      .Source(sb, ElementsBuilder().Tup(KP(sb, 1, 20)).Finish())
+      .PJoin()
+      .CollectInto(&sink);
+  auto plan = builder.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE((*plan)->Run().ok());
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_TRUE(sink.saw_end_of_stream());
+}
+
+TEST(QueryPlanTest, FullFig1ShapedPlan) {
+  AuctionSpec spec;
+  spec.num_bids = 2000;
+  AuctionStreams streams = GenerateAuction(spec, 3);
+  CollectorSink sink;
+  QueryPlanBuilder builder;
+  builder.Source(streams.open_schema, streams.open)
+      .Source(streams.bid_schema, streams.bid)
+      .PJoin([] {
+        JoinOptions o;
+        o.runtime.propagate_count_threshold = 2;
+        return o;
+      }());
+  auto increase = builder.CurrentSchema()->IndexOf("increase");
+  ASSERT_TRUE(increase.ok());
+  builder.GroupBy(0, {{AggKind::kSum, increase.value(), "total"}},
+                  /*group_aliases=*/{3})
+      .CollectInto(&sink);
+  auto plan = builder.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string explain = (*plan)->Explain();
+  EXPECT_NE(explain.find("pjoin"), std::string::npos);
+  EXPECT_NE(explain.find("group-by"), std::string::npos);
+  ASSERT_TRUE((*plan)->Run().ok());
+  EXPECT_GT(sink.tuples().size(), 0u);
+  EXPECT_GT(sink.punctuations().size(), 0u);
+  EXPECT_GT((*plan)->join().results_emitted(), 0);
+}
+
+TEST(QueryPlanTest, FilterAndProjectCompose) {
+  GeneratedStreams g = SmallStreams(5);
+  CollectorSink sink;
+  QueryPlanBuilder builder;
+  builder.Source(g.schema_a, g.a)
+      .Source(g.schema_b, g.b)
+      .SymmetricHashJoin()
+      .Filter([](const Tuple& t) { return t.field(0).AsInt64() % 2 == 0; })
+      .Project({0, 1})
+      .CollectInto(&sink);
+  auto plan = builder.Build();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE((*plan)->Run().ok());
+  for (const Tuple& t : sink.tuples()) {
+    EXPECT_EQ(t.num_fields(), 2u);
+    EXPECT_EQ(t.field(0).AsInt64() % 2, 0);
+  }
+  EXPECT_GT(sink.tuples().size(), 0u);
+}
+
+TEST(QueryPlanTest, AllJoinAlgorithmsAgree) {
+  GeneratedStreams g = SmallStreams(7);
+  auto run = [&](auto add_join) {
+    CollectorSink sink;
+    QueryPlanBuilder builder;
+    builder.Source(g.schema_a, g.a).Source(g.schema_b, g.b);
+    add_join(builder);
+    builder.StallGap(8000).CollectInto(&sink);
+    auto plan = builder.Build();
+    PJOIN_DCHECK(plan.ok());
+    PJOIN_DCHECK((*plan)->Run().ok());
+    std::vector<std::string> rows;
+    for (const Tuple& t : sink.tuples()) rows.push_back(t.ToString());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  auto pjoin_rows = run([](QueryPlanBuilder& b) { b.PJoin(); });
+  auto xjoin_rows = run([](QueryPlanBuilder& b) {
+    JoinOptions o;
+    o.runtime.memory_threshold_tuples = 32;
+    b.XJoin(o);
+  });
+  auto shj_rows = run([](QueryPlanBuilder& b) { b.SymmetricHashJoin(); });
+  EXPECT_EQ(pjoin_rows, xjoin_rows);
+  EXPECT_EQ(pjoin_rows, shj_rows);
+}
+
+TEST(QueryPlanTest, BuildErrors) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  {
+    QueryPlanBuilder builder;
+    builder.Source(sa, {});
+    EXPECT_FALSE(builder.Build().ok());  // one source, no join
+  }
+  {
+    QueryPlanBuilder builder;
+    builder.PJoin();  // join before sources
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    QueryPlanBuilder builder;
+    builder.Source(sa, {}).Source(sa, {}).PJoin().Project({99});
+    auto plan = builder.Build();
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    QueryPlanBuilder builder;
+    builder.Source(sa, {}).Source(sa, {}).PJoin().PJoin();
+    EXPECT_FALSE(builder.Build().ok());  // two joins
+  }
+}
+
+TEST(NestedLoopReferenceTest, MatchesTestUtilReference) {
+  GeneratedStreams g = SmallStreams(9);
+  NestedLoopReferenceJoin nlj(g.schema_a, g.schema_b);
+  auto run = testing::RunJoin(&nlj, g.a, g.b);
+  EXPECT_EQ(run.results,
+            testing::ReferenceJoinRows(g.a, g.b, nlj.output_schema(), 0, 0));
+}
+
+TEST(NestedLoopReferenceTest, EmitsOnlyAtFinish) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  NestedLoopReferenceJoin nlj(sa, sb);
+  int64_t results = 0;
+  nlj.set_result_callback([&results](const Tuple&) { ++results; });
+  ASSERT_TRUE(nlj.OnElement(0, StreamElement::MakeTuple(KP(sa, 1, 1), 1))
+                  .ok());
+  ASSERT_TRUE(nlj.OnElement(1, StreamElement::MakeTuple(KP(sb, 1, 2), 2))
+                  .ok());
+  EXPECT_EQ(results, 0);  // blocking: nothing until both EOS
+  ASSERT_TRUE(nlj.OnElement(0, StreamElement::MakeEndOfStream(3)).ok());
+  ASSERT_TRUE(nlj.OnElement(1, StreamElement::MakeEndOfStream(3)).ok());
+  EXPECT_EQ(results, 1);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,275 @@
+// Tests for punctuation index building and propagation (paper §3.5),
+// including the Theorem 1 safety property.
+
+#include <gtest/gtest.h>
+
+#include "gen/stream_generator.h"
+#include "join/pjoin.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+using testing::RunJoin;
+
+JoinOptions PropagateEveryPunct() {
+  JoinOptions opts;
+  opts.runtime.propagate_count_threshold = 1;
+  return opts;
+}
+
+TEST(PropagationTest, PunctuationForNeverSeenKeyPropagatesImmediately) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder().Punct(KeyPunct(42)).Finish();
+  PJoin join(sa, sb, PropagateEveryPunct());
+  auto run = RunJoin(&join, left, ElementsBuilder().Finish());
+  ASSERT_EQ(run.punctuations.size(), 1u);
+  // Output punctuation constrains the left key and transfers it to the
+  // right key column (equi-join).
+  const Punctuation& p = run.punctuations[0];
+  EXPECT_EQ(p.pattern(0), Pattern::Constant(Value(int64_t{42})));
+  EXPECT_EQ(p.pattern(2), Pattern::Constant(Value(int64_t{42})));
+  EXPECT_TRUE(p.pattern(1).IsWildcard());
+  EXPECT_TRUE(p.pattern(3).IsWildcard());
+}
+
+TEST(PropagationTest, HeldBackWhileMatchingTupleInState) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Left punct for key 1 cannot propagate while a left key-1 tuple remains
+  // (it could still join future right tuples).
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Punct(KeyPunct(1))
+                  .Finish();
+  JoinOptions opts = PropagateEveryPunct();
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, ElementsBuilder().Finish());
+  EXPECT_TRUE(run.punctuations.empty());
+  EXPECT_EQ(join.punct_set(0).size(), 1u);
+}
+
+TEST(PropagationTest, ReleasedOncePurgeDrainsMatchingTuples) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Left: tuple key 1, then punct key 1. Right: punct key 1 (purges the left
+  // tuple) -> left punct becomes propagable.
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Punct(KeyPunct(1))
+                  .Finish();
+  auto right = ElementsBuilder(/*step=*/10000).Punct(KeyPunct(1)).Finish();
+  PJoin join(sa, sb, PropagateEveryPunct());
+  auto run = RunJoin(&join, left, right);
+  // Both input punctuations propagate: the left one (state drained by the
+  // right punctuation's purge) and the right one (no right tuples at all).
+  EXPECT_EQ(run.punctuations.size(), 2u);
+  EXPECT_TRUE(join.punct_set(0).empty());
+  EXPECT_TRUE(join.punct_set(1).empty());
+}
+
+TEST(PropagationTest, Theorem1NoResultAfterPropagatedPunct) {
+  // Property check over a full generated run: once PJoin emits an output
+  // punctuation, no later result tuple may match it.
+  DomainSpec d;
+  d.window_size = 8;
+  StreamSpec spec;
+  spec.num_tuples = 600;
+  spec.punct_mean_interarrival_tuples = 10;
+  spec.flush_punctuations_at_end = true;
+  GeneratedStreams g = GenerateStreams(d, spec, spec, 5);
+
+  JoinOptions opts = PropagateEveryPunct();
+  PJoin join(g.schema_a, g.schema_b, opts);
+
+  std::vector<Punctuation> emitted;
+  Status violation = Status::OK();
+  join.set_punct_callback(
+      [&emitted](const Punctuation& p) { emitted.push_back(p); });
+  join.set_result_callback([&](const Tuple& t) {
+    for (const Punctuation& p : emitted) {
+      if (p.Matches(t)) {
+        violation = Status::Internal("result " + t.ToString() +
+                                     " violates emitted punctuation " +
+                                     p.ToString());
+        return;
+      }
+    }
+  });
+  JoinPipeline pipe(&join, nullptr);
+  ASSERT_TRUE(pipe.Run(g.a, g.b).ok());
+  EXPECT_TRUE(violation.ok()) << violation.ToString();
+  EXPECT_GT(emitted.size(), 20u);
+}
+
+TEST(PropagationTest, OverlapGateBlocksLaterContainingPunct) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Left tuple key 3. Left punct {3} arrives (blocked: tuple in state).
+  // Left punct [0,5] arrives later; it contains {3}. Although no tuple was
+  // ever *indexed* to [0,5], it must not propagate while {3} is blocked —
+  // the key-3 tuple matches it.
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 3, 0))
+                  .Punct(KeyPunct(3))
+                  .Punct(Punctuation::ForAttribute(
+                      2, 0,
+                      Pattern::Range(Value(int64_t{0}), Value(int64_t{5}))))
+                  .Finish();
+  JoinOptions opts = PropagateEveryPunct();
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, ElementsBuilder().Finish());
+  EXPECT_TRUE(run.punctuations.empty());
+  EXPECT_EQ(join.punct_set(0).size(), 2u);
+}
+
+TEST(PropagationTest, DisjointPunctNotBlockedByEarlierHeldPunct) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  // Punct {3} is blocked by a key-3 tuple; punct {7} (no key-7 tuples) is
+  // disjoint and must still propagate.
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 3, 0))
+                  .Punct(KeyPunct(3))
+                  .Punct(KeyPunct(7))
+                  .Finish();
+  JoinOptions opts = PropagateEveryPunct();
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, ElementsBuilder().Finish());
+  ASSERT_EQ(run.punctuations.size(), 1u);
+  EXPECT_EQ(run.punctuations[0].pattern(0),
+            Pattern::Constant(Value(int64_t{7})));
+}
+
+TEST(PropagationTest, EagerAndLazyIndexBuildAgree) {
+  DomainSpec d;
+  StreamSpec spec;
+  spec.num_tuples = 400;
+  spec.punct_mean_interarrival_tuples = 12;
+  spec.flush_punctuations_at_end = true;
+  GeneratedStreams g = GenerateStreams(d, spec, spec, 23);
+
+  auto run_with = [&](bool eager) {
+    JoinOptions opts = PropagateEveryPunct();
+    opts.eager_index_build = eager;
+    PJoin join(g.schema_a, g.schema_b, opts);
+    auto run = RunJoin(&join, g.a, g.b);
+    return std::make_pair(run.results, run.punctuations.size());
+  };
+  auto [eager_results, eager_puncts] = run_with(true);
+  auto [lazy_results, lazy_puncts] = run_with(false);
+  EXPECT_EQ(eager_results, lazy_results);
+  EXPECT_EQ(eager_puncts, lazy_puncts);
+}
+
+TEST(PropagationTest, EagerPropagationReleasesAtPurgeTime) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.runtime.purge_threshold = 1;
+  opts.eager_index_build = true;
+  opts.eager_propagation = true;
+  opts.propagate_on_finish = false;  // make eager release observable
+  PJoin join(sa, sb, opts);
+  std::vector<Punctuation> puncts;
+  join.set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+
+  // Left tuple + left punct for key 1: held (tuple in state).
+  ASSERT_TRUE(join.OnElement(0, StreamElement::MakeTuple(KP(sa, 1, 0), 1000))
+                  .ok());
+  ASSERT_TRUE(join.OnElement(
+                      0, StreamElement::MakePunctuation(KeyPunct(1), 2000))
+                  .ok());
+  EXPECT_TRUE(puncts.empty());
+  // Right punct for key 1 purges the left tuple; the eager propagation
+  // releases the left punctuation within the same arrival — no later push
+  // or pull trigger needed.
+  ASSERT_TRUE(join.OnElement(
+                      1, StreamElement::MakePunctuation(KeyPunct(1), 3000))
+                  .ok());
+  EXPECT_EQ(puncts.size(), 2u);  // left punct + right punct (empty state)
+}
+
+TEST(PropagationTest, PullModePropagatesOnRequest) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;  // no push triggers
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  std::vector<Punctuation> puncts;
+  join.set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+
+  ASSERT_TRUE(join.OnElement(0, StreamElement::MakePunctuation(
+                                    KeyPunct(9), 1000, 0))
+                  .ok());
+  EXPECT_TRUE(puncts.empty());  // nothing propagates without a trigger
+  ASSERT_TRUE(join.RequestPropagation().ok());
+  EXPECT_EQ(puncts.size(), 1u);
+}
+
+TEST(PropagationTest, TimeThresholdTriggersPropagation) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.runtime.propagate_time_threshold = 5000;  // 5 ms of stream time
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  std::vector<Punctuation> puncts;
+  join.set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+
+  ASSERT_TRUE(join.OnElement(0, StreamElement::MakePunctuation(
+                                    KeyPunct(9), 1000, 0))
+                  .ok());
+  EXPECT_TRUE(puncts.empty());
+  // A later tuple advances stream time past the threshold.
+  ASSERT_TRUE(join.OnElement(1, StreamElement::MakeTuple(
+                                    KP(sb, 1, 0), 7000, 0))
+                  .ok());
+  EXPECT_EQ(puncts.size(), 1u);
+}
+
+TEST(PropagationTest, SpilledTuplesBlockPropagationUntilDiskJoin) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.runtime.memory_threshold_tuples = 4;
+  opts.runtime.propagate_count_threshold = 1;
+  opts.propagate_on_finish = false;
+  PJoin join(sa, sb, opts);
+  std::vector<Punctuation> puncts;
+  join.set_punct_callback(
+      [&puncts](const Punctuation& p) { puncts.push_back(p); });
+
+  // 8 left tuples with key 1: some spill to disk (pid unassigned there).
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(join.OnElement(0, StreamElement::MakeTuple(
+                                      KP(sa, 1, i), 1000 * (i + 1), i))
+                    .ok());
+  }
+  ASSERT_GT(join.state(0).disk_tuples(), 0);
+  // Left punct for key 1: must NOT propagate (8 tuples in state, some on
+  // disk). The propagation trigger forces a disk pass to index them.
+  ASSERT_TRUE(join.OnElement(0, StreamElement::MakePunctuation(
+                                    KeyPunct(1), 20000, 8))
+                  .ok());
+  EXPECT_TRUE(puncts.empty());
+  EXPECT_FALSE(join.state(0).has_unindexed_disk());  // pass ran
+  // The punctuation's count now reflects every key-1 tuple incl. disk.
+  const PunctEntry* entry = join.punct_set(0).Find(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->match_count, 8);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,148 @@
+// Direct unit tests of the punctuation-index machinery (paper Fig 2/3):
+// BuildIndex, IndexEntry, OnEntryDiscarded and Propagate in isolation.
+
+#include <gtest/gtest.h>
+
+#include "join/punct_index.h"
+#include "storage/simulated_disk.h"
+
+namespace pjoin {
+namespace {
+
+SchemaPtr KP() {
+  return Schema::Make({{"key", ValueType::kInt64}, {"p", ValueType::kInt64}});
+}
+
+TupleEntry MakeEntry(const SchemaPtr& s, int64_t key, int64_t ats) {
+  TupleEntry e;
+  e.tuple = Tuple(s, {Value(key), Value(key * 10)});
+  e.ats = ats;
+  return e;
+}
+
+Punctuation KeyPunct(int64_t key) {
+  return Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(key)));
+}
+
+class PunctIndexTest : public ::testing::Test {
+ protected:
+  PunctIndexTest()
+      : schema_(KP()),
+        state_("s", schema_, 0, 4, std::make_unique<SimulatedDisk>()),
+        ps_(0) {}
+
+  SchemaPtr schema_;
+  HashState state_;
+  PunctuationSet ps_;
+  CounterSet counters_;
+};
+
+TEST_F(PunctIndexTest, BuildIndexAssignsFirstArrivedPid) {
+  state_.InsertMemory(MakeEntry(schema_, 5, 1));
+  state_.InsertMemory(MakeEntry(schema_, 5, 2));
+  state_.InsertMemory(MakeEntry(schema_, 6, 3));
+  int64_t pid5 = ps_.Add(KeyPunct(5), 0).value();
+  int64_t pid_range =
+      ps_.Add(Punctuation::ForAttribute(
+                  2, 0, Pattern::Range(Value(int64_t{0}), Value(int64_t{9}))),
+              1)
+          .value();
+
+  const int64_t assigned =
+      PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_);
+  EXPECT_EQ(assigned, 3);
+  // Key-5 entries get the earlier punctuation; key-6 the range.
+  EXPECT_EQ(ps_.Find(pid5)->match_count, 2);
+  EXPECT_EQ(ps_.Find(pid_range)->match_count, 1);
+  EXPECT_TRUE(ps_.Find(pid5)->indexed);
+  EXPECT_TRUE(ps_.Find(pid_range)->indexed);
+  EXPECT_EQ(counters_.Get("index_assignments"), 3);
+}
+
+TEST_F(PunctIndexTest, BuildIndexIsIncremental) {
+  state_.InsertMemory(MakeEntry(schema_, 5, 1));
+  ASSERT_TRUE(ps_.Add(KeyPunct(5), 0).ok());
+  EXPECT_EQ(PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_), 1);
+  // Second build with no new punctuations scans nothing.
+  EXPECT_EQ(PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_), 0);
+  // A new punctuation only touches still-unindexed (pid-null) tuples.
+  state_.InsertMemory(MakeEntry(schema_, 7, 2));
+  ASSERT_TRUE(ps_.Add(KeyPunct(7), 1).ok());
+  EXPECT_EQ(PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_), 1);
+  EXPECT_EQ(ps_.Find(0)->match_count, 1);
+  EXPECT_EQ(ps_.Find(1)->match_count, 1);
+}
+
+TEST_F(PunctIndexTest, BuildIndexCoversPurgeBuffer) {
+  TupleEntry buffered = MakeEntry(schema_, 5, 1);
+  buffered.dts = 2;
+  state_.AddToPurgeBuffer(state_.PartitionOf(Value(int64_t{5})),
+                          std::move(buffered));
+  int64_t pid = ps_.Add(KeyPunct(5), 0).value();
+  EXPECT_EQ(PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_), 1);
+  EXPECT_EQ(ps_.Find(pid)->match_count, 1);
+}
+
+TEST_F(PunctIndexTest, IndexEntrySingleAssignment) {
+  int64_t pid = ps_.Add(KeyPunct(5), 0).value();
+  TupleEntry e = MakeEntry(schema_, 5, 1);
+  PunctuationIndexer::IndexEntry(&ps_, &e);
+  EXPECT_EQ(e.pid, pid);
+  EXPECT_EQ(ps_.Find(pid)->match_count, 1);
+  // Idempotent for already-indexed entries.
+  PunctuationIndexer::IndexEntry(&ps_, &e);
+  EXPECT_EQ(ps_.Find(pid)->match_count, 1);
+  // Non-matching entries stay null.
+  TupleEntry other = MakeEntry(schema_, 9, 2);
+  PunctuationIndexer::IndexEntry(&ps_, &other);
+  EXPECT_EQ(other.pid, kNullPid);
+}
+
+TEST_F(PunctIndexTest, DiscardDecrementsCount) {
+  int64_t pid = ps_.Add(KeyPunct(5), 0).value();
+  TupleEntry e = MakeEntry(schema_, 5, 1);
+  PunctuationIndexer::IndexEntry(&ps_, &e);
+  ASSERT_EQ(ps_.Find(pid)->match_count, 1);
+  PunctuationIndexer::OnEntryDiscarded(&ps_, e);
+  EXPECT_EQ(ps_.Find(pid)->match_count, 0);
+  // Null-pid entries are a no-op.
+  TupleEntry never_indexed = MakeEntry(schema_, 9, 2);
+  PunctuationIndexer::OnEntryDiscarded(&ps_, never_indexed);
+}
+
+TEST_F(PunctIndexTest, PropagateReleasesCountZeroIndexed) {
+  int64_t pid_empty = ps_.Add(KeyPunct(1), 0).value();
+  int64_t pid_held = ps_.Add(KeyPunct(2), 1).value();
+  state_.InsertMemory(MakeEntry(schema_, 2, 1));
+  PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_);
+
+  std::vector<Punctuation> released = Propagator::Propagate(&ps_);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].pattern(0), Pattern::Constant(Value(int64_t{1})));
+  EXPECT_EQ(ps_.Find(pid_empty), nullptr);
+  ASSERT_NE(ps_.Find(pid_held), nullptr);
+  EXPECT_EQ(ps_.Find(pid_held)->match_count, 1);
+}
+
+TEST_F(PunctIndexTest, PropagateSkipsUnindexed) {
+  ASSERT_TRUE(ps_.Add(KeyPunct(1), 0).ok());
+  // Never index-built: must not propagate even though count is 0.
+  EXPECT_TRUE(Propagator::Propagate(&ps_).empty());
+  EXPECT_EQ(ps_.size(), 1u);
+}
+
+TEST_F(PunctIndexTest, PropagateReleasesInArrivalOrder) {
+  ASSERT_TRUE(ps_.Add(KeyPunct(3), 0).ok());
+  ASSERT_TRUE(ps_.Add(KeyPunct(1), 1).ok());
+  ASSERT_TRUE(ps_.Add(KeyPunct(2), 2).ok());
+  PunctuationIndexer::BuildIndex(&ps_, &state_, &counters_);
+  std::vector<Punctuation> released = Propagator::Propagate(&ps_);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0].pattern(0).constant().AsInt64(), 3);
+  EXPECT_EQ(released[1].pattern(0).constant().AsInt64(), 1);
+  EXPECT_EQ(released[2].pattern(0).constant().AsInt64(), 2);
+  EXPECT_TRUE(ps_.empty());
+}
+
+}  // namespace
+}  // namespace pjoin

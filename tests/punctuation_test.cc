@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "punct/punctuation.h"
+
+namespace pjoin {
+namespace {
+
+SchemaPtr TwoFieldSchema() {
+  return Schema::Make({{"key", ValueType::kInt64}, {"p", ValueType::kInt64}});
+}
+
+Tuple T(const SchemaPtr& s, int64_t key, int64_t payload) {
+  return Tuple(s, {Value(key), Value(payload)});
+}
+
+TEST(PunctuationTest, ForAttributeSetsOnePattern) {
+  Punctuation p =
+      Punctuation::ForAttribute(3, 1, Pattern::Constant(Value(int64_t{5})));
+  ASSERT_EQ(p.num_patterns(), 3u);
+  EXPECT_TRUE(p.pattern(0).IsWildcard());
+  EXPECT_TRUE(p.pattern(1).IsConstant());
+  EXPECT_TRUE(p.pattern(2).IsWildcard());
+}
+
+TEST(PunctuationTest, MatchesRequiresAllPatterns) {
+  SchemaPtr s = TwoFieldSchema();
+  Punctuation key_only =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{7})));
+  EXPECT_TRUE(key_only.Matches(T(s, 7, 123)));
+  EXPECT_FALSE(key_only.Matches(T(s, 8, 123)));
+
+  Punctuation both({Pattern::Constant(Value(int64_t{7})),
+                    Pattern::Range(Value(int64_t{0}), Value(int64_t{10}))});
+  EXPECT_TRUE(both.Matches(T(s, 7, 10)));
+  EXPECT_FALSE(both.Matches(T(s, 7, 11)));
+  EXPECT_FALSE(both.Matches(T(s, 6, 5)));
+}
+
+TEST(PunctuationTest, AndIsPairwise) {
+  Punctuation a({Pattern::Range(Value(int64_t{0}), Value(int64_t{10})),
+                 Pattern::Wildcard()});
+  Punctuation b({Pattern::Range(Value(int64_t{5}), Value(int64_t{20})),
+                 Pattern::Constant(Value(int64_t{1}))});
+  Punctuation c = Punctuation::And(a, b);
+  EXPECT_EQ(c.pattern(0),
+            Pattern::Range(Value(int64_t{5}), Value(int64_t{10})));
+  EXPECT_EQ(c.pattern(1), Pattern::Constant(Value(int64_t{1})));
+}
+
+TEST(PunctuationTest, IsEmptyWhenAnyPatternEmpty) {
+  Punctuation p({Pattern::Empty(), Pattern::Wildcard()});
+  EXPECT_TRUE(p.IsEmpty());
+  Punctuation q({Pattern::Constant(Value(int64_t{1})), Pattern::Wildcard()});
+  EXPECT_FALSE(q.IsEmpty());
+}
+
+TEST(PunctuationTest, IsAllWildcard) {
+  EXPECT_TRUE(Punctuation({Pattern::Wildcard(), Pattern::Wildcard()})
+                  .IsAllWildcard());
+  EXPECT_FALSE(
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{1})))
+          .IsAllWildcard());
+}
+
+TEST(PunctuationTest, DisjointAndIsEmpty) {
+  Punctuation a =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{1})));
+  Punctuation b =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{2})));
+  EXPECT_TRUE(Punctuation::And(a, b).IsEmpty());
+}
+
+TEST(PunctuationTest, EqualityAndToString) {
+  Punctuation a =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{1})));
+  Punctuation b =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{1})));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "<1, *>");
+}
+
+TEST(PunctuationTest, ByteSizeGrowsWithPatterns) {
+  Punctuation small =
+      Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(int64_t{1})));
+  Punctuation big = Punctuation::ForAttribute(
+      2, 0,
+      Pattern::EnumList({Value(int64_t{1}), Value(int64_t{2}),
+                         Value(int64_t{3}), Value(int64_t{4})}));
+  EXPECT_GT(big.ByteSize(), small.ByteSize());
+}
+
+}  // namespace
+}  // namespace pjoin

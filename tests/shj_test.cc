@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "join/shj.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+using testing::ReferenceJoinRows;
+using testing::RunJoin;
+
+TEST(ShjTest, SimpleEquiJoin) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 100))
+                  .Tup(KP(sa, 2, 200))
+                  .Finish();
+  auto right = ElementsBuilder()
+                   .Tup(KP(sb, 1, 111))
+                   .Tup(KP(sb, 3, 333))
+                   .Tup(KP(sb, 1, 112))
+                   .Finish();
+  SymmetricHashJoin join(sa, sb);
+  auto run = RunJoin(&join, left, right);
+  EXPECT_EQ(run.results,
+            ReferenceJoinRows(left, right, join.output_schema(), 0, 0));
+  EXPECT_EQ(join.results_emitted(), 2);
+}
+
+TEST(ShjTest, ManyToManyCounts) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder lb;
+  ElementsBuilder rb;
+  for (int i = 0; i < 4; ++i) lb.Tup(KP(sa, 7, i));
+  for (int i = 0; i < 5; ++i) rb.Tup(KP(sb, 7, 100 + i));
+  SymmetricHashJoin join(sa, sb);
+  auto run = RunJoin(&join, lb.Finish(), rb.Finish());
+  EXPECT_EQ(join.results_emitted(), 20);
+  EXPECT_EQ(run.results.size(), 20u);
+}
+
+TEST(ShjTest, NoMatchesNoResults) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder().Tup(KP(sa, 1, 0)).Finish();
+  auto right = ElementsBuilder().Tup(KP(sb, 2, 0)).Finish();
+  SymmetricHashJoin join(sa, sb);
+  auto run = RunJoin(&join, left, right);
+  EXPECT_TRUE(run.results.empty());
+}
+
+TEST(ShjTest, IgnoresPunctuationsAndNeverPurges) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Punct(KeyPunct(1))
+                  .Tup(KP(sa, 2, 0))
+                  .Finish();
+  auto right = ElementsBuilder().Tup(KP(sb, 1, 5)).Finish();
+  SymmetricHashJoin join(sa, sb);
+  auto run = RunJoin(&join, left, right);
+  EXPECT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(join.counters().Get("puncts_ignored"), 1);
+  EXPECT_EQ(join.total_state_tuples(), 3);  // nothing purged
+  EXPECT_TRUE(run.punctuations.empty());
+}
+
+TEST(ShjTest, OutputSchemaConcatsInputs) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  SymmetricHashJoin join(sa, sb);
+  EXPECT_EQ(join.output_schema()->num_fields(), 4u);
+  EXPECT_EQ(join.output_schema()->field(0).name, "key");
+  EXPECT_EQ(join.output_schema()->field(2).name, "key_r");
+}
+
+TEST(ShjTest, StateGrowsWithoutBound) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder lb;
+  for (int i = 0; i < 100; ++i) lb.Tup(KP(sa, i, i));
+  SymmetricHashJoin join(sa, sb);
+  RunJoin(&join, lb.Finish(), ElementsBuilder().Finish());
+  EXPECT_EQ(join.total_state_tuples(), 100);
+  EXPECT_EQ(join.memory_state_tuples(), 100);  // never spills
+}
+
+TEST(ShjTest, ResultCallbackReceivesConcatenatedTuple) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  SymmetricHashJoin join(sa, sb);
+  std::vector<Tuple> results;
+  join.set_result_callback([&](const Tuple& t) { results.push_back(t); });
+  JoinPipeline pipe(&join, nullptr);
+  ASSERT_TRUE(pipe.Run(ElementsBuilder().Tup(KP(sa, 3, 30)).Finish(),
+                       ElementsBuilder().Tup(KP(sb, 3, 31)).Finish())
+                  .ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].field("a").AsInt64(), 30);
+  EXPECT_EQ(results[0].field("b").AsInt64(), 31);
+  EXPECT_EQ(results[0].field("key").AsInt64(), 3);
+  EXPECT_EQ(results[0].field("key_r").AsInt64(), 3);
+}
+
+}  // namespace
+}  // namespace pjoin

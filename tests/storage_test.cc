@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/file_spill_store.h"
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+
+namespace pjoin {
+namespace {
+
+TEST(PageTest, WriteReadRoundtrip) {
+  PageWriter writer(128);
+  ASSERT_TRUE(writer.Append("hello"));
+  ASSERT_TRUE(writer.Append(""));
+  ASSERT_TRUE(writer.Append("world!"));
+  EXPECT_EQ(writer.record_count(), 3u);
+  std::string page = writer.Finish();
+  EXPECT_EQ(page.size(), 128u);
+
+  PageReader reader(page);
+  EXPECT_EQ(reader.record_count(), 3u);
+  std::string_view rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec, "hello");
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec, "");
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec, "world!");
+  EXPECT_FALSE(reader.Next(&rec));
+}
+
+TEST(PageTest, RejectsWhenFull) {
+  PageWriter writer(32);
+  ASSERT_TRUE(writer.Append("0123456789"));
+  // 4 (header) + 4+10 = 18 used; another 4+12 = 16 would exceed 32.
+  EXPECT_FALSE(writer.Append("0123456789ab"));
+}
+
+TEST(PageTest, FinishResetsForReuse) {
+  PageWriter writer(64);
+  ASSERT_TRUE(writer.Append("a"));
+  writer.Finish();
+  EXPECT_TRUE(writer.empty());
+  ASSERT_TRUE(writer.Append("b"));
+  std::string page = writer.Finish();
+  PageReader reader(page);
+  std::string_view rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec, "b");
+}
+
+TEST(PageTest, BinaryContentSafe) {
+  PageWriter writer(64);
+  std::string binary("\x00\x01\xff\x00", 4);
+  ASSERT_TRUE(writer.Append(binary));
+  std::string page = writer.Finish();
+  PageReader reader(page);
+  std::string_view rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(std::string(rec), binary);
+}
+
+template <typename StoreMaker>
+void RunSpillStoreContractTests(StoreMaker make_store) {
+  auto store = make_store();
+  EXPECT_EQ(store->TotalRecordCount(), 0);
+  EXPECT_TRUE(store->NonEmptyPartitions().empty());
+
+  ASSERT_TRUE(store->AppendBatch(3, {"r1", "r2"}).ok());
+  ASSERT_TRUE(store->AppendBatch(5, {"x"}).ok());
+  ASSERT_TRUE(store->AppendBatch(3, {"r3"}).ok());
+
+  EXPECT_EQ(store->PartitionRecordCount(3), 3);
+  EXPECT_EQ(store->PartitionRecordCount(5), 1);
+  EXPECT_EQ(store->PartitionRecordCount(99), 0);
+  EXPECT_EQ(store->TotalRecordCount(), 4);
+  EXPECT_EQ(store->NonEmptyPartitions(), (std::vector<int>{3, 5}));
+
+  auto records = store->ReadPartition(3);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, (std::vector<std::string>{"r1", "r2", "r3"}));
+
+  // Reading does not consume.
+  auto again = store->ReadPartition(3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 3u);
+
+  ASSERT_TRUE(store->ClearPartition(3).ok());
+  EXPECT_EQ(store->PartitionRecordCount(3), 0);
+  EXPECT_EQ(store->TotalRecordCount(), 1);
+
+  auto empty = store->ReadPartition(3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_GT(store->io_stats().pages_written, 0);
+  EXPECT_GT(store->io_stats().pages_read, 0);
+}
+
+TEST(SimulatedDiskTest, SpillStoreContract) {
+  RunSpillStoreContractTests(
+      [] { return std::make_unique<SimulatedDisk>(); });
+}
+
+TEST(FileSpillStoreTest, SpillStoreContract) {
+  RunSpillStoreContractTests([] {
+    auto store = FileSpillStore::Open("/tmp/pjoin_spill_contract_test.bin");
+    PJOIN_DCHECK(store.ok());
+    return std::move(store).value();
+  });
+}
+
+TEST(SimulatedDiskTest, ManyRecordsSpanPages) {
+  SimulatedDiskOptions opts;
+  opts.page_size = 64;
+  SimulatedDisk disk(opts);
+  std::vector<std::string> records;
+  for (int i = 0; i < 100; ++i) records.push_back("record-" + std::to_string(i));
+  ASSERT_TRUE(disk.AppendBatch(0, records).ok());
+  EXPECT_GT(disk.io_stats().pages_written, 10);
+  auto out = disk.ReadPartition(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, records);
+}
+
+TEST(SimulatedDiskTest, RecordLargerThanPageRejected) {
+  SimulatedDiskOptions opts;
+  opts.page_size = 32;
+  SimulatedDisk disk(opts);
+  Status s = disk.AppendBatch(0, {std::string(100, 'x')});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimulatedDiskTest, LatencyAccounting) {
+  SimulatedDiskOptions opts;
+  opts.page_latency_micros = 250;
+  SimulatedDisk disk(opts);
+  ASSERT_TRUE(disk.AppendBatch(0, {"a"}).ok());
+  EXPECT_EQ(disk.io_stats().simulated_latency_micros, 250);
+  ASSERT_TRUE(disk.ReadPartition(0).ok());
+  EXPECT_EQ(disk.io_stats().simulated_latency_micros, 500);
+}
+
+TEST(FileSpillStoreTest, OpenFailsForBadPath) {
+  auto store = FileSpillStore::Open("/nonexistent-dir/spill.bin");
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError);
+}
+
+TEST(FileSpillStoreTest, RemovesFileOnDestruction) {
+  const char* path = "/tmp/pjoin_spill_cleanup_test.bin";
+  {
+    auto store = FileSpillStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendBatch(0, {"x"}).ok());
+  }
+  std::FILE* f = std::fopen(path, "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(IoStatsTest, ToStringContainsFields) {
+  IoStats stats;
+  stats.pages_written = 3;
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("pages_written=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+#include "join/pjoin.h"
+#include "ops/pipeline.h"
+
+#include "io/text_format.h"
+
+namespace pjoin {
+namespace {
+
+TEST(SchemaSpecTest, ParseAndFormatRoundtrip) {
+  auto schema = ParseSchemaSpec("key:int64, name:string ,score:float64");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_fields(), 3u);
+  EXPECT_EQ((*schema)->field(0).name, "key");
+  EXPECT_EQ((*schema)->field(1).type, ValueType::kString);
+  EXPECT_EQ(FormatSchemaSpec(**schema),
+            "key:int64,name:string,score:float64");
+}
+
+TEST(SchemaSpecTest, Rejections) {
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("keyint64").ok());
+  EXPECT_FALSE(ParseSchemaSpec("key:int32").ok());
+  EXPECT_FALSE(ParseSchemaSpec("key:int64,,x:string").ok());
+}
+
+TEST(ValueTextTest, Int64Roundtrip) {
+  auto v = ParseValue("-42", ValueType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), -42);
+  EXPECT_EQ(FormatValue(*v), "-42");
+  EXPECT_FALSE(ParseValue("4x", ValueType::kInt64).ok());
+  EXPECT_FALSE(ParseValue("", ValueType::kInt64).ok());
+}
+
+TEST(ValueTextTest, Float64Roundtrip) {
+  auto v = ParseValue("2.5", ValueType::kFloat64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsFloat64(), 2.5);
+  auto back = ParseValue(FormatValue(*v), ValueType::kFloat64);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->AsFloat64(), 2.5);
+}
+
+TEST(ValueTextTest, StringWithEscapesAndSeparators) {
+  auto v = ParseValue("\"a,b\\\"c\"", ValueType::kString);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a,b\"c");
+  auto back = ParseValue(FormatValue(*v), ValueType::kString);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), "a,b\"c");
+  EXPECT_FALSE(ParseValue("unquoted", ValueType::kString).ok());
+}
+
+TEST(ValueTextTest, Null) {
+  auto v = ParseValue("null", ValueType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_EQ(FormatValue(Value::Null()), "null");
+}
+
+TEST(PatternTextTest, AllKindsRoundtrip) {
+  const char* tokens[] = {"*", "7", "[2..8]", "{1|3|5}", "()"};
+  for (const char* token : tokens) {
+    auto p = ParsePattern(token, ValueType::kInt64);
+    ASSERT_TRUE(p.ok()) << token;
+    auto back = ParsePattern(FormatPattern(*p), ValueType::kInt64);
+    ASSERT_TRUE(back.ok()) << token;
+    EXPECT_EQ(*p, *back) << token;
+  }
+  EXPECT_EQ(ParsePattern("7", ValueType::kInt64)->kind(),
+            PatternKind::kConstant);
+  EXPECT_EQ(ParsePattern("[2..8]", ValueType::kInt64)->kind(),
+            PatternKind::kRange);
+  EXPECT_EQ(ParsePattern("{1|3|5}", ValueType::kInt64)->kind(),
+            PatternKind::kEnumList);
+}
+
+TEST(PatternTextTest, Rejections) {
+  EXPECT_FALSE(ParsePattern("[2-8]", ValueType::kInt64).ok());
+  EXPECT_FALSE(ParsePattern("{1|x}", ValueType::kInt64).ok());
+}
+
+TEST(TupleTextTest, Roundtrip) {
+  auto schema = ParseSchemaSpec("key:int64,name:string,score:float64");
+  ASSERT_TRUE(schema.ok());
+  auto t = ParseTupleBody("5,\"bob, the builder\",0.5", *schema);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->field(0).AsInt64(), 5);
+  EXPECT_EQ(t->field(1).AsString(), "bob, the builder");
+  auto back = ParseTupleBody(FormatTupleBody(*t), *schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*t, *back);
+}
+
+TEST(TupleTextTest, FieldCountMismatch) {
+  auto schema = ParseSchemaSpec("key:int64,x:int64");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(ParseTupleBody("1", *schema).ok());
+  EXPECT_FALSE(ParseTupleBody("1,2,3", *schema).ok());
+}
+
+TEST(PunctuationTextTest, Roundtrip) {
+  auto schema = ParseSchemaSpec("key:int64,x:int64");
+  ASSERT_TRUE(schema.ok());
+  auto p = ParsePunctuationBody("[10..20],*", **schema);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pattern(0), Pattern::Range(Value(int64_t{10}),
+                                          Value(int64_t{20})));
+  EXPECT_TRUE(p->pattern(1).IsWildcard());
+  auto back = ParsePunctuationBody(FormatPunctuationBody(*p), **schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*p, *back);
+}
+
+TEST(StreamTextTest, ParseFullStream) {
+  auto schema = ParseSchemaSpec("key:int64,qty:int64");
+  ASSERT_TRUE(schema.ok());
+  const std::string text =
+      "# demo stream\n"
+      "t 1000 1,10\n"
+      "\n"
+      "t 2000 2,20\n"
+      "p 3000 1,*\n";
+  auto elements = ParseStreamText(text, *schema);
+  ASSERT_TRUE(elements.ok());
+  ASSERT_EQ(elements->size(), 4u);  // 2 tuples + punct + implicit EOS
+  EXPECT_TRUE((*elements)[0].is_tuple());
+  EXPECT_EQ((*elements)[0].arrival(), 1000);
+  EXPECT_TRUE((*elements)[2].is_punctuation());
+  EXPECT_TRUE((*elements)[3].is_end_of_stream());
+  EXPECT_EQ((*elements)[3].arrival(), 3000);
+}
+
+TEST(StreamTextTest, FormatRoundtrip) {
+  auto schema = ParseSchemaSpec("key:int64,qty:int64");
+  ASSERT_TRUE(schema.ok());
+  const std::string text =
+      "t 1000 1,10\n"
+      "p 3000 {1|2},*\n";
+  auto elements = ParseStreamText(text, *schema);
+  ASSERT_TRUE(elements.ok());
+  EXPECT_EQ(FormatStreamText(*elements), text);
+}
+
+TEST(StreamTextTest, Rejections) {
+  auto schema = ParseSchemaSpec("key:int64,qty:int64");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(ParseStreamText("x 1000 1,2\n", *schema).ok());
+  EXPECT_FALSE(ParseStreamText("t abc 1,2\n", *schema).ok());
+  EXPECT_FALSE(ParseStreamText("t 1000 1\n", *schema).ok());
+}
+
+TEST(StreamFileTest, WriteReadRoundtrip) {
+  auto schema = ParseSchemaSpec("key:int64,qty:int64");
+  ASSERT_TRUE(schema.ok());
+  auto elements = ParseStreamText(
+      "t 1000 1,10\nt 2000 2,20\np 2500 1,*\n", *schema);
+  ASSERT_TRUE(elements.ok());
+  const std::string path = "/tmp/pjoin_text_format_test.stream";
+  ASSERT_TRUE(WriteStreamFile(path, *elements).ok());
+  auto back = ReadStreamFile(path, *schema);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), elements->size());
+  for (size_t i = 0; i < back->size(); ++i) {
+    EXPECT_EQ((*back)[i].ToString(), (*elements)[i].ToString());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamTextTest, EndToEndThroughPJoin) {
+  // The CLI's flow as a library test: parse two textual streams, join them,
+  // format the output, and check the exact text.
+  auto left_schema = ParseSchemaSpec("key:int64,qty:int64");
+  auto right_schema = ParseSchemaSpec("key:int64,w:int64");
+  ASSERT_TRUE(left_schema.ok());
+  ASSERT_TRUE(right_schema.ok());
+  auto left = ParseStreamText("t 1000 1,10\np 3000 1,*\n", *left_schema);
+  auto right = ParseStreamText("t 1500 1,100\np 4000 1,*\n", *right_schema);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+
+  JoinOptions opts;
+  opts.runtime.propagate_count_threshold = 1;
+  PJoin join(*left_schema, *right_schema, opts);
+  std::vector<StreamElement> output;
+  int64_t seq = 0;
+  join.set_result_callback([&](const Tuple& t) {
+    output.push_back(StreamElement::MakeTuple(t, join.last_arrival(), seq++));
+  });
+  join.set_punct_callback([&](const Punctuation& p) {
+    output.push_back(
+        StreamElement::MakePunctuation(p, join.last_arrival(), seq++));
+  });
+  JoinPipeline pipe(&join, nullptr);
+  ASSERT_TRUE(pipe.Run(*left, *right).ok());
+
+  EXPECT_EQ(FormatStreamText(output),
+            "t 1500 1,10,1,100\n"
+            "p 4000 1,*,1,*\n"
+            "p 4000 1,*,1,*\n");
+}
+
+TEST(StreamFileTest, MissingFileIsIOError) {
+  auto schema = ParseSchemaSpec("key:int64");
+  ASSERT_TRUE(schema.ok());
+  auto r = ReadStreamFile("/nonexistent/nope.stream", *schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "join/hash_state.h"
+#include "join/tuple_entry.h"
+
+namespace pjoin {
+namespace {
+
+SchemaPtr MixedSchema() {
+  return Schema::Make({{"k", ValueType::kInt64},
+                       {"s", ValueType::kString},
+                       {"f", ValueType::kFloat64},
+                       {"n", ValueType::kInt64}});
+}
+
+TEST(TupleEntryTest, SerializeRoundtrip) {
+  SchemaPtr schema = MixedSchema();
+  TupleEntry entry;
+  entry.tuple = Tuple(schema, {Value(int64_t{42}), Value("hello world"),
+                               Value(2.718), Value::Null()});
+  entry.ats = 7;
+  entry.dts = 99;
+  entry.pid = 5;
+
+  std::string record = entry.Serialize();
+  auto back = TupleEntry::Deserialize(record, schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ats, 7);
+  EXPECT_EQ(back->dts, 99);
+  EXPECT_EQ(back->pid, 5);
+  EXPECT_EQ(back->tuple, entry.tuple);
+  EXPECT_TRUE(back->tuple.field(3).is_null());
+}
+
+TEST(TupleEntryTest, DefaultsAreAlive) {
+  TupleEntry entry;
+  EXPECT_TRUE(entry.InMemory());
+  EXPECT_EQ(entry.pid, kNullPid);
+}
+
+TEST(TupleEntryTest, DeserializeRejectsTruncated) {
+  SchemaPtr schema = MixedSchema();
+  TupleEntry entry;
+  entry.tuple = Tuple(schema, {Value(int64_t{1}), Value("x"), Value(1.0),
+                               Value(int64_t{2})});
+  std::string record = entry.Serialize();
+  auto bad = TupleEntry::Deserialize(
+      std::string_view(record).substr(0, record.size() / 2), schema);
+  EXPECT_FALSE(bad.ok());
+  auto empty = TupleEntry::Deserialize("", schema);
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(TupleEntryTest, DeserializeRejectsFieldCountMismatch) {
+  SchemaPtr one = Schema::Make({{"a", ValueType::kInt64}});
+  TupleEntry entry;
+  entry.tuple = Tuple(one, {Value(int64_t{1})});
+  std::string record = entry.Serialize();
+  auto bad = TupleEntry::Deserialize(record, MixedSchema());
+  EXPECT_FALSE(bad.ok());
+}
+
+TupleEntry E(int64_t ats, int64_t dts) {
+  TupleEntry e;
+  e.ats = ats;
+  e.dts = dts;
+  return e;
+}
+
+TEST(IntervalsOverlapTest, BothInMemoryAlwaysOverlap) {
+  EXPECT_TRUE(IntervalsOverlap(E(1, kAliveDts), E(100, kAliveDts)));
+}
+
+TEST(IntervalsOverlapTest, DisjointIntervals) {
+  // a left memory at 5, b arrived at 7: never co-resident.
+  EXPECT_FALSE(IntervalsOverlap(E(1, 5), E(7, kAliveDts)));
+  EXPECT_FALSE(IntervalsOverlap(E(7, kAliveDts), E(1, 5)));
+}
+
+TEST(IntervalsOverlapTest, TouchingBoundaryDoesNotOverlap) {
+  // a left at exactly b's arrival tick: b probed memory without a.
+  EXPECT_FALSE(IntervalsOverlap(E(1, 5), E(5, kAliveDts)));
+}
+
+TEST(IntervalsOverlapTest, ContainedInterval) {
+  EXPECT_TRUE(IntervalsOverlap(E(1, 10), E(3, 5)));
+}
+
+TEST(JoinedBeforeTest, OverlapCounts) {
+  std::vector<int64_t> none;
+  EXPECT_TRUE(JoinedBefore(E(1, kAliveDts), none, E(2, kAliveDts), none));
+}
+
+TEST(JoinedBeforeTest, DiskProbeJoinsDiskAgainstMemory) {
+  // a flushed at 5; probe of a's side at T=10; b has been in memory since 7.
+  std::vector<int64_t> probes_a = {10};
+  std::vector<int64_t> none;
+  EXPECT_TRUE(JoinedBefore(E(1, 5), probes_a, E(7, kAliveDts), none));
+  // b arrived after the probe: not joined.
+  EXPECT_FALSE(JoinedBefore(E(1, 5), probes_a, E(11, kAliveDts), none));
+  // a flushed only after the probe ran (and b arrived later still, so no
+  // memory overlap either): not joined.
+  std::vector<int64_t> early_probe = {4};
+  EXPECT_FALSE(JoinedBefore(E(1, 5), early_probe, E(6, 7), none));
+}
+
+TEST(JoinedBeforeTest, ProbeRequiresOppositeInMemoryAtProbeTime) {
+  // b was flushed at 8, probe at 10: b was NOT in memory then.
+  std::vector<int64_t> probes_a = {10};
+  std::vector<int64_t> none;
+  EXPECT_FALSE(JoinedBefore(E(1, 5), probes_a, E(7, 8), none));
+  // probe at 7: b in memory during [7(arrival)… wait b arrived 7, flushed 8.
+  std::vector<int64_t> probes_mid = {7};
+  EXPECT_TRUE(JoinedBefore(E(1, 5), probes_mid, E(7, 8), none));
+}
+
+TEST(JoinedBeforeTest, SymmetricProbeHistories) {
+  // Probe of b's side disk at T=10: b on disk by 6, a in memory since 3.
+  std::vector<int64_t> none;
+  std::vector<int64_t> probes_b = {10};
+  EXPECT_TRUE(JoinedBefore(E(3, kAliveDts), none, E(2, 6), probes_b));
+}
+
+}  // namespace
+}  // namespace pjoin

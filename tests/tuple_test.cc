@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace pjoin {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kFloat64);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsFloat64(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, EqualityRequiresSameType) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types never equal
+  EXPECT_EQ(Value(), Value());
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Null sorts before everything.
+  EXPECT_LT(Value(), Value(int64_t{-100}));
+  EXPECT_FALSE(Value(int64_t{1}) < Value());
+}
+
+TEST(ValueTest, HashStableAndTypeSeeded) {
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(int64_t{42}).Hash());
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(0.0).Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_EQ(Value("hi").Hash(), Value("hi").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("s").ToString(), "\"s\"");
+}
+
+TEST(ValueTest, ByteSizeGrowsWithString) {
+  EXPECT_GT(Value(std::string(100, 'x')).ByteSize(),
+            Value("short").ByteSize());
+}
+
+TEST(SchemaTest, FieldsAndLookup) {
+  SchemaPtr s = Schema::Make(
+      {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  EXPECT_EQ(s->num_fields(), 2u);
+  EXPECT_EQ(s->field(0).name, "id");
+  ASSERT_TRUE(s->IndexOf("name").ok());
+  EXPECT_EQ(s->IndexOf("name").value(), 1u);
+  EXPECT_FALSE(s->IndexOf("missing").ok());
+  EXPECT_TRUE(s->Contains("id"));
+  EXPECT_FALSE(s->Contains("nope"));
+  EXPECT_EQ(s->ToString(), "(id:int64, name:string)");
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  SchemaPtr a = Schema::Make({{"key", ValueType::kInt64},
+                              {"v", ValueType::kInt64}});
+  SchemaPtr b = Schema::Make({{"key", ValueType::kInt64},
+                              {"w", ValueType::kInt64}});
+  SchemaPtr c = Schema::Concat(*a, *b);
+  ASSERT_EQ(c->num_fields(), 4u);
+  EXPECT_EQ(c->field(0).name, "key");
+  EXPECT_EQ(c->field(2).name, "key_r");
+  EXPECT_EQ(c->field(3).name, "w");
+}
+
+TEST(SchemaTest, Equality) {
+  SchemaPtr a = Schema::Make({{"x", ValueType::kInt64}});
+  SchemaPtr b = Schema::Make({{"x", ValueType::kInt64}});
+  SchemaPtr c = Schema::Make({{"x", ValueType::kFloat64}});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(TupleTest, FieldAccessByIndexAndName) {
+  SchemaPtr s = Schema::Make(
+      {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  Tuple t(s, {Value(int64_t{3}), Value("bob")});
+  EXPECT_EQ(t.num_fields(), 2u);
+  EXPECT_EQ(t.field(0).AsInt64(), 3);
+  EXPECT_EQ(t.field("name").AsString(), "bob");
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  SchemaPtr s = Schema::Make({{"a", ValueType::kInt64}});
+  Tuple t1(s, {Value(int64_t{1})});
+  Tuple t1b(s, {Value(int64_t{1})});
+  Tuple t2(s, {Value(int64_t{2})});
+  EXPECT_EQ(t1, t1b);
+  EXPECT_NE(t1, t2);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(TupleTest, Concat) {
+  SchemaPtr a = Schema::Make({{"x", ValueType::kInt64}});
+  SchemaPtr b = Schema::Make({{"y", ValueType::kString}});
+  SchemaPtr out = Schema::Concat(*a, *b);
+  Tuple t = Tuple::Concat(Tuple(a, {Value(int64_t{1})}),
+                          Tuple(b, {Value("z")}), out);
+  EXPECT_EQ(t.num_fields(), 2u);
+  EXPECT_EQ(t.field("x").AsInt64(), 1);
+  EXPECT_EQ(t.field("y").AsString(), "z");
+}
+
+TEST(TupleTest, ToStringNamesFields) {
+  SchemaPtr s = Schema::Make({{"k", ValueType::kInt64}});
+  Tuple t(s, {Value(int64_t{9})});
+  EXPECT_EQ(t.ToString(), "[k=9]");
+}
+
+TEST(TupleBuilderTest, BuildsCheckedTuple) {
+  SchemaPtr s = Schema::Make(
+      {{"id", ValueType::kInt64}, {"score", ValueType::kFloat64}});
+  Tuple t = TupleBuilder(s).Add(Value(int64_t{1})).Add(Value(0.5)).Build();
+  EXPECT_EQ(t.field(0).AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(t.field(1).AsFloat64(), 0.5);
+}
+
+TEST(TupleBuilderTest, AllowsNullFields) {
+  SchemaPtr s = Schema::Make({{"id", ValueType::kInt64}});
+  Tuple t = TupleBuilder(s).Add(Value::Null()).Build();
+  EXPECT_TRUE(t.field(0).is_null());
+}
+
+}  // namespace
+}  // namespace pjoin

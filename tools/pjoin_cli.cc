@@ -1,0 +1,160 @@
+// pjoin_cli: join two punctuated stream files from the command line.
+//
+// Usage:
+//   pjoin_cli --left LEFT.stream --left-schema "key:int64,qty:int64"
+//             --right RIGHT.stream --right-schema "key:int64,w:float64"
+//             [--left-key 0] [--right-key 0]
+//             [--algo pjoin|xjoin|shj]
+//             [--purge-threshold N] [--memory-threshold N]
+//             [--propagate-count N] [--threads]
+//             [--out OUT.stream] [--stats]
+//
+// Stream file format (see src/io/text_format.h):
+//   t <arrival_micros> <v1>,<v2>,...
+//   p <arrival_micros> <pattern1>,<pattern2>,...
+//
+// Example:
+//   $ cat left.stream
+//   t 1000 1,10
+//   t 2000 2,20
+//   p 3000 1,*
+//   $ pjoin_cli --left left.stream --left-schema key:int64,qty:int64
+//               --right right.stream --right-schema key:int64,w:float64
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "io/text_format.h"
+#include "join/pjoin.h"
+#include "join/shj.h"
+#include "join/xjoin.h"
+#include "ops/pipeline.h"
+#include "ops/threaded_pipeline.h"
+
+using namespace pjoin;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool Has(const std::string& key) const { return named.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt = "") const {
+    auto it = named.find(key);
+    return it == named.end() ? dflt : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t dflt) const {
+    auto it = named.find(key);
+    return it == named.end() ? dflt : std::atoll(it->second.c_str());
+  }
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "pjoin_cli: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return Fail("unexpected argument " + key);
+    key = key.substr(2);
+    if (key == "threads" || key == "stats") {
+      args.named[key] = "1";
+    } else if (i + 1 < argc) {
+      args.named[key] = argv[++i];
+    } else {
+      return Fail("missing value for --" + key);
+    }
+  }
+  for (const char* required :
+       {"left", "right", "left-schema", "right-schema"}) {
+    if (!args.Has(required)) {
+      return Fail(std::string("--") + required +
+                  " is required (see header of tools/pjoin_cli.cc)");
+    }
+  }
+
+  auto left_schema = ParseSchemaSpec(args.Get("left-schema"));
+  if (!left_schema.ok()) return Fail(left_schema.status().ToString());
+  auto right_schema = ParseSchemaSpec(args.Get("right-schema"));
+  if (!right_schema.ok()) return Fail(right_schema.status().ToString());
+
+  auto left = ReadStreamFile(args.Get("left"), *left_schema);
+  if (!left.ok()) return Fail(left.status().ToString());
+  auto right = ReadStreamFile(args.Get("right"), *right_schema);
+  if (!right.ok()) return Fail(right.status().ToString());
+
+  JoinOptions options;
+  options.left_key = static_cast<size_t>(args.GetInt("left-key", 0));
+  options.right_key = static_cast<size_t>(args.GetInt("right-key", 0));
+  options.runtime.purge_threshold = args.GetInt("purge-threshold", 1);
+  if (args.Has("memory-threshold")) {
+    options.runtime.memory_threshold_tuples =
+        args.GetInt("memory-threshold", 0);
+  }
+  options.runtime.propagate_count_threshold =
+      args.GetInt("propagate-count", 0);
+
+  const std::string algo = args.Get("algo", "pjoin");
+  std::unique_ptr<JoinOperator> join;
+  if (algo == "pjoin") {
+    join = std::make_unique<PJoin>(*left_schema, *right_schema, options);
+  } else if (algo == "xjoin") {
+    join = std::make_unique<XJoin>(*left_schema, *right_schema, options);
+  } else if (algo == "shj") {
+    join = std::make_unique<SymmetricHashJoin>(*left_schema, *right_schema,
+                                               options);
+  } else {
+    return Fail("unknown --algo '" + algo + "' (pjoin|xjoin|shj)");
+  }
+
+  // Collect output as stream elements so it can be written back out.
+  std::vector<StreamElement> output;
+  int64_t seq = 0;
+  join->set_result_callback([&](const Tuple& t) {
+    output.push_back(StreamElement::MakeTuple(t, join->last_arrival(), seq++));
+  });
+  join->set_punct_callback([&](const Punctuation& p) {
+    output.push_back(
+        StreamElement::MakePunctuation(p, join->last_arrival(), seq++));
+  });
+
+  Status status;
+  if (args.Has("threads")) {
+    ThreadedJoinPipeline pipeline(join.get());
+    status = pipeline.Run(*left, *right);
+  } else {
+    PipelineOptions popts;
+    popts.stall_gap_micros = 8000;
+    JoinPipeline pipeline(join.get(), nullptr, popts);
+    status = pipeline.Run(*left, *right);
+  }
+  if (!status.ok()) return Fail(status.ToString());
+
+  if (args.Has("out")) {
+    Status w = WriteStreamFile(args.Get("out"), output);
+    if (!w.ok()) return Fail(w.ToString());
+  } else {
+    std::fputs(FormatStreamText(output).c_str(), stdout);
+  }
+
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "algo:            %s\n", algo.c_str());
+    std::fprintf(stderr, "output schema:   %s\n",
+                 FormatSchemaSpec(*join->output_schema()).c_str());
+    std::fprintf(stderr, "results:         %lld\n",
+                 static_cast<long long>(join->results_emitted()));
+    std::fprintf(stderr, "puncts out:      %lld\n",
+                 static_cast<long long>(join->puncts_emitted()));
+    std::fprintf(stderr, "state at end:    %lld tuples\n",
+                 static_cast<long long>(join->total_state_tuples()));
+    std::fprintf(stderr, "counters:        %s\n",
+                 join->counters().ToString().c_str());
+  }
+  return 0;
+}
