@@ -118,6 +118,10 @@ int64_t CounterSet::Get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void CounterSet::Merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
 void CounterSet::Reset() { counters_.clear(); }
 
 std::string CounterSet::ToString() const {

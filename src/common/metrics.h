@@ -82,6 +82,8 @@ class CounterSet {
   void Add(const std::string& name, int64_t delta = 1);
   /// Value of counter `name`; 0 if never touched.
   int64_t Get(const std::string& name) const;
+  /// Adds every counter of `other` into this set.
+  void Merge(const CounterSet& other);
   void Reset();
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }

@@ -20,6 +20,12 @@ std::string_view EventTypeName(EventType type) {
       return "PropagateTimeExpireEvent";
     case EventType::kPropagateCountReach:
       return "PropagateCountReachEvent";
+    case EventType::kIoError:
+      return "IoErrorEvent";
+    case EventType::kContractViolation:
+      return "ContractViolationEvent";
+    case EventType::kDegradedMode:
+      return "DegradedModeEvent";
   }
   return "?";
 }
@@ -28,6 +34,7 @@ std::string Event::ToString() const {
   std::ostringstream os;
   os << EventTypeName(type) << "@" << time;
   if (stream >= 0) os << " stream=" << stream;
+  if (!detail.empty()) os << " [" << detail << "]";
   return os.str();
 }
 

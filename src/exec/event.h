@@ -31,9 +31,18 @@ enum class EventType {
   kPropagateTimeExpire,
   /// The count propagation threshold was reached (push mode).
   kPropagateCountReach,
+  // ---- Robustness events (beyond the paper; see docs/ROBUSTNESS.md) ----
+  /// A storage operation failed (transient or permanent I/O error).
+  kIoError,
+  /// An input element violated the punctuation contract (late tuple,
+  /// malformed or non-prefix punctuation).
+  kContractViolation,
+  /// A component switched to a degraded operating mode (e.g. spill storage
+  /// fell back from the file store to the in-memory store).
+  kDegradedMode,
 };
 
-constexpr int kNumEventTypes = 7;
+constexpr int kNumEventTypes = 10;
 
 std::string_view EventTypeName(EventType type);
 
@@ -44,6 +53,9 @@ struct Event {
   TimeMicros time = 0;
   /// Input index (0/1) the event pertains to, or -1 when global.
   int stream = -1;
+  /// Free-form context for diagnostics (violation kind, failed operation,
+  /// ...); empty for the classic §3.6 events.
+  std::string detail;
 
   std::string ToString() const;
 };

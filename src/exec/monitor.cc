@@ -12,7 +12,7 @@ Monitor::Monitor(RuntimeParams params, EventRegistry* registry,
 }
 
 Event Monitor::MakeEvent(EventType type, int stream) const {
-  return Event{type, clock_->NowMicros(), stream};
+  return Event{type, clock_->NowMicros(), stream, {}};
 }
 
 Status Monitor::OnPunctuationArrived(int stream) {

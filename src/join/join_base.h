@@ -27,6 +27,23 @@ enum class PurgeMode {
   kIndexed,
 };
 
+/// How PJoin reacts to runtime punctuation-contract violations (late tuples
+/// matching an already-seen punctuation, malformed or non-prefix
+/// punctuations). See docs/ROBUSTNESS.md.
+enum class ViolationPolicy {
+  /// No contract checking (the paper's trusting behavior; default).
+  kIgnore,
+  /// Count the violation, raise ContractViolationEvent, drop the element.
+  /// Purge decisions stay sound: output equals the clean-input result with
+  /// the violating elements removed.
+  kDrop,
+  /// Like kDrop, but violating elements are retained for inspection
+  /// (PJoin::quarantined_tuples / quarantined_puncts).
+  kQuarantine,
+  /// Fail the join with FailedPrecondition on the first violation.
+  kFail,
+};
+
 /// Configuration shared by all join operators; PJoin-only fields are ignored
 /// by SHJ / XJoin.
 struct JoinOptions {
@@ -54,6 +71,12 @@ struct JoinOptions {
   bool propagate_on_finish = true;
   /// Validate the §2.2 prefix condition on incoming punctuations.
   bool validate_prefix = false;
+  /// PJoin: runtime reaction to punctuation-contract violations. With
+  /// kIgnore no checks run (inputs are trusted, as the paper assumes); any
+  /// other policy validates every arriving element. With validate_prefix
+  /// also on, prefix-condition failures are routed through this policy
+  /// instead of aborting the join.
+  ViolationPolicy violation_policy = ViolationPolicy::kIgnore;
   /// PJoin purge strategy implementation.
   PurgeMode purge_mode = PurgeMode::kScan;
   /// Spill-store factory, one call per input state. Defaults to

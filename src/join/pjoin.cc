@@ -89,7 +89,50 @@ const PunctuationSet& PJoin::punct_set(int side) const {
   return *punct_sets_[side];
 }
 
+const std::vector<Tuple>& PJoin::quarantined_tuples(int side) const {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  return quarantined_tuples_[side];
+}
+
+const std::vector<Punctuation>& PJoin::quarantined_puncts(int side) const {
+  PJOIN_DCHECK(side == 0 || side == 1);
+  return quarantined_puncts_[side];
+}
+
+Status PJoin::OnContractViolation(int side, std::string_view kind,
+                                  const Tuple* tuple,
+                                  const Punctuation* punct) {
+  counters().Add("contract_violations");
+  counters().Add("violation_" + std::string(kind));
+  PJOIN_RETURN_NOT_OK(registry_.Dispatch(Event{EventType::kContractViolation,
+                                               last_arrival(), side,
+                                               std::string(kind)}));
+  switch (options().violation_policy) {
+    case ViolationPolicy::kQuarantine:
+      if (tuple != nullptr) quarantined_tuples_[side].push_back(*tuple);
+      if (punct != nullptr) quarantined_puncts_[side].push_back(*punct);
+      return Status::OK();
+    case ViolationPolicy::kFail:
+      return Status::FailedPrecondition(
+          "punctuation-contract violation on stream " +
+          std::to_string(side) + ": " + std::string(kind));
+    case ViolationPolicy::kIgnore:  // unreachable: checks are off
+    case ViolationPolicy::kDrop:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
 Status PJoin::OnTuple(int side, const Tuple& tuple) {
+  // Contract check: this stream promised — via one of its own earlier
+  // punctuations — never to send a tuple with this key again. Processing a
+  // late tuple would corrupt purge decisions (its matches may already be
+  // purged from the opposite state), so it is dropped/quarantined before it
+  // can probe or be stored.
+  if (options().violation_policy != ViolationPolicy::kIgnore &&
+      punct_sets_[side]->SetMatchKey(state(side).KeyOf(tuple))) {
+    return OnContractViolation(side, "late_tuple", &tuple, nullptr);
+  }
   const int64_t tick = NextTick();
   HashState& own = mutable_state(side);
   HashState& opp = mutable_state(1 - side);
@@ -121,10 +164,33 @@ Status PJoin::OnTuple(int side, const Tuple& tuple) {
 }
 
 Status PJoin::OnPunctuation(int side, const Punctuation& punct) {
+  // Contract checks: a malformed punctuation (wrong arity for the schema,
+  // or containing an empty pattern) must never reach the punctuation set —
+  // its patterns would be evaluated against the wrong attributes and could
+  // purge state that still owes joins.
+  if (options().violation_policy != ViolationPolicy::kIgnore) {
+    if (punct.num_patterns() != state(side).schema()->num_fields()) {
+      return OnContractViolation(side, "malformed_punctuation_arity", nullptr,
+                                 &punct);
+    }
+    if (punct.IsEmpty()) {
+      return OnContractViolation(side, "malformed_punctuation_empty", nullptr,
+                                 &punct);
+    }
+  }
   NextTick();
   HashState& own = mutable_state(side);
   Result<int64_t> pid = punct_sets_[side]->Add(punct, last_arrival());
-  PJOIN_RETURN_NOT_OK(pid.status());
+  if (!pid.ok()) {
+    // With prefix validation on, a non-prefix punctuation is routed through
+    // the violation policy instead of aborting the join outright.
+    if (options().violation_policy != ViolationPolicy::kIgnore &&
+        pid.status().code() == StatusCode::kFailedPrecondition) {
+      return OnContractViolation(side, "non_prefix_punctuation", nullptr,
+                                 &punct);
+    }
+    return pid.status();
+  }
 
   // Disk-resident tuples of this stream have not been evaluated against the
   // new punctuation; propagation must run a disk pass first.

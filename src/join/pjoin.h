@@ -49,6 +49,15 @@ class PJoin : public JoinOperator {
   EventRegistry& registry() { return registry_; }
   Monitor& monitor() { return *monitor_; }
 
+  /// Elements set aside under ViolationPolicy::kQuarantine.
+  const std::vector<Tuple>& quarantined_tuples(int side) const;
+  const std::vector<Punctuation>& quarantined_puncts(int side) const;
+  /// Total contract violations detected (also counter
+  /// "contract_violations", split by kind as "violation_<kind>").
+  int64_t contract_violations() const {
+    return counters().Get("contract_violations");
+  }
+
  protected:
   Status OnTuple(int side, const Tuple& tuple) override;
   Status OnPunctuation(int side, const Punctuation& punct) override;
@@ -81,6 +90,12 @@ class PJoin : public JoinOperator {
   /// Final disposal of a state entry; maintains punctuation match counts.
   void DiscardEntry(int side, const TupleEntry& entry);
 
+  /// Records one contract violation per the configured policy. `tuple` /
+  /// `punct` (either may be null) is the offending element, quarantined
+  /// under kQuarantine. Returns an error only under kFail.
+  Status OnContractViolation(int side, std::string_view kind,
+                             const Tuple* tuple, const Punctuation* punct);
+
   /// Clock mapping "now" to the last stream arrival time (virtual time).
   class ArrivalClock;
 
@@ -91,6 +106,8 @@ class PJoin : public JoinOperator {
   /// Per partition: tick of the last disk-x-disk pass (both-disk pairs with
   /// dts at or before it are already joined).
   std::vector<int64_t> disk_pass_tick_;
+  std::vector<Tuple> quarantined_tuples_[2];
+  std::vector<Punctuation> quarantined_puncts_[2];
   std::unique_ptr<Component> purge_component_;
   std::unique_ptr<Component> relocation_component_;
   std::unique_ptr<Component> disk_join_component_;

@@ -13,12 +13,18 @@ ThreadedJoinPipeline::ThreadedJoinPipeline(JoinOperator* join,
 
 Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
                                  const std::vector<StreamElement>& right) {
-  StreamBuffer buffers[2];
+  StreamBuffer buffers[2] = {StreamBuffer(options_.buffer_capacity),
+                             StreamBuffer(options_.buffer_capacity)};
   auto producer = [this](const std::vector<StreamElement>& elements,
                          StreamBuffer* buffer) {
     int64_t in_burst = 0;
     for (const StreamElement& e : elements) {
-      buffer->Push(e);
+      // With a bounded buffer this blocks while the consumer is behind
+      // (backpressure); the buffer only rejects pushes after Close, which
+      // this producer alone issues.
+      const Status pushed = buffer->PushBlocking(e);
+      PJOIN_DCHECK(pushed.ok());
+      if (!pushed.ok()) break;
       if (++in_burst >= options_.producer_burst) {
         in_burst = 0;
         std::this_thread::yield();
@@ -66,6 +72,8 @@ Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
 
   t0.join();
   t1.join();
+  backpressure_waits_ =
+      buffers[0].backpressure_waits() + buffers[1].backpressure_waits();
   return status;
 }
 

@@ -22,6 +22,10 @@ struct ThreadedPipelineOptions {
   /// Consumer reports at most one stall to the join per this many dry
   /// polls.
   int64_t stall_report_interval = 256;
+  /// Per-input StreamBuffer capacity; producers block (backpressure) while
+  /// their buffer holds this many elements. 0 = unbounded (no
+  /// backpressure), the historical behavior.
+  size_t buffer_capacity = 0;
 };
 
 class ThreadedJoinPipeline {
@@ -36,12 +40,15 @@ class ThreadedJoinPipeline {
 
   int64_t stalls_reported() const { return stalls_reported_; }
   int64_t elements_processed() const { return elements_processed_; }
+  /// Times a producer blocked on a full buffer (bounded buffers only).
+  int64_t backpressure_waits() const { return backpressure_waits_; }
 
  private:
   JoinOperator* join_;
   ThreadedPipelineOptions options_;
   int64_t stalls_reported_ = 0;
   int64_t elements_processed_ = 0;
+  int64_t backpressure_waits_ = 0;
 };
 
 }  // namespace pjoin

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <memory>
 
+#include "common/logging.h"
+
 namespace pjoin {
 
 Result<std::unique_ptr<FileSpillStore>> FileSpillStore::Open(
@@ -12,6 +14,10 @@ Result<std::unique_ptr<FileSpillStore>> FileSpillStore::Open(
     return Status::IOError("cannot open spill file '" + path +
                            "': " + std::strerror(errno));
   }
+  // Unlink the name immediately (POSIX keeps the open file alive): a
+  // crashed or killed run can never leak the temp file, and Close() need
+  // not race anyone for the name.
+  std::remove(path.c_str());
   return std::unique_ptr<FileSpillStore>(
       new FileSpillStore(file, path, page_size));
 }
@@ -21,14 +27,37 @@ FileSpillStore::FileSpillStore(std::FILE* file, std::string path,
     : file_(file), path_(std::move(path)), page_size_(page_size) {}
 
 FileSpillStore::~FileSpillStore() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    std::remove(path_.c_str());
+  const Status status = Close();
+  if (!status.ok()) {
+    PJOIN_LOG(kWarn) << "closing spill file '" << path_
+                     << "': " << status.ToString();
   }
+}
+
+Status FileSpillStore::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::FILE* file = file_;
+  file_ = nullptr;
+  Status status;
+  if (std::fflush(file) != 0) {
+    status = Status::IOError("flush of spill file '" + path_ +
+                             "' failed: " + std::strerror(errno));
+  }
+  // fclose may surface deferred write errors (e.g. ENOSPC) — check it.
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IOError("close of spill file '" + path_ +
+                             "' failed: " + std::strerror(errno));
+  }
+  // Defensive: the name was already unlinked at Open; ignore the result.
+  std::remove(path_.c_str());
+  return status;
 }
 
 Status FileSpillStore::WritePage(const std::string& page,
                                  int64_t* page_index) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill file already closed");
+  }
   const int64_t index = next_page_index_;
   if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
       0) {
@@ -36,6 +65,13 @@ Status FileSpillStore::WritePage(const std::string& page,
   }
   if (std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
     return Status::IOError("short write to spill file");
+  }
+  // Flush before any read-back: stdio buffers writes, and ReadPartition may
+  // fetch this page within the same batch's disk join. Also surfaces write
+  // errors here instead of at some later read.
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush of spill file failed: " +
+                           std::string(std::strerror(errno)));
   }
   ++next_page_index_;
   ++stats_.pages_written;

@@ -17,12 +17,19 @@ namespace pjoin {
 
 class FileSpillStore : public SpillStore {
  public:
-  /// Opens (creates/truncates) the backing file at `path`.
+  /// Opens (creates/truncates) the backing file at `path` and immediately
+  /// unlinks its name (POSIX semantics keep the open file usable), so even
+  /// a crashed run never leaks the temp file.
   static Result<std::unique_ptr<FileSpillStore>> Open(
       const std::string& path, size_t page_size = kDefaultPageSize);
 
   ~FileSpillStore() override;
   PJOIN_DISALLOW_COPY_AND_MOVE(FileSpillStore);
+
+  /// Flushes and closes the backing file, surfacing deferred write errors
+  /// (the destructor calls this and can only log them). Idempotent; any
+  /// I/O after Close fails with FailedPrecondition.
+  Status Close();
 
   Status AppendBatch(int partition,
                      const std::vector<std::string>& records) override;

@@ -1,0 +1,201 @@
+#include "storage/recovering_spill_store.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "storage/simulated_disk.h"
+
+namespace pjoin {
+
+namespace {
+
+void AddStats(IoStats* into, const IoStats& delta) {
+  into->pages_written += delta.pages_written;
+  into->pages_read += delta.pages_read;
+  into->records_written += delta.records_written;
+  into->records_read += delta.records_read;
+  into->simulated_latency_micros += delta.simulated_latency_micros;
+}
+
+}  // namespace
+
+RecoveringSpillStore::RecoveringSpillStore(std::unique_ptr<SpillStore> primary,
+                                           RecoveryOptions options,
+                                           EventSink sink)
+    : primary_(std::move(primary)),
+      options_(std::move(options)),
+      sink_(std::move(sink)) {
+  PJOIN_DCHECK(primary_ != nullptr);
+  if (!options_.fallback_factory) {
+    options_.fallback_factory = [] { return std::make_unique<SimulatedDisk>(); };
+  }
+}
+
+void RecoveringSpillStore::Backoff(int attempt) {
+  const double factor = std::pow(options_.backoff_multiplier, attempt);
+  const auto delay = static_cast<int64_t>(
+      static_cast<double>(options_.backoff_initial_micros) * factor);
+  recovery_stats_.backoff_micros += delay;
+  if (options_.sleep_on_backoff) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
+void RecoveringSpillStore::EmitIoError(const std::string& detail) {
+  ++recovery_stats_.io_errors;
+  if (sink_) sink_(Event{EventType::kIoError, 0, -1, detail});
+}
+
+Status RecoveringSpillStore::FallBack(const std::string& reason) {
+  PJOIN_DCHECK(!degraded_);
+  PJOIN_LOG(kWarn) << "spill store degrading to fallback: " << reason;
+  fallback_ = options_.fallback_factory();
+  ++recovery_stats_.fallbacks;
+
+  // Migrate every readable partition. Reads get the same retry budget as
+  // regular operations; records behind a permanent read failure are lost
+  // and reported — never silently dropped.
+  std::vector<int> unreadable;
+  for (int p : primary_->NonEmptyPartitions()) {
+    Result<std::vector<std::string>> records = primary_->ReadPartition(p);
+    for (int attempt = 0; attempt < options_.max_retries && !records.ok();
+         ++attempt) {
+      EmitIoError("migration read of partition " + std::to_string(p) + ": " +
+                  records.status().message());
+      ++recovery_stats_.retries;
+      Backoff(attempt);
+      records = primary_->ReadPartition(p);
+    }
+    if (!records.ok()) {
+      recovery_stats_.records_lost += primary_->PartitionRecordCount(p);
+      unreadable.push_back(p);
+      continue;
+    }
+    PJOIN_RETURN_NOT_OK(fallback_->AppendBatch(p, *records));
+    recovery_stats_.records_migrated +=
+        static_cast<int64_t>(records->size());
+  }
+
+  AddStats(&retired_stats_, primary_->io_stats());
+  degraded_ = true;
+  if (sink_) {
+    sink_(Event{EventType::kDegradedMode, 0, -1,
+                reason + "; migrated " +
+                    std::to_string(recovery_stats_.records_migrated) +
+                    " records"});
+  }
+  if (!unreadable.empty()) {
+    return Status::IOError(
+        "degraded with data loss: " +
+        std::to_string(recovery_stats_.records_lost) +
+        " records unreadable during migration (first partition " +
+        std::to_string(unreadable.front()) + ")");
+  }
+  return Status::OK();
+}
+
+Status RecoveringSpillStore::AppendBatch(
+    int partition, const std::vector<std::string>& records) {
+  if (records.empty()) return active()->AppendBatch(partition, records);
+  // Resume-from-watermark: the partition's durable record count tells how
+  // much of the batch survived a failed or short write, so retries append
+  // exactly the missing suffix — no duplicates, no loss.
+  const int64_t durable_before = active()->PartitionRecordCount(partition);
+  size_t done = 0;
+  Status status;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++recovery_stats_.retries;
+      Backoff(attempt - 1);
+      done = static_cast<size_t>(active()->PartitionRecordCount(partition) -
+                                 durable_before);
+      PJOIN_DCHECK(done <= records.size());
+    }
+    const std::vector<std::string> suffix(
+        records.begin() + static_cast<ptrdiff_t>(done), records.end());
+    status = suffix.empty() ? Status::OK()
+                            : active()->AppendBatch(partition, suffix);
+    if (status.ok()) {
+      if (attempt > 0) ++recovery_stats_.recovered_ops;
+      return Status::OK();
+    }
+    EmitIoError("append to partition " + std::to_string(partition) + ": " +
+                status.message());
+  }
+  if (degraded_) {
+    return Status::IOError("fallback store failed: " + status.message());
+  }
+  // Retries exhausted on the primary: degrade. The durable prefix of this
+  // batch migrates with its partition; only the unwritten suffix remains.
+  done = static_cast<size_t>(active()->PartitionRecordCount(partition) -
+                             durable_before);
+  PJOIN_RETURN_NOT_OK(FallBack("permanent write failure: " + status.message()));
+  const std::vector<std::string> suffix(
+      records.begin() + static_cast<ptrdiff_t>(done), records.end());
+  return fallback_->AppendBatch(partition, suffix);
+}
+
+Result<std::vector<std::string>> RecoveringSpillStore::ReadPartition(
+    int partition) {
+  Result<std::vector<std::string>> result = active()->ReadPartition(partition);
+  for (int attempt = 0; attempt < options_.max_retries && !result.ok();
+       ++attempt) {
+    EmitIoError("read of partition " + std::to_string(partition) + ": " +
+                result.status().message());
+    ++recovery_stats_.retries;
+    Backoff(attempt);
+    result = active()->ReadPartition(partition);
+    if (result.ok()) ++recovery_stats_.recovered_ops;
+  }
+  if (result.ok()) return result;
+  EmitIoError("read of partition " + std::to_string(partition) + ": " +
+              result.status().message());
+  if (degraded_) return result;
+  // Permanent read failure on the primary: degrade. If this partition's
+  // pages are truly unreadable the migration reports the loss.
+  PJOIN_RETURN_NOT_OK(FallBack("permanent read failure: " +
+                               result.status().message()));
+  return fallback_->ReadPartition(partition);
+}
+
+Status RecoveringSpillStore::RunWithRecovery(
+    const std::string& what, const std::function<Status()>& op) {
+  Status status = op();
+  for (int attempt = 0; attempt < options_.max_retries && !status.ok();
+       ++attempt) {
+    EmitIoError(what + ": " + status.message());
+    ++recovery_stats_.retries;
+    Backoff(attempt);
+    status = op();
+    if (status.ok()) ++recovery_stats_.recovered_ops;
+  }
+  return status;
+}
+
+Status RecoveringSpillStore::ClearPartition(int partition) {
+  return RunWithRecovery(
+      "clear of partition " + std::to_string(partition),
+      [this, partition] { return active()->ClearPartition(partition); });
+}
+
+int64_t RecoveringSpillStore::PartitionRecordCount(int partition) const {
+  return active()->PartitionRecordCount(partition);
+}
+
+int64_t RecoveringSpillStore::TotalRecordCount() const {
+  return active()->TotalRecordCount();
+}
+
+std::vector<int> RecoveringSpillStore::NonEmptyPartitions() const {
+  return active()->NonEmptyPartitions();
+}
+
+const IoStats& RecoveringSpillStore::io_stats() const {
+  stats_ = retired_stats_;
+  AddStats(&stats_, active()->io_stats());
+  return stats_;
+}
+
+}  // namespace pjoin

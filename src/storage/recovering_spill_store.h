@@ -1,0 +1,108 @@
+// RecoveringSpillStore: a SpillStore decorator that makes any primary store
+// survive transient I/O errors and degrade gracefully on permanent ones.
+//
+// The degradation ladder (docs/ROBUSTNESS.md):
+//   1. retry    — every failed operation is retried up to max_retries times
+//                 with exponential backoff;
+//   2. resume   — a failed AppendBatch is resumed from the partition's
+//                 durable record count, so short writes never duplicate or
+//                 lose records across retries;
+//   3. fallback — when retries are exhausted the store migrates every
+//                 readable partition into a fallback store (an in-memory
+//                 SimulatedDisk by default) and continues there, emitting a
+//                 DegradedModeEvent.
+// Only when data is genuinely unreadable (permanent read failure of
+// unmigrated pages) does an operation return an error: correctness is never
+// silently traded for availability.
+
+#ifndef PJOIN_STORAGE_RECOVERING_SPILL_STORE_H_
+#define PJOIN_STORAGE_RECOVERING_SPILL_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/event.h"
+#include "storage/spill_store.h"
+
+namespace pjoin {
+
+struct RecoveryOptions {
+  /// Retries per failed operation before declaring the failure permanent.
+  int max_retries = 3;
+  /// Backoff before retry k (0-based) is initial * multiplier^k.
+  int64_t backoff_initial_micros = 100;
+  double backoff_multiplier = 2.0;
+  /// Sleep for real during backoff. Off by default: deterministic runs only
+  /// account the backoff in RecoveryStats::backoff_micros.
+  bool sleep_on_backoff = false;
+  /// Builds the degraded-mode store. Defaults to SimulatedDisk.
+  std::function<std::unique_ptr<SpillStore>()> fallback_factory;
+};
+
+struct RecoveryStats {
+  int64_t io_errors = 0;          // failed operations observed (pre-retry)
+  int64_t retries = 0;            // retry attempts issued
+  int64_t recovered_ops = 0;      // operations that succeeded after >=1 retry
+  int64_t backoff_micros = 0;     // total exponential backoff accounted
+  int64_t fallbacks = 0;          // primary -> fallback switches (0 or 1)
+  int64_t records_migrated = 0;   // records copied into the fallback store
+  int64_t records_lost = 0;       // records unreadable during migration
+};
+
+class RecoveringSpillStore : public SpillStore {
+ public:
+  /// Receives IoErrorEvent / DegradedModeEvent as they happen (optional).
+  using EventSink = std::function<void(const Event&)>;
+
+  explicit RecoveringSpillStore(std::unique_ptr<SpillStore> primary,
+                                RecoveryOptions options = {},
+                                EventSink sink = nullptr);
+
+  Status AppendBatch(int partition,
+                     const std::vector<std::string>& records) override;
+  Result<std::vector<std::string>> ReadPartition(int partition) override;
+  Status ClearPartition(int partition) override;
+  int64_t PartitionRecordCount(int partition) const override;
+  int64_t TotalRecordCount() const override;
+  std::vector<int> NonEmptyPartitions() const override;
+  const IoStats& io_stats() const override;
+
+  /// True once the store runs on the fallback.
+  bool degraded() const { return degraded_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+ private:
+  SpillStore* active() { return degraded_ ? fallback_.get() : primary_.get(); }
+  const SpillStore* active() const {
+    return degraded_ ? fallback_.get() : primary_.get();
+  }
+
+  /// Accounts (and optionally sleeps) the backoff before retry `attempt`.
+  void Backoff(int attempt);
+  void EmitIoError(const std::string& detail);
+
+  /// Switches to the fallback store, migrating every readable primary
+  /// partition. Returns an error only if some partition is unreadable.
+  Status FallBack(const std::string& reason);
+
+  /// Runs `op` against the active store with retry + backoff. On permanent
+  /// failure falls back (at most once) and tries once more there.
+  Status RunWithRecovery(const std::string& what,
+                         const std::function<Status()>& op);
+
+  std::unique_ptr<SpillStore> primary_;
+  std::unique_ptr<SpillStore> fallback_;
+  RecoveryOptions options_;
+  EventSink sink_;
+  bool degraded_ = false;
+  RecoveryStats recovery_stats_;
+  /// io_stats() aggregate: retired-primary totals + active-store totals.
+  IoStats retired_stats_;
+  mutable IoStats stats_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_RECOVERING_SPILL_STORE_H_

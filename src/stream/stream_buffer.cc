@@ -2,15 +2,43 @@
 
 namespace pjoin {
 
-void StreamBuffer::Push(StreamElement element) {
+Status StreamBuffer::TryPush(StreamElement element) {
   std::lock_guard<std::mutex> lock(mu_);
-  PJOIN_DCHECK(!closed_);
+  if (closed_) {
+    return Status::FailedPrecondition("push to closed stream buffer");
+  }
+  if (capacity_ > 0 && queue_.size() >= capacity_) {
+    return Status::ResourceExhausted("stream buffer full");
+  }
   queue_.push_back(std::move(element));
+  return Status::OK();
+}
+
+Status StreamBuffer::PushBlocking(StreamElement element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (capacity_ > 0 && queue_.size() >= capacity_ && !closed_) {
+    ++backpressure_waits_;
+    space_available_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+  }
+  if (closed_) {
+    return Status::FailedPrecondition("push to closed stream buffer");
+  }
+  queue_.push_back(std::move(element));
+  return Status::OK();
+}
+
+void StreamBuffer::Push(StreamElement element) {
+  const Status status = PushBlocking(std::move(element));
+  PJOIN_DCHECK(status.ok());
+  (void)status;
 }
 
 void StreamBuffer::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
+  space_available_.notify_all();
 }
 
 std::optional<StreamElement> StreamBuffer::Pop() {
@@ -18,6 +46,7 @@ std::optional<StreamElement> StreamBuffer::Pop() {
   if (queue_.empty()) return std::nullopt;
   std::optional<StreamElement> e(std::in_place, std::move(queue_.front()));
   queue_.pop_front();
+  if (capacity_ > 0) space_available_.notify_one();
   return e;
 }
 
@@ -45,6 +74,11 @@ bool StreamBuffer::closed() const {
 bool StreamBuffer::exhausted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_ && queue_.empty();
+}
+
+int64_t StreamBuffer::backpressure_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backpressure_waits_;
 }
 
 }  // namespace pjoin

@@ -4,29 +4,52 @@
 // The buffer distinguishes "temporarily empty" (producer still open — the
 // consumer may block or switch to background work, cf. XJoin's reactive
 // stage) from "closed" (end of stream).
+//
+// Push contract: pushing to a closed buffer is a producer bug. TryPush
+// reports it (and a full bounded buffer) as a Status; PushBlocking waits for
+// space instead; the legacy Push asserts success and must only be used where
+// the producer provably outpaces neither closure nor capacity.
+//
+// An optional capacity turns the buffer into a backpressure point: with
+// capacity N, PushBlocking blocks the producer while N elements are queued
+// (ThreadedJoinPipeline uses this to bound memory under producer surges).
 
 #ifndef PJOIN_STREAM_STREAM_BUFFER_H_
 #define PJOIN_STREAM_STREAM_BUFFER_H_
 
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "stream/element.h"
 
 namespace pjoin {
 
 class StreamBuffer {
  public:
-  StreamBuffer() = default;
+  /// `capacity` == 0 means unbounded.
+  explicit StreamBuffer(size_t capacity = 0) : capacity_(capacity) {}
   PJOIN_DISALLOW_COPY_AND_MOVE(StreamBuffer);
 
-  /// Appends an element. Pushing to a closed buffer is an error.
+  /// Appends an element if the buffer is open and below capacity.
+  /// FailedPrecondition on a closed buffer; ResourceExhausted when a
+  /// bounded buffer is full. The element is untouched on failure.
+  Status TryPush(StreamElement element);
+
+  /// Appends an element, blocking while a bounded buffer is full. Returns
+  /// FailedPrecondition if the buffer is (or becomes) closed.
+  Status PushBlocking(StreamElement element);
+
+  /// Legacy convenience: PushBlocking with the status asserted OK. Pushing
+  /// to a closed buffer is a checked programming error.
   void Push(StreamElement element);
 
   /// Marks the producer side finished; Pop drains the remainder then reports
-  /// closure via std::nullopt with closed() == true.
+  /// closure via std::nullopt with closed() == true. Unblocks any producer
+  /// waiting in PushBlocking.
   void Close();
 
   /// Removes and returns the oldest element, or nullopt if none available.
@@ -37,15 +60,22 @@ class StreamBuffer {
 
   bool empty() const;
   size_t size() const;
+  /// 0 = unbounded.
+  size_t capacity() const { return capacity_; }
   /// True once Close() was called (elements may still be queued).
   bool closed() const;
   /// True when closed and fully drained.
   bool exhausted() const;
+  /// Times PushBlocking had to wait for space (backpressure applied).
+  int64_t backpressure_waits() const;
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable space_available_;
   std::deque<StreamElement> queue_;
+  size_t capacity_;
   bool closed_ = false;
+  int64_t backpressure_waits_ = 0;
 };
 
 /// Pull-style element source (generators implement this).

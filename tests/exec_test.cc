@@ -32,7 +32,7 @@ TEST(EventTest, NamesCoverAllTypes) {
 }
 
 TEST(EventTest, ToStringIncludesStream) {
-  Event e{EventType::kStateFull, 123, 1};
+  Event e{EventType::kStateFull, 123, 1, {}};
   EXPECT_NE(e.ToString().find("StateFullEvent"), std::string::npos);
   EXPECT_NE(e.ToString().find("stream=1"), std::string::npos);
 }
@@ -51,7 +51,7 @@ TEST(RegistryTest, DispatchInRegistrationOrder) {
     order.push_back("b");
     return true;
   });
-  ASSERT_TRUE(registry.Dispatch(Event{EventType::kStateFull, 0, -1}).ok());
+  ASSERT_TRUE(registry.Dispatch(Event{EventType::kStateFull, 0, -1, {}}).ok());
   EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(a.events.size(), 1u);
   EXPECT_EQ(b.events.size(), 1u);
@@ -62,7 +62,7 @@ TEST(RegistryTest, ConditionSkipsListener) {
   RecordingListener a("a");
   registry.Register(EventType::kStreamEmpty, &a,
                     [](const Event&) { return false; });
-  ASSERT_TRUE(registry.Dispatch(Event{EventType::kStreamEmpty, 0, -1}).ok());
+  ASSERT_TRUE(registry.Dispatch(Event{EventType::kStreamEmpty, 0, -1, {}}).ok());
   EXPECT_TRUE(a.events.empty());
 }
 
@@ -73,7 +73,7 @@ TEST(RegistryTest, ErrorStopsDispatch) {
   a.next_status = Status::Internal("boom");
   registry.Register(EventType::kStateFull, &a);
   registry.Register(EventType::kStateFull, &b);
-  Status s = registry.Dispatch(Event{EventType::kStateFull, 0, -1});
+  Status s = registry.Dispatch(Event{EventType::kStateFull, 0, -1, {}});
   EXPECT_FALSE(s.ok());
   EXPECT_TRUE(b.events.empty());
 }

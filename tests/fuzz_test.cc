@@ -9,9 +9,16 @@
 #include <set>
 
 #include "common/rng.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_spill_store.h"
+#include "fault/faulty_stream_source.h"
+#include "gen/auction.h"
 #include "join/pjoin.h"
 #include "join/shj.h"
 #include "join/xjoin.h"
+#include "storage/recovering_spill_store.h"
+#include "storage/simulated_disk.h"
 #include "test_util.h"
 
 namespace pjoin {
@@ -148,6 +155,153 @@ TEST_P(JoinFuzz, AllJoinsAllConfigsMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinFuzz,
                          ::testing::Range(uint64_t{1}, uint64_t{41}));
+
+// ---- Chaos fuzzing: random fault plans over the auction workload ----
+//
+// Each seed derives a random FaultPlan (stream contract violations on both
+// inputs, recoverable I/O faults on the spill stores). A PJoin with
+// ViolationPolicy::kDrop, a tight memory threshold, and RecoveringSpillStore-
+// wrapped faulty stores must produce exactly the reference result over the
+// *sanitized* views (faulty minus the injected violations), with every
+// injected violation counted and surfaced as a ContractViolationEvent.
+
+double MaybeRate(Rng& rng, double max_rate) {
+  return rng.NextBool(0.7) ? max_rate * rng.NextDouble() : 0.0;
+}
+
+FaultPlan RandomPlan(uint64_t seed) {
+  Rng rng(seed ^ 0xFA017);
+  FaultPlan plan;
+  plan.seed = seed * 2654435761 + 1;
+  for (int s = 0; s < 2; ++s) {
+    plan.stream[s].late_tuple_rate = MaybeRate(rng, 0.05);
+    plan.stream[s].malformed_punct_rate = MaybeRate(rng, 0.03);
+    plan.stream[s].duplicate_rate = MaybeRate(rng, 0.05);
+    plan.stream[s].reorder_rate = MaybeRate(rng, 0.1);
+    plan.stream[s].stall_rate = MaybeRate(rng, 0.02);
+  }
+  plan.io.transient_write_error_rate = MaybeRate(rng, 0.2);
+  plan.io.transient_read_error_rate = MaybeRate(rng, 0.2);
+  plan.io.short_write_rate = MaybeRate(rng, 0.2);
+  plan.io.latency_spike_rate = MaybeRate(rng, 0.1);
+  // Permanent write failure is recoverable (reads survive, so the fallback
+  // migration preserves all data); permanent read failure is genuine data
+  // loss and stays out of the correctness fuzz.
+  if (rng.NextBool(0.4)) {
+    plan.io.permanent_write_failure_after =
+        3 + static_cast<int64_t>(rng.NextBounded(20));
+  }
+  return plan;
+}
+
+class ChaosFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFuzz, DropPolicyMatchesSanitizedReference) {
+  const uint64_t seed = GetParam();
+  const FaultPlan plan = RandomPlan(seed);
+  SCOPED_TRACE(plan.ToString());
+
+  AuctionSpec aspec;
+  aspec.num_bids = 300;
+  aspec.open_window = 6;
+  aspec.close_mean_interarrival_bids = 15.0;
+  AuctionStreams streams = GenerateAuction(aspec, seed);
+
+  auto injector = std::make_shared<FaultInjector>(plan.seed);
+  PerturbedStream pa =
+      PerturbStream(streams.open, 0, plan.stream[0], injector.get());
+  PerturbedStream pb =
+      PerturbStream(streams.bid, 0, plan.stream[1], injector.get());
+
+  // Spill stores: faulty substrate wrapped in the recovering decorator; keep
+  // raw pointers for post-run assertions.
+  std::vector<FaultySpillStore*> faulty_stores;
+  std::vector<RecoveringSpillStore*> recovering_stores;
+  int64_t io_error_events = 0;
+  int64_t degraded_events = 0;
+  auto sink = [&](const Event& e) {
+    if (e.type == EventType::kIoError) ++io_error_events;
+    if (e.type == EventType::kDegradedMode) ++degraded_events;
+  };
+
+  JoinOptions opts;
+  Rng cfg_rng(seed ^ 0xC4405);
+  opts.violation_policy = ViolationPolicy::kDrop;
+  opts.runtime.purge_threshold =
+      1 + static_cast<int64_t>(cfg_rng.NextBounded(8));
+  opts.runtime.memory_threshold_tuples =
+      8 + static_cast<int64_t>(cfg_rng.NextBounded(32));
+  opts.runtime.propagate_count_threshold =
+      cfg_rng.NextBool(0.5) ? 1 + static_cast<int64_t>(cfg_rng.NextBounded(6))
+                            : 0;
+  opts.eager_index_build = cfg_rng.NextBool(0.5);
+  opts.spill_factory = [&]() -> std::unique_ptr<SpillStore> {
+    auto faulty = std::make_unique<FaultySpillStore>(
+        std::make_unique<SimulatedDisk>(), plan.io, injector);
+    faulty_stores.push_back(faulty.get());
+    RecoveryOptions ropts;
+    ropts.max_retries = 8;
+    auto recovering = std::make_unique<RecoveringSpillStore>(
+        std::move(faulty), ropts, sink);
+    recovering_stores.push_back(recovering.get());
+    return recovering;
+  };
+
+  PJoin join(streams.open_schema, streams.bid_schema, opts);
+  int64_t violation_events = 0;
+  class ViolationCounter : public EventListener {
+   public:
+    explicit ViolationCounter(int64_t* count) : count_(count) {}
+    std::string_view name() const override { return "chaos-counter"; }
+    Status HandleEvent(const Event&) override {
+      ++*count_;
+      return Status::OK();
+    }
+
+   private:
+    int64_t* count_;
+  } counter(&violation_events);
+  join.registry().Register(EventType::kContractViolation, &counter);
+
+  std::vector<std::string> rows;
+  join.set_result_callback(
+      [&rows](const Tuple& t) { rows.push_back(t.ToString()); });
+  PipelineOptions popts;
+  popts.stall_gap_micros = 3000;
+  JoinPipeline pipe(&join, nullptr, popts);
+  ASSERT_TRUE(pipe.Run(pa.faulty, pb.faulty).ok());
+  std::sort(rows.begin(), rows.end());
+
+  // The oracle: kDrop output over the faulty streams == reference over the
+  // sanitized streams.
+  EXPECT_EQ(rows, ReferenceJoinRows(pa.sanitized, pb.sanitized,
+                                    join.output_schema(), 0, 0));
+
+  // Every injected violation was detected, counted, and dispatched.
+  EXPECT_EQ(join.contract_violations(), pa.violations + pb.violations);
+  EXPECT_EQ(violation_events, pa.violations + pb.violations);
+
+  // I/O accounting: each observed error raised one IoErrorEvent.
+  int64_t io_errors = 0;
+  bool any_degraded = false;
+  for (const RecoveringSpillStore* store : recovering_stores) {
+    io_errors += store->recovery_stats().io_errors;
+    any_degraded |= store->degraded();
+    EXPECT_EQ(store->recovery_stats().records_lost, 0);
+  }
+  EXPECT_EQ(io_error_events, io_errors);
+  // A tripped permanent write failure must have forced the fallback.
+  for (size_t i = 0; i < faulty_stores.size(); ++i) {
+    if (faulty_stores[i]->write_failed_permanently()) {
+      EXPECT_TRUE(recovering_stores[i]->degraded());
+      EXPECT_EQ(recovering_stores[i]->recovery_stats().fallbacks, 1);
+    }
+  }
+  if (!any_degraded) EXPECT_EQ(degraded_events, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChaosFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
 
 }  // namespace
 }  // namespace pjoin

@@ -279,5 +279,156 @@ TEST(PJoinTest, DiskJoinRunsOnStall) {
   EXPECT_GT(join.counters().Get("disk_join_runs"), 0);
 }
 
+// ---- Runtime punctuation-contract validation (ViolationPolicy) ----
+
+// Left stream where key 1 is punctuated and then (contract violation) a key-1
+// tuple arrives late.
+std::vector<StreamElement> LateTupleStream(const SchemaPtr& sa) {
+  return ElementsBuilder()
+      .Tup(KP(sa, 1, 0))
+      .Tup(KP(sa, 2, 1))
+      .Punct(KeyPunct(1))
+      .Tup(KP(sa, 1, 2))  // violates the key-1 promise
+      .Tup(KP(sa, 2, 3))
+      .Finish();
+}
+
+// The same stream with the late tuple removed: what a kDrop join must
+// effectively see.
+std::vector<StreamElement> LateTupleStreamSanitized(const SchemaPtr& sa) {
+  return ElementsBuilder()
+      .Tup(KP(sa, 1, 0))
+      .Tup(KP(sa, 2, 1))
+      .Punct(KeyPunct(1))
+      .Tup(KP(sa, 2, 3))
+      .Finish();
+}
+
+TEST(PJoinViolationTest, DropExcludesLateTupleFromResult) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto right = ElementsBuilder(/*step=*/10)
+                   .Tup(KP(sb, 1, 9))
+                   .Tup(KP(sb, 2, 8))
+                   .Finish();
+  JoinOptions opts;
+  opts.violation_policy = ViolationPolicy::kDrop;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, LateTupleStream(sa), right);
+  EXPECT_EQ(run.results, ReferenceJoinRows(LateTupleStreamSanitized(sa), right,
+                                           join.output_schema(), 0, 0));
+  EXPECT_EQ(join.contract_violations(), 1);
+  EXPECT_EQ(join.counters().Get("violation_late_tuple"), 1);
+  EXPECT_TRUE(join.quarantined_tuples(0).empty());
+}
+
+TEST(PJoinViolationTest, ViolationEventDispatchedPerViolation) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.violation_policy = ViolationPolicy::kDrop;
+  PJoin join(sa, sb, opts);
+  class CountingListener : public EventListener {
+   public:
+    std::string_view name() const override { return "violation-counter"; }
+    Status HandleEvent(const Event& e) override {
+      EXPECT_EQ(e.type, EventType::kContractViolation);
+      EXPECT_EQ(e.detail, "late_tuple");
+      ++events;
+      return Status::OK();
+    }
+    int64_t events = 0;
+  } listener;
+  join.registry().Register(EventType::kContractViolation, &listener);
+  auto run = RunJoin(&join, LateTupleStream(sa), ElementsBuilder().Finish());
+  EXPECT_EQ(listener.events, join.contract_violations());
+  EXPECT_EQ(listener.events, 1);
+}
+
+TEST(PJoinViolationTest, QuarantineRetainsTheOffendingTuple) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.violation_policy = ViolationPolicy::kQuarantine;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, LateTupleStream(sa), ElementsBuilder().Finish());
+  ASSERT_EQ(join.quarantined_tuples(0).size(), 1u);
+  EXPECT_EQ(join.quarantined_tuples(0)[0].field(0), Value(int64_t{1}));
+  EXPECT_EQ(join.contract_violations(), 1);
+}
+
+TEST(PJoinViolationTest, MalformedPunctuationsDroppedNotApplied) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  // Wrong arity for the 2-field schema.
+                  .Punct(Punctuation(
+                      std::vector<Pattern>(3, Pattern::Wildcard())))
+                  // Contains an empty pattern.
+                  .Punct(Punctuation::ForAttribute(2, 0, Pattern::Empty()))
+                  .Tup(KP(sa, 1, 1))
+                  .Finish();
+  auto right = ElementsBuilder(/*step=*/10).Tup(KP(sb, 1, 9)).Finish();
+  JoinOptions opts;
+  opts.violation_policy = ViolationPolicy::kDrop;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, right);
+  // Both key-1 tuples still join: the malformed punctuations never purged
+  // anything.
+  EXPECT_EQ(run.results.size(), 2u);
+  EXPECT_EQ(join.contract_violations(), 2);
+  EXPECT_EQ(join.counters().Get("violation_malformed_punctuation_arity"), 1);
+  EXPECT_EQ(join.counters().Get("violation_malformed_punctuation_empty"), 1);
+  EXPECT_EQ(join.punct_set(0).size(), 0u);
+}
+
+TEST(PJoinViolationTest, FailPolicyAbortsOnFirstViolation) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions opts;
+  opts.violation_policy = ViolationPolicy::kFail;
+  PJoin join(sa, sb, opts);
+  Status status;
+  for (const StreamElement& e : LateTupleStream(sa)) {
+    status = join.OnElement(0, e);
+    if (!status.ok()) break;
+  }
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(join.contract_violations(), 1);
+}
+
+TEST(PJoinViolationTest, NonPrefixPunctuationRoutedThroughPolicy) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Punct(Punctuation::ForAttribute(
+                      2, 0, Pattern::Range(Value(int64_t{0}),
+                                           Value(int64_t{5}))))
+                  // Partially overlaps [0,5]: violates the prefix condition.
+                  .Punct(Punctuation::ForAttribute(
+                      2, 0, Pattern::Range(Value(int64_t{3}),
+                                           Value(int64_t{9}))))
+                  .Tup(KP(sa, 7, 1))
+                  .Finish();
+  auto right = ElementsBuilder(/*step=*/10).Tup(KP(sb, 7, 9)).Finish();
+  JoinOptions opts;
+  opts.validate_prefix = true;
+  opts.violation_policy = ViolationPolicy::kDrop;
+  PJoin join(sa, sb, opts);
+  auto run = RunJoin(&join, left, right);  // must not abort
+  EXPECT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(join.counters().Get("violation_non_prefix_punctuation"), 1);
+}
+
+TEST(PJoinViolationTest, IgnorePolicyRunsNoChecks) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  PJoin join(sa, sb);  // default kIgnore
+  auto run = RunJoin(&join, LateTupleStream(sa), ElementsBuilder().Finish());
+  EXPECT_EQ(join.contract_violations(), 0);
+}
+
 }  // namespace
 }  // namespace pjoin

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "stream/element.h"
 #include "stream/stream_buffer.h"
 #include "tuple/tuple.h"
@@ -81,6 +84,78 @@ TEST(StreamBufferTest, EmptyPeekIsNull) {
   StreamBuffer buf;
   EXPECT_TRUE(buf.empty());
   EXPECT_FALSE(buf.PeekArrival().has_value());
+}
+
+StreamElement IntElement(int64_t x, TimeMicros arrival = 0) {
+  return StreamElement::MakeTuple(
+      Tuple(OneFieldSchema(), {Value(x)}), arrival);
+}
+
+TEST(StreamBufferTest, TryPushOnClosedBufferFailsPrecondition) {
+  StreamBuffer buf;
+  buf.Close();
+  Status status = buf.TryPush(IntElement(1));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(buf.exhausted());  // the rejected element was not enqueued
+}
+
+TEST(StreamBufferTest, TryPushOnFullBoundedBufferIsResourceExhausted) {
+  StreamBuffer buf(/*capacity=*/2);
+  EXPECT_EQ(buf.capacity(), 2u);
+  ASSERT_TRUE(buf.TryPush(IntElement(1)).ok());
+  ASSERT_TRUE(buf.TryPush(IntElement(2)).ok());
+  Status status = buf.TryPush(IntElement(3));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Popping frees a slot; the push then succeeds.
+  ASSERT_TRUE(buf.Pop().has_value());
+  EXPECT_TRUE(buf.TryPush(IntElement(3)).ok());
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(StreamBufferTest, UnboundedBufferNeverExhausts) {
+  StreamBuffer buf;  // capacity 0 = unbounded
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(buf.TryPush(IntElement(i)).ok());
+  }
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(buf.backpressure_waits(), 0);
+}
+
+TEST(StreamBufferTest, PushBlockingWaitsForPopThenSucceeds) {
+  StreamBuffer buf(/*capacity=*/1);
+  ASSERT_TRUE(buf.PushBlocking(IntElement(1)).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    Status status = buf.PushBlocking(IntElement(2));  // blocks: buffer full
+    EXPECT_TRUE(status.ok());
+    pushed.store(true);
+  });
+  // The producer cannot finish until the consumer frees the slot.
+  while (buf.backpressure_waits() == 0) std::this_thread::yield();
+  EXPECT_FALSE(pushed.load());
+  auto first = buf.Pop();
+  ASSERT_TRUE(first.has_value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  auto second = buf.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tuple().field(0).AsInt64(), 2);
+  EXPECT_EQ(buf.backpressure_waits(), 1);
+}
+
+TEST(StreamBufferTest, CloseUnblocksWaitingProducerWithError) {
+  StreamBuffer buf(/*capacity=*/1);
+  ASSERT_TRUE(buf.PushBlocking(IntElement(1)).ok());
+  std::thread producer([&] {
+    Status status = buf.PushBlocking(IntElement(2));
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  });
+  while (buf.backpressure_waits() == 0) std::this_thread::yield();
+  buf.Close();
+  producer.join();
+  // Only the first element made it in.
+  ASSERT_TRUE(buf.Pop().has_value());
+  EXPECT_TRUE(buf.exhausted());
 }
 
 }  // namespace

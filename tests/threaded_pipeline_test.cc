@@ -104,5 +104,25 @@ TEST_P(ThreadedDeterminism, StableAcrossInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(Repeats, ThreadedDeterminism, ::testing::Range(0, 5));
 
+// With a tiny buffer capacity the producers must repeatedly block on the
+// consumer (backpressure), and the result must still be exact.
+TEST(ThreadedPipelineTest, BoundedBuffersApplyBackpressure) {
+  GeneratedStreams g = MakeStreams(7);
+  PJoin join(g.schema_a, g.schema_b);
+  std::vector<std::string> rows;
+  std::mutex mu;
+  join.set_result_callback([&](const Tuple& t) {
+    std::lock_guard<std::mutex> lock(mu);
+    rows.push_back(t.ToString());
+  });
+  ThreadedPipelineOptions popts;
+  popts.buffer_capacity = 1;
+  ThreadedJoinPipeline pipeline(&join, popts);
+  ASSERT_TRUE(pipeline.Run(g.a, g.b).ok());
+  EXPECT_GT(pipeline.backpressure_waits(), 0);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, ReferenceJoinRows(g.a, g.b, join.output_schema(), 0, 0));
+}
+
 }  // namespace
 }  // namespace pjoin
