@@ -30,10 +30,15 @@ int main() {
   cfg.punct_b = 40;
   GeneratedStreams g = cfg.Generate();
 
-  XJoin xjoin(g.schema_a, g.schema_b);
+  // The figure contrasts the paper's operators, both with the linear bucket
+  // scan; indexed probing would mask XJoin's probe-cost decay.
+  JoinOptions xopts;
+  xopts.indexed_probe = false;
+  XJoin xjoin(g.schema_a, g.schema_b, xopts);
   RunStats xs = RunExperiment(&xjoin, g);
   JoinOptions popts;
   popts.runtime.purge_threshold = 1;
+  popts.indexed_probe = false;
   PJoin pjoin(g.schema_a, g.schema_b, popts);
   RunStats ps = RunExperiment(&pjoin, g);
 

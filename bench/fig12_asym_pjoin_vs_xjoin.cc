@@ -18,12 +18,16 @@ int main() {
   cfg.punct_b = 20;
   GeneratedStreams g = cfg.Generate();
 
-  XJoin xjoin(g.schema_a, g.schema_b);
+  // Paper cost model: both operators probe by linear bucket scan.
+  JoinOptions xopts;
+  xopts.indexed_probe = false;
+  XJoin xjoin(g.schema_a, g.schema_b, xopts);
   RunStats xs = RunExperiment(&xjoin, g);
 
   auto run_pjoin = [&](int64_t threshold) {
     JoinOptions opts;
     opts.runtime.purge_threshold = threshold;
+    opts.indexed_probe = false;
     PJoin join(g.schema_a, g.schema_b, opts);
     return RunExperiment(&join, g);
   };

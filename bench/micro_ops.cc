@@ -69,9 +69,11 @@ void BM_PunctSetMatchKey(benchmark::State& state) {
 }
 BENCHMARK(BM_PunctSetMatchKey)->Arg(16)->Arg(256)->Arg(4096);
 
-HashState MakeState(int64_t tuples, int64_t distinct_keys) {
+HashState MakeState(int64_t tuples, int64_t distinct_keys,
+                    bool indexed = true) {
   SchemaPtr schema = KP();
-  HashState st("bench", schema, 0, 16, std::make_unique<SimulatedDisk>());
+  HashState st("bench", schema, 0, 16, std::make_unique<SimulatedDisk>(),
+               indexed);
   for (int64_t i = 0; i < tuples; ++i) {
     TupleEntry e;
     e.tuple = Tuple(schema, {Value(i % distinct_keys), Value(i)});
@@ -96,6 +98,48 @@ void BM_MemoryProbe(benchmark::State& state) {
                           static_cast<int64_t>(st.memory(p).size()));
 }
 BENCHMARK(BM_MemoryProbe)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// ---- Scan vs. indexed bucket probe (docs/PERFORMANCE.md) ----
+//
+// Arg = entries per partition (the state spreads Arg * 16 tuples over its 16
+// partitions); 40 distinct keys, so one probe matches ~Arg * 16 / 40 entries.
+
+constexpr int64_t kProbePartitions = 16;
+constexpr int64_t kProbeKeys = 40;
+
+void BM_ProbeScanBucket(benchmark::State& state) {
+  HashState st = MakeState(state.range(0) * kProbePartitions, kProbeKeys,
+                           /*indexed=*/false);
+  const Value key(int64_t{7});
+  const uint64_t key_hash = key.Hash();
+  const int p = st.PartitionOfHash(key_hash);
+  for (auto _ : state) {
+    int64_t matches = 0;
+    benchmark::DoNotOptimize(st.ForEachMemoryMatch(
+        p, key, key_hash, [&](const TupleEntry&) { ++matches; }));
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(st.memory(p).size()));
+}
+BENCHMARK(BM_ProbeScanBucket)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ProbeIndexedBucket(benchmark::State& state) {
+  HashState st = MakeState(state.range(0) * kProbePartitions, kProbeKeys,
+                           /*indexed=*/true);
+  const Value key(int64_t{7});
+  const uint64_t key_hash = key.Hash();
+  const int p = st.PartitionOfHash(key_hash);
+  for (auto _ : state) {
+    int64_t matches = 0;
+    benchmark::DoNotOptimize(st.ForEachMemoryMatch(
+        p, key, key_hash, [&](const TupleEntry&) { ++matches; }));
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(st.memory(p).size()));
+}
+BENCHMARK(BM_ProbeIndexedBucket)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_PurgeScan(benchmark::State& state) {
   PunctuationSet ps(0);

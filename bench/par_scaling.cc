@@ -1,0 +1,267 @@
+// par_scaling: thread-scaling benchmark for the partition-parallel pipeline
+// (docs/PERFORMANCE.md).
+//
+// Baseline: the seed's single-threaded PJoin with linear bucket-scan probing
+// (indexed_probe = false), driven through the ordinary JoinPipeline. Against
+// it we run the single-threaded indexed probe and the parallel pipeline at a
+// sweep of shard counts, on a probe-heavy workload (sparse punctuations, so
+// the memory state stays large and probe cost dominates).
+//
+// Every configuration is checked against the baseline with an
+// order-independent multiset oracle (result count + commutative hash of the
+// result rows); a machine-readable summary is written to
+// BENCH_par_scaling.json.
+//
+// Usage: par_scaling [--tuples=N] [--shards=a,b,c] [--punct=T] [--out=FILE]
+//                    [--check]
+//   --check  exit non-zero if any oracle fails (CI perf-smoke mode).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "join/pjoin.h"
+#include "ops/parallel_pipeline.h"
+#include "ops/pipeline.h"
+
+namespace pjoin {
+namespace bench {
+namespace {
+
+struct Cli {
+  int64_t tuples = 40000;
+  double punct_rate = 2000.0;  // tuples per punctuation: sparse = probe-heavy
+  int64_t window = 16384;      // open keys: wide = large state, few matches
+  std::vector<int> shards = {1, 2, 4};
+  std::string out = "BENCH_par_scaling.json";
+  bool check = false;
+};
+
+Cli ParseCli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + std::strlen(prefix)
+                                       : nullptr;
+    };
+    if (const char* v = value("--tuples=")) {
+      cli.tuples = std::atoll(v);
+    } else if (const char* v = value("--window=")) {
+      cli.window = std::atoll(v);
+    } else if (const char* v = value("--punct=")) {
+      cli.punct_rate = std::atof(v);
+    } else if (const char* v = value("--out=")) {
+      cli.out = v;
+    } else if (const char* v = value("--shards=")) {
+      cli.shards.clear();
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        cli.shards.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (arg == "--check") {
+      cli.check = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return cli;
+}
+
+/// Order-independent multiset fingerprint of the emitted result rows: a
+/// commutative sum of per-row hashes, each row hashed field-order-sensitively
+/// from the field values (no string materialization — the oracle must stay
+/// cheap relative to the join work it certifies).
+struct Oracle {
+  int64_t count = 0;
+  uint64_t hash = 0;
+
+  void Add(const Tuple& t) {
+    ++count;
+    uint64_t row = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < t.num_fields(); ++i) {
+      row = (row ^ t.field(i).Hash()) * 0x100000001b3ull;
+    }
+    hash += row;
+  }
+  bool operator==(const Oracle& other) const {
+    return count == other.count && hash == other.hash;
+  }
+};
+
+JoinOptions BenchJoinOptions(bool indexed_probe) {
+  JoinOptions opts;
+  opts.num_partitions = 16;
+  opts.indexed_probe = indexed_probe;
+  return opts;
+}
+
+struct Measured {
+  std::string name;
+  int shards = 0;  // 0 = single-threaded
+  double wall_ms = 0.0;
+  Oracle oracle;
+  int64_t state_tuples = 0;
+  std::vector<ShardStats> shard_stats;
+
+  double throughput() const {
+    return wall_ms > 0 ? static_cast<double>(oracle.count) / (wall_ms / 1e3)
+                       : 0.0;
+  }
+};
+
+Measured RunSingle(const std::string& name, const GeneratedStreams& streams,
+                   bool indexed_probe) {
+  Measured m;
+  m.name = name;
+  PJoin join(streams.schema_a, streams.schema_b,
+             BenchJoinOptions(indexed_probe));
+  join.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
+  JoinPipeline pipeline(&join, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = pipeline.Run(streams.a, streams.b);
+  const auto t1 = std::chrono::steady_clock::now();
+  PJOIN_DCHECK(st.ok());
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1e3;
+  m.state_tuples = join.total_state_tuples();
+  return m;
+}
+
+Measured RunParallel(const GeneratedStreams& streams, int shards) {
+  Measured m;
+  m.name = "parallel_x" + std::to_string(shards);
+  m.shards = shards;
+  ParallelPipelineOptions popts;
+  popts.num_shards = shards;
+  ParallelJoinPipeline pipeline(
+      [&streams](int) {
+        return std::make_unique<PJoin>(streams.schema_a, streams.schema_b,
+                                       BenchJoinOptions(true));
+      },
+      popts);
+  pipeline.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = pipeline.Run(streams.a, streams.b);
+  const auto t1 = std::chrono::steady_clock::now();
+  PJOIN_DCHECK(st.ok());
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1e3;
+  m.shard_stats = pipeline.shard_stats();
+  for (const ShardStats& s : m.shard_stats) m.state_tuples += s.state_tuples;
+  return m;
+}
+
+void WriteJson(const std::string& path, const Cli& cli,
+               const Measured& baseline, const Measured& indexed,
+               const std::vector<Measured>& parallel) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"par_scaling\",\n";
+  out << "  \"config\": {\"tuples_per_stream\": " << cli.tuples
+      << ", \"punct_mean_interarrival_tuples\": " << cli.punct_rate
+      << ", \"num_partitions\": 16},\n";
+  auto emit_run = [&out](const Measured& m, const Measured& base,
+                         bool last) {
+    out << "    {\"name\": \"" << m.name << "\", \"shards\": " << m.shards
+        << ", \"wall_ms\": " << m.wall_ms
+        << ", \"results\": " << m.oracle.count
+        << ", \"throughput_results_per_sec\": " << m.throughput()
+        << ", \"speedup_vs_scan_baseline\": "
+        << (m.wall_ms > 0 ? base.wall_ms / m.wall_ms : 0.0)
+        << ", \"oracle_pass\": " << (m.oracle == base.oracle ? "true" : "false")
+        << ", \"state_tuples\": " << m.state_tuples;
+    if (!m.shard_stats.empty()) {
+      out << ", \"shard_occupancy\": [";
+      for (size_t i = 0; i < m.shard_stats.size(); ++i) {
+        const ShardStats& s = m.shard_stats[i];
+        out << (i ? ", " : "") << "{\"shard\": " << s.shard
+            << ", \"tuples\": " << s.tuples << ", \"results\": " << s.results
+            << ", \"state_tuples\": " << s.state_tuples << "}";
+      }
+      out << "]";
+    }
+    out << "}" << (last ? "" : ",") << "\n";
+  };
+  out << "  \"runs\": [\n";
+  emit_run(baseline, baseline, false);
+  emit_run(indexed, baseline, parallel.empty());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    emit_run(parallel[i], baseline, i + 1 == parallel.size());
+  }
+  out << "  ]\n}\n";
+}
+
+int Main(int argc, char** argv) {
+  const Cli cli = ParseCli(argc, argv);
+
+  PrintHeader("par_scaling", "Partition-parallel scaling (PJoin)",
+              "probe-heavy workload: " + std::to_string(cli.tuples) +
+                  " tuples/stream, 1 punctuation per " +
+                  std::to_string(static_cast<int64_t>(cli.punct_rate)) +
+                  " tuples");
+
+  DomainSpec domain;
+  domain.window_size = cli.window;
+  StreamSpec spec;
+  spec.num_tuples = cli.tuples;
+  spec.punct_mean_interarrival_tuples = cli.punct_rate;
+  spec.flush_punctuations_at_end = true;
+  const GeneratedStreams streams = GenerateStreams(domain, spec, spec, 2004);
+
+  const Measured baseline = RunSingle("scan_1thread", streams, false);
+  const Measured indexed = RunSingle("indexed_1thread", streams, true);
+  std::vector<Measured> parallel;
+  for (const int shards : cli.shards) {
+    parallel.push_back(RunParallel(streams, shards));
+  }
+
+  bool all_pass = indexed.oracle == baseline.oracle;
+  std::printf("  %-18s %10s %12s %10s %8s\n", "run", "wall_ms",
+              "results/s", "speedup", "oracle");
+  auto report = [&](const Measured& m) {
+    const bool pass = m.oracle == baseline.oracle;
+    std::printf("  %-18s %10.1f %12.0f %9.2fx %8s\n", m.name.c_str(),
+                m.wall_ms, m.throughput(),
+                m.wall_ms > 0 ? baseline.wall_ms / m.wall_ms : 0.0,
+                pass ? "PASS" : "FAIL");
+  };
+  report(baseline);
+  report(indexed);
+  for (const Measured& m : parallel) {
+    all_pass = all_pass && m.oracle == baseline.oracle;
+    report(m);
+  }
+
+  WriteJson(cli.out, cli, baseline, indexed, parallel);
+  std::printf("  wrote %s\n", cli.out.c_str());
+
+  PrintShapeCheck("parallel output multiset == single-threaded reference",
+                  all_pass);
+  double best_speedup = 0;
+  for (const Measured& m : parallel) {
+    if (m.wall_ms > 0) {
+      best_speedup = std::max(best_speedup, baseline.wall_ms / m.wall_ms);
+    }
+  }
+  PrintMetric("best parallel speedup vs scan baseline", best_speedup, "x");
+
+  if (cli.check && !all_pass) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pjoin
+
+int main(int argc, char** argv) { return pjoin::bench::Main(argc, argv); }

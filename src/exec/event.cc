@@ -26,6 +26,8 @@ std::string_view EventTypeName(EventType type) {
       return "ContractViolationEvent";
     case EventType::kDegradedMode:
       return "DegradedModeEvent";
+    case EventType::kShardStats:
+      return "ShardStatsEvent";
   }
   return "?";
 }

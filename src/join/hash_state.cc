@@ -1,18 +1,26 @@
 #include "join/hash_state.h"
 
-#include <algorithm>
-
-#include "common/macros.h"
+#include <bit>
 
 namespace pjoin {
+namespace {
+
+// Index sizing: power-of-two bucket counts, load factor <= 1.
+size_t IndexSizeFor(size_t entries) {
+  return std::bit_ceil(std::max<size_t>(entries, 8));
+}
+
+}  // namespace
 
 HashState::HashState(std::string name, SchemaPtr schema, size_t key_index,
-                     int num_partitions, std::unique_ptr<SpillStore> spill)
+                     int num_partitions, std::unique_ptr<SpillStore> spill,
+                     bool indexed)
     : name_(std::move(name)),
       schema_(std::move(schema)),
       key_index_(key_index),
       spill_(std::move(spill)),
-      partitions_(static_cast<size_t>(num_partitions)) {
+      partitions_(static_cast<size_t>(num_partitions)),
+      indexed_(indexed) {
   PJOIN_DCHECK(num_partitions > 0);
   PJOIN_DCHECK(schema_ != nullptr);
   PJOIN_DCHECK(key_index_ < schema_->num_fields());
@@ -20,7 +28,7 @@ HashState::HashState(std::string name, SchemaPtr schema, size_t key_index,
 }
 
 int HashState::PartitionOf(const Value& key) const {
-  return static_cast<int>(key.Hash() % partitions_.size());
+  return PartitionOfHash(key.Hash());
 }
 
 const HashState::Partition& HashState::partition(int p) const {
@@ -33,12 +41,44 @@ HashState::Partition& HashState::partition(int p) {
   return partitions_[static_cast<size_t>(p)];
 }
 
+void HashState::RebuildIndex(Partition* part) {
+  if (!indexed_) return;
+  if (part->memory.empty()) {
+    part->index_heads.clear();
+    part->index_next.clear();
+    part->index_shift = 0;
+    return;
+  }
+  const size_t buckets = IndexSizeFor(part->memory.size());
+  part->index_shift = 64 - std::countr_zero(buckets);
+  part->index_heads.assign(buckets, kIndexNil);
+  part->index_next.assign(part->memory.size(), kIndexNil);
+  for (uint32_t i = 0; i < part->memory.size(); ++i) {
+    const size_t b =
+        IndexBucket(part->memory[i].key_hash, part->index_shift);
+    part->index_next[i] = part->index_heads[b];
+    part->index_heads[b] = i;
+  }
+}
+
 void HashState::InsertMemory(TupleEntry entry) {
   PJOIN_DCHECK(entry.InMemory());
-  const int p = PartitionOf(KeyOf(entry.tuple));
+  entry.RecomputeKeyHash(key_index_);
+  const int p = PartitionOfHash(entry.key_hash);
   memory_bytes_ += static_cast<int64_t>(entry.tuple.ByteSize());
-  partition(p).memory.push_back(std::move(entry));
+  Partition& part = partition(p);
+  part.memory.push_back(std::move(entry));
   ++memory_tuples_;
+  if (!indexed_) return;
+  if (part.memory.size() > part.index_heads.size()) {
+    RebuildIndex(&part);  // grow (doubles the bucket count) and relink
+  } else {
+    const uint32_t i = static_cast<uint32_t>(part.memory.size() - 1);
+    const size_t b =
+        IndexBucket(part.memory[i].key_hash, part.index_shift);
+    part.index_next.push_back(part.index_heads[b]);
+    part.index_heads[b] = i;
+  }
 }
 
 const std::vector<TupleEntry>& HashState::memory(int p) const {
@@ -47,24 +87,6 @@ const std::vector<TupleEntry>& HashState::memory(int p) const {
 
 std::vector<TupleEntry>& HashState::memory(int p) {
   return partition(p).memory;
-}
-
-std::vector<TupleEntry> HashState::ExtractMemoryMatching(
-    int p, const std::function<bool(const TupleEntry&)>& pred) {
-  auto& mem = partition(p).memory;
-  std::vector<TupleEntry> extracted;
-  auto keep_end = std::stable_partition(
-      mem.begin(), mem.end(),
-      [&pred](const TupleEntry& e) { return !pred(e); });
-  for (auto it = keep_end; it != mem.end(); ++it) {
-    memory_bytes_ -= static_cast<int64_t>(it->tuple.ByteSize());
-    extracted.push_back(std::move(*it));
-  }
-  mem.erase(keep_end, mem.end());
-  memory_tuples_ -= static_cast<int64_t>(extracted.size());
-  PJOIN_DCHECK(memory_tuples_ >= 0);
-  PJOIN_DCHECK(memory_bytes_ >= 0);
-  return extracted;
 }
 
 int HashState::LargestMemoryPartition() const {
@@ -95,6 +117,9 @@ Status HashState::FlushPartitionToDisk(int p, int64_t dts_tick) {
   PJOIN_RETURN_NOT_OK(spill_->AppendBatch(p, records));
   const int64_t flushed = static_cast<int64_t>(part.memory.size());
   part.memory.clear();
+  part.index_heads.clear();
+  part.index_next.clear();
+  part.index_shift = 0;
   part.disk_count += flushed;
   memory_tuples_ -= flushed;
   disk_tuples_ += flushed;
@@ -110,6 +135,7 @@ Result<std::vector<TupleEntry>> HashState::ReadDiskPartition(int p) {
   for (const auto& record : records) {
     PJOIN_ASSIGN_OR_RETURN(TupleEntry entry,
                            TupleEntry::Deserialize(record, schema_));
+    entry.RecomputeKeyHash(key_index_);
     entries.push_back(std::move(entry));
   }
   return entries;
@@ -137,6 +163,7 @@ int64_t HashState::disk_tuples(int p) const { return partition(p).disk_count; }
 
 void HashState::AddToPurgeBuffer(int p, TupleEntry entry) {
   PJOIN_DCHECK(!entry.InMemory());
+  if (entry.key_hash == 0) entry.RecomputeKeyHash(key_index_);
   partition(p).purge_buffer.push_back(std::move(entry));
   ++purge_buffer_tuples_;
 }

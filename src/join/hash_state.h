@@ -1,20 +1,28 @@
 // HashState: the join state of one input stream (paper §3.1).
 //
 // A fixed array of partitions; each partition has an in-memory portion (a
-// bucket of tuple entries probed by scanning, as in the paper), an on-disk
-// portion (via a SpillStore), and a purge buffer holding tuples that are
-// logically purged but still owe joins against the opposite stream's disk
-// portion. Probe history per partition supports XJoin-style timestamp
-// duplicate avoidance.
+// bucket of tuple entries), an on-disk portion (via a SpillStore), and a
+// purge buffer holding tuples that are logically purged but still owe joins
+// against the opposite stream's disk portion. Probe history per partition
+// supports XJoin-style timestamp duplicate avoidance.
+//
+// The memory portion keeps the paper's append-ordered vector (purge and
+// index-build passes still scan it), but probing no longer does: each
+// partition maintains a hash index over the vector — bucket heads plus a
+// per-entry chain link, keyed by the entry's cached 64-bit join-key hash —
+// so a probe touches only the entries of its own chain instead of the whole
+// bucket. The index is maintained on insert, rebuilt after extraction, and
+// dropped when a partition is flushed to disk.
 
 #ifndef PJOIN_JOIN_HASH_STATE_H_
 #define PJOIN_JOIN_HASH_STATE_H_
 
-#include <functional>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/metrics.h"
 #include "join/tuple_entry.h"
 #include "storage/spill_store.h"
@@ -24,33 +32,92 @@ namespace pjoin {
 class HashState {
  public:
   /// `key_index` is the join attribute within `schema`. The state takes
-  /// ownership of its spill store.
+  /// ownership of its spill store. With `indexed` false the memory portion
+  /// is probed by linear scan (the paper's layout; kept for the figure
+  /// benches and as an ablation baseline).
   HashState(std::string name, SchemaPtr schema, size_t key_index,
-            int num_partitions, std::unique_ptr<SpillStore> spill);
+            int num_partitions, std::unique_ptr<SpillStore> spill,
+            bool indexed = true);
 
   const std::string& name() const { return name_; }
   const SchemaPtr& schema() const { return schema_; }
   size_t key_index() const { return key_index_; }
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  bool indexed() const { return indexed_; }
 
   /// The join-key value of a tuple of this stream.
   const Value& KeyOf(const Tuple& t) const { return t.field(key_index_); }
   /// The partition a key hashes to.
   int PartitionOf(const Value& key) const;
+  /// The partition a precomputed key hash maps to (same mapping as
+  /// PartitionOf(key) for key_hash == key.Hash()).
+  int PartitionOfHash(uint64_t key_hash) const {
+    return static_cast<int>(key_hash % partitions_.size());
+  }
 
   // ---- Memory portion ----
 
-  /// Appends an entry to the memory portion of its partition.
+  /// Appends an entry to the memory portion of its partition, caching the
+  /// join-key hash in the entry and linking it into the partition's index.
   void InsertMemory(TupleEntry entry);
 
-  /// The in-memory bucket of partition `p` (probing scans this vector).
+  /// The in-memory bucket of partition `p` in insertion order (purge and
+  /// index-build passes scan this vector; probing should use
+  /// ForEachMemoryMatch). Mutating entry keys through the non-const
+  /// accessor would desynchronize the index; pid/timestamp updates are fine.
   const std::vector<TupleEntry>& memory(int p) const;
   std::vector<TupleEntry>& memory(int p);
 
+  /// Invokes `fn(entry)` for every memory entry of partition `p` whose
+  /// join key equals `key` (whose hash the caller supplies, so it is
+  /// computed once per probe). Returns the number of entries examined —
+  /// chain length when indexed, bucket size when scanning. `fn` must not
+  /// mutate this state.
+  template <typename Fn>
+  int64_t ForEachMemoryMatch(int p, const Value& key, uint64_t key_hash,
+                             Fn&& fn) const {
+    const Partition& part = partition(p);
+    int64_t examined = 0;
+    if (!indexed_) {
+      for (const TupleEntry& e : part.memory) {
+        ++examined;
+        if (KeyOf(e.tuple) == key) fn(e);
+      }
+      return examined;
+    }
+    if (part.index_heads.empty()) return 0;
+    uint32_t i = part.index_heads[IndexBucket(key_hash, part.index_shift)];
+    while (i != kIndexNil) {
+      const TupleEntry& e = part.memory[i];
+      ++examined;
+      if (e.key_hash == key_hash && KeyOf(e.tuple) == key) fn(e);
+      i = part.index_next[i];
+    }
+    return examined;
+  }
+
   /// Removes and returns all memory entries of partition `p` for which
-  /// `pred` holds, preserving order of the kept entries.
-  std::vector<TupleEntry> ExtractMemoryMatching(
-      int p, const std::function<bool(const TupleEntry&)>& pred);
+  /// `pred` holds, preserving order of the kept entries. The partition's
+  /// index is rebuilt when anything was extracted.
+  template <typename Pred>
+  std::vector<TupleEntry> ExtractMemoryMatching(int p, Pred&& pred) {
+    Partition& part = partition(p);
+    auto& mem = part.memory;
+    std::vector<TupleEntry> extracted;
+    auto keep_end = std::stable_partition(
+        mem.begin(), mem.end(),
+        [&pred](const TupleEntry& e) { return !pred(e); });
+    for (auto it = keep_end; it != mem.end(); ++it) {
+      memory_bytes_ -= static_cast<int64_t>(it->tuple.ByteSize());
+      extracted.push_back(std::move(*it));
+    }
+    mem.erase(keep_end, mem.end());
+    memory_tuples_ -= static_cast<int64_t>(extracted.size());
+    PJOIN_DCHECK(memory_tuples_ >= 0);
+    PJOIN_DCHECK(memory_bytes_ >= 0);
+    if (!extracted.empty()) RebuildIndex(&part);
+    return extracted;
+  }
 
   int64_t memory_tuples() const { return memory_tuples_; }
   /// Approximate bytes held by the memory portion (tuple payloads).
@@ -65,7 +132,8 @@ class HashState {
   /// entries' dts with `dts_tick` (state relocation, §3.3).
   Status FlushPartitionToDisk(int p, int64_t dts_tick);
 
-  /// Reads back (deserializes) the disk portion of partition `p`.
+  /// Reads back (deserializes) the disk portion of partition `p`, with
+  /// key hashes recomputed.
   Result<std::vector<TupleEntry>> ReadDiskPartition(int p);
 
   /// Replaces the disk portion of partition `p` with `survivors` (used by
@@ -116,12 +184,34 @@ class HashState {
   std::string DescribeState() const;
 
  private:
+  /// End-of-chain marker in the per-partition index.
+  static constexpr uint32_t kIndexNil = 0xffffffffu;
+
   struct Partition {
     std::vector<TupleEntry> memory;
+    /// Hash index over `memory`: `index_heads` (power-of-two sized) holds
+    /// the newest entry index per bucket, `index_next` chains to the
+    /// previous same-bucket entry. Empty while the partition is empty or
+    /// the state is unindexed.
+    std::vector<uint32_t> index_heads;
+    std::vector<uint32_t> index_next;
+    /// 64 - log2(index_heads.size()), for the multiplicative bucket map.
+    int index_shift = 0;
     std::vector<TupleEntry> purge_buffer;
     std::vector<int64_t> probe_times;
     int64_t disk_count = 0;
   };
+
+  /// Fibonacci (multiplicative) bucket map. The low bits of the key hash
+  /// select the partition, so buckets must come from the mixed high bits or
+  /// all entries of a partition would share a handful of buckets.
+  static size_t IndexBucket(uint64_t key_hash, int shift) {
+    return static_cast<size_t>((key_hash * 0x9e3779b97f4a7c15ull) >> shift);
+  }
+
+  /// Rebuilds the partition's index from scratch (after extraction or
+  /// growth); clears it when the partition is empty.
+  void RebuildIndex(Partition* part);
 
   const Partition& partition(int p) const;
   Partition& partition(int p);
@@ -131,6 +221,7 @@ class HashState {
   size_t key_index_;
   std::unique_ptr<SpillStore> spill_;
   std::vector<Partition> partitions_;
+  bool indexed_;
   int64_t memory_tuples_ = 0;
   int64_t memory_bytes_ = 0;
   int64_t disk_tuples_ = 0;

@@ -14,10 +14,12 @@ JoinOperator::JoinOperator(SchemaPtr left_schema, SchemaPtr right_schema,
   output_schema_ = Schema::Concat(*left_schema, *right_schema);
   states_[0] = std::make_unique<HashState>(
       "left", std::move(left_schema), options_.left_key,
-      options_.num_partitions, options_.spill_factory());
+      options_.num_partitions, options_.spill_factory(),
+      options_.indexed_probe);
   states_[1] = std::make_unique<HashState>(
       "right", std::move(right_schema), options_.right_key,
-      options_.num_partitions, options_.spill_factory());
+      options_.num_partitions, options_.spill_factory(),
+      options_.indexed_probe);
 }
 
 const HashState& JoinOperator::state(int side) const {
@@ -76,20 +78,18 @@ int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
   HashState& own = *states_[side];
   HashState& opp = *states_[1 - side];
   const Value& key = own.KeyOf(tuple);
-  const int p = opp.PartitionOf(key);
+  const uint64_t key_hash = key.Hash();
+  const int p = opp.PartitionOfHash(key_hash);
   int64_t emitted = 0;
-  int64_t compared = 0;
-  for (const TupleEntry& entry : opp.memory(p)) {
-    ++compared;
-    if (opp.KeyOf(entry.tuple) == key) {
-      if (side == 0) {
-        EmitResult(tuple, entry.tuple);
-      } else {
-        EmitResult(entry.tuple, tuple);
-      }
-      ++emitted;
-    }
-  }
+  const int64_t compared =
+      opp.ForEachMemoryMatch(p, key, key_hash, [&](const TupleEntry& entry) {
+        if (side == 0) {
+          EmitResult(tuple, entry.tuple);
+        } else {
+          EmitResult(entry.tuple, tuple);
+        }
+        ++emitted;
+      });
   counters_.Add("probe_comparisons", compared);
   return emitted;
 }

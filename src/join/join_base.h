@@ -79,6 +79,11 @@ struct JoinOptions {
   ViolationPolicy violation_policy = ViolationPolicy::kIgnore;
   /// PJoin purge strategy implementation.
   PurgeMode purge_mode = PurgeMode::kScan;
+  /// Probe the memory portions through the per-partition hash index
+  /// (default). False restores the paper's linear bucket scan — used by the
+  /// figure benches, whose cost-model shape checks assume scan probing, and
+  /// as the baseline the probe micro/scaling benches compare against.
+  bool indexed_probe = true;
   /// Spill-store factory, one call per input state. Defaults to
   /// SimulatedDisk.
   std::function<std::unique_ptr<SpillStore>()> spill_factory;

@@ -315,25 +315,31 @@ Status PJoin::DiskJoinPartition(int p) {
   static const std::vector<int64_t> kNoProbes;
   int64_t compared = 0;
 
+  // The cached key hashes filter out most non-matching pairs before the
+  // (potentially string) key comparison.
   auto keys_equal = [&](const TupleEntry& l, const TupleEntry& r) {
     ++compared;
-    return left.KeyOf(l.tuple) == right.KeyOf(r.tuple);
+    return l.key_hash == r.key_hash &&
+           left.KeyOf(l.tuple) == right.KeyOf(r.tuple);
   };
 
-  // 1) disk x opposite memory (XJoin's stages 2/3 combined).
+  // 1) disk x opposite memory (XJoin's stages 2/3 combined); the memory
+  // side is probed through its hash index.
   for (const TupleEntry& l : disk_l) {
-    for (const TupleEntry& r : right.memory(p)) {
-      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, probes_r)) {
-        EmitResult(l.tuple, r.tuple);
-      }
-    }
+    compared += right.ForEachMemoryMatch(
+        p, left.KeyOf(l.tuple), l.key_hash, [&](const TupleEntry& r) {
+          if (!JoinedBefore(l, probes_l, r, probes_r)) {
+            EmitResult(l.tuple, r.tuple);
+          }
+        });
   }
   for (const TupleEntry& r : disk_r) {
-    for (const TupleEntry& l : left.memory(p)) {
-      if (keys_equal(l, r) && !JoinedBefore(l, probes_l, r, probes_r)) {
-        EmitResult(l.tuple, r.tuple);
-      }
-    }
+    compared += left.ForEachMemoryMatch(
+        p, right.KeyOf(r.tuple), r.key_hash, [&](const TupleEntry& l) {
+          if (!JoinedBefore(l, probes_l, r, probes_r)) {
+            EmitResult(l.tuple, r.tuple);
+          }
+        });
   }
 
   // 2) disk x disk; pairs that were both on disk by the previous pass over

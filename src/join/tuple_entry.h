@@ -29,9 +29,21 @@ struct TupleEntry {
   int64_t dts = kAliveDts;
   /// pid of the first-arrived punctuation matching this tuple, or kNullPid.
   int64_t pid = kNullPid;
+  /// Cached Value::Hash() of the join-key field, so string keys hash once
+  /// per residence in a state. Set by HashState at insert and recomputed
+  /// after Deserialize (it is not serialized); 0 doubles as "not yet
+  /// computed" — recomputing is always safe since the hash is a pure
+  /// function of the key.
+  uint64_t key_hash = 0;
 
   /// True while the entry resides in the in-memory portion.
   bool InMemory() const { return dts == kAliveDts; }
+
+  /// Refreshes `key_hash` from the tuple's `key_index` field (used after
+  /// Deserialize, which does not persist the hash).
+  void RecomputeKeyHash(size_t key_index) {
+    key_hash = tuple.field(key_index).Hash();
+  }
 
   /// Binary serialization for the spill store.
   std::string Serialize() const;

@@ -56,16 +56,15 @@ Status XJoin::ReactivePass(int side, int partition) {
   const auto& probes_opp = opp.probe_times(partition);
   int64_t compared = 0;
   for (const TupleEntry& d : disk) {
-    for (const TupleEntry& m : opp.memory(partition)) {
-      ++compared;
-      if (own.KeyOf(d.tuple) != opp.KeyOf(m.tuple)) continue;
-      if (JoinedBefore(d, probes_own, m, probes_opp)) continue;
-      if (side == 0) {
-        EmitResult(d.tuple, m.tuple);
-      } else {
-        EmitResult(m.tuple, d.tuple);
-      }
-    }
+    compared += opp.ForEachMemoryMatch(
+        partition, own.KeyOf(d.tuple), d.key_hash, [&](const TupleEntry& m) {
+          if (JoinedBefore(d, probes_own, m, probes_opp)) return;
+          if (side == 0) {
+            EmitResult(d.tuple, m.tuple);
+          } else {
+            EmitResult(m.tuple, d.tuple);
+          }
+        });
   }
   counters().Add("disk_comparisons", compared);
   counters().Add("reactive_passes");
@@ -92,18 +91,30 @@ Status XJoin::CleanupPass() {
 
     auto try_emit = [&](const TupleEntry& l, const TupleEntry& r) {
       ++compared;
-      if (left.KeyOf(l.tuple) != right.KeyOf(r.tuple)) return;
+      // Cached hashes filter non-matches before the key comparison.
+      if (l.key_hash != r.key_hash ||
+          left.KeyOf(l.tuple) != right.KeyOf(r.tuple)) {
+        return;
+      }
       if (JoinedBefore(l, probes_l, r, probes_r)) return;
       EmitResult(l.tuple, r.tuple);
     };
 
-    // disk(left) x memory(right)
+    // disk(left) x memory(right), probed through the memory index
     for (const TupleEntry& l : disk_l) {
-      for (const TupleEntry& r : right.memory(p)) try_emit(l, r);
+      compared += right.ForEachMemoryMatch(
+          p, left.KeyOf(l.tuple), l.key_hash, [&](const TupleEntry& r) {
+            if (JoinedBefore(l, probes_l, r, probes_r)) return;
+            EmitResult(l.tuple, r.tuple);
+          });
     }
     // memory(left) x disk(right)
     for (const TupleEntry& r : disk_r) {
-      for (const TupleEntry& l : left.memory(p)) try_emit(l, r);
+      compared += left.ForEachMemoryMatch(
+          p, right.KeyOf(r.tuple), r.key_hash, [&](const TupleEntry& l) {
+            if (JoinedBefore(l, probes_l, r, probes_r)) return;
+            EmitResult(l.tuple, r.tuple);
+          });
     }
     // disk(left) x disk(right)
     for (const TupleEntry& l : disk_l) {

@@ -1,0 +1,436 @@
+#include "ops/parallel_pipeline.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace pjoin {
+
+namespace {
+
+// Shard selection mixes the key hash before the modulo: the low hash bits
+// already select the partition inside a shard's HashState, so taking them
+// for the shard too would leave most per-shard partitions empty.
+int ShardOfHash(uint64_t key_hash, int num_shards) {
+  const uint64_t mixed = (key_hash * 0x9e3779b97f4a7c15ull) >> 32;
+  return static_cast<int>(mixed % static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace
+
+std::string ShardStats::ToString() const {
+  return "shard=" + std::to_string(shard) +
+         " elements=" + std::to_string(elements) +
+         " tuples=" + std::to_string(tuples) +
+         " results=" + std::to_string(results) +
+         " puncts=" + std::to_string(puncts_emitted) +
+         " stalls=" + std::to_string(stalls) +
+         " state_tuples=" + std::to_string(state_tuples);
+}
+
+// A bounded queue of routed elements between the router (sole producer) and
+// one shard worker (sole consumer), with batched push/pop.
+class ParallelJoinPipeline::ShardQueue {
+ public:
+  explicit ShardQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Moves the whole batch in, blocking while the queue is at capacity.
+  void PushBatch(std::vector<Routed>* batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t pushed = 0;
+    while (pushed < batch->size()) {
+      if (capacity_ > 0 && queue_.size() >= capacity_) {
+        ++backpressure_waits_;
+        space_.wait(lock, [this] { return queue_.size() < capacity_; });
+      }
+      size_t room = batch->size() - pushed;
+      if (capacity_ > 0) {
+        room = std::min<size_t>(room, capacity_ - queue_.size());
+      }
+      for (size_t i = 0; i < room; ++i) {
+        queue_.push_back(std::move((*batch)[pushed++]));
+      }
+      data_.notify_one();
+    }
+    batch->clear();
+  }
+
+  /// Appends up to `max` elements to `out`, waiting up to `wait` for data.
+  void PopBatch(size_t max, std::chrono::microseconds wait,
+                std::vector<Routed>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() && !closed_) {
+      data_.wait_for(lock, wait,
+                     [this] { return !queue_.empty() || closed_; });
+    }
+    const size_t n = std::min(max, queue_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (n > 0 && capacity_ > 0) space_.notify_all();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    data_.notify_all();
+  }
+
+  bool exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && queue_.empty();
+  }
+
+  int64_t backpressure_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return backpressure_waits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable data_;
+  std::condition_variable space_;
+  std::deque<Routed> queue_;
+  const size_t capacity_;
+  bool closed_ = false;
+  int64_t backpressure_waits_ = 0;
+};
+
+struct ParallelJoinPipeline::Shard {
+  Shard(int id_in, size_t queue_capacity) : id(id_in), queue(queue_capacity) {}
+
+  const int id;
+  JoinOperator* join = nullptr;
+  ShardQueue queue;
+  /// Elements the worker has fully processed; the router's epoch barrier
+  /// compares this against its enqueued count.
+  std::atomic<int64_t> processed{0};
+  /// Elements the router has pushed (router thread only).
+  int64_t enqueued = 0;
+  /// Worker-local result staging, flushed into the shared output queue in
+  /// batches (and always before a punctuation release is recorded).
+  std::vector<Tuple> local_results;
+  ShardStats stats;
+  Status status;
+};
+
+ParallelJoinPipeline::ParallelJoinPipeline(JoinFactory factory,
+                                           ParallelPipelineOptions options)
+    : options_(options) {
+  PJOIN_DCHECK(factory != nullptr);
+  PJOIN_DCHECK(options_.num_shards > 0);
+  PJOIN_DCHECK(options_.batch_size > 0);
+  joins_.reserve(static_cast<size_t>(options_.num_shards));
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  staged_.resize(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    joins_.push_back(factory(s));
+    PJOIN_DCHECK(joins_.back() != nullptr);
+    auto shard = std::make_unique<Shard>(s, options_.shard_queue_capacity);
+    shard->join = joins_.back().get();
+    shard->stats.shard = s;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ParallelJoinPipeline::~ParallelJoinPipeline() = default;
+
+CounterSet ParallelJoinPipeline::MergedCounters() const {
+  CounterSet merged;
+  for (const auto& join : joins_) merged.Merge(join->counters());
+  return merged;
+}
+
+int64_t ParallelJoinPipeline::router_backpressure_waits() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.backpressure_waits();
+  return total;
+}
+
+void ParallelJoinPipeline::PublishShardOutputs(Shard* shard) {
+  if (shard->local_results.empty()) return;
+  std::lock_guard<std::mutex> lock(output_mu_);
+  for (Tuple& t : shard->local_results) {
+    output_results_.push_back(std::move(t));
+  }
+  shard->local_results.clear();
+}
+
+void ParallelJoinPipeline::DrainOutputs() {
+  std::deque<Tuple> results;
+  std::deque<Punctuation> puncts;
+  {
+    std::lock_guard<std::mutex> lock(output_mu_);
+    results.swap(output_results_);
+    puncts.swap(output_puncts_);
+  }
+  for (const Tuple& t : results) {
+    ++results_emitted_;
+    if (on_result_) on_result_(t);
+  }
+  for (const Punctuation& p : puncts) {
+    ++puncts_emitted_;
+    if (on_punct_) on_punct_(p);
+  }
+}
+
+void ParallelJoinPipeline::Stage(int shard, int8_t side, StreamElement e) {
+  auto& pending = staged_[static_cast<size_t>(shard)];
+  pending.push_back(Routed{side, std::move(e)});
+  if (pending.size() >= options_.batch_size) FlushStaged(shard);
+}
+
+void ParallelJoinPipeline::FlushStaged(int shard) {
+  auto& pending = staged_[static_cast<size_t>(shard)];
+  if (pending.empty()) return;
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  s.enqueued += static_cast<int64_t>(pending.size());
+  s.queue.PushBatch(&pending);
+}
+
+void ParallelJoinPipeline::EpochBarrier() {
+  ++epoch_barriers_;
+  while (true) {
+    bool drained = true;
+    for (const auto& shard : shards_) {
+      if (shard->processed.load(std::memory_order_acquire) <
+          shard->enqueued) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) return;
+    DrainOutputs();
+    std::this_thread::yield();
+  }
+}
+
+void ParallelJoinPipeline::ShardLoop(Shard* shard) {
+  JoinOperator* join = shard->join;
+  std::vector<Routed> batch;
+  batch.reserve(options_.batch_size);
+  int64_t dry = 0;
+  bool failed = false;
+  int64_t busy_us = 0;
+  const bool debug = std::getenv("PJOIN_PAR_DEBUG") != nullptr;
+  while (true) {
+    batch.clear();
+    shard->queue.PopBatch(options_.batch_size,
+                          std::chrono::microseconds(500), &batch);
+    if (batch.empty()) {
+      if (shard->queue.exhausted()) break;
+      // This shard is momentarily dry: use the lull for background work
+      // (PJoin's disk join, XJoin's reactive stage) on shard-local state.
+      if (!failed && ++dry >= options_.stall_polls) {
+        dry = 0;
+        ++shard->stats.stalls;
+        const Status st = join->OnStreamsStalled();
+        if (!st.ok()) {
+          shard->status = st;
+          failed = true;
+        }
+        PublishShardOutputs(shard);
+      }
+      continue;
+    }
+    dry = 0;
+    const auto b0 = std::chrono::steady_clock::now();
+    for (Routed& r : batch) {
+      if (!failed) {
+        ++shard->stats.elements;
+        if (r.element.is_tuple()) ++shard->stats.tuples;
+        const Status st = join->OnElement(r.side, r.element);
+        if (!st.ok()) {
+          shard->status = st;
+          // Keep draining (and discarding) so the router never blocks on
+          // this shard's queue; the error is surfaced after the run.
+          failed = true;
+        }
+      }
+      shard->processed.fetch_add(1, std::memory_order_release);
+    }
+    busy_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - b0)
+                   .count();
+    if (shard->local_results.size() >= options_.result_flush) {
+      PublishShardOutputs(shard);
+    }
+  }
+  PublishShardOutputs(shard);
+  if (debug) {
+    std::fprintf(stderr, "[par debug] shard=%d busy=%lldms stalls=%lld\n",
+                 shard->id, (long long)(busy_us / 1000),
+                 (long long)shard->stats.stalls);
+  }
+}
+
+void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
+                                      StreamBuffer* in_right) {
+  StreamBuffer* in[2] = {in_left, in_right};
+  std::deque<StreamElement> head[2];
+  bool eos_sent[2] = {false, false};
+  const size_t key_index[2] = {joins_[0]->state(0).key_index(),
+                               joins_[0]->state(1).key_index()};
+  int64_t since_drain = 0;
+
+  auto refill = [&](int side) {
+    if (!head[side].empty() || eos_sent[side]) return;
+    for (StreamElement& e :
+         in[side]->PopBatch(options_.batch_size)) {
+      head[side].push_back(std::move(e));
+    }
+  };
+
+  while (!(eos_sent[0] && eos_sent[1])) {
+    refill(0);
+    refill(1);
+    const bool have0 = !head[0].empty();
+    const bool have1 = !head[1].empty();
+    // Merge in global arrival order: only consume a side when the other has
+    // a head to compare against or can never produce an earlier element.
+    const bool done1 = eos_sent[1] || in[1]->exhausted();
+    const bool done0 = eos_sent[0] || in[0]->exhausted();
+    int side = -1;
+    if (have0 &&
+        (have1 ? head[0].front().arrival() <= head[1].front().arrival()
+               : done1)) {
+      side = 0;
+    } else if (have1 &&
+               (have0 ? head[1].front().arrival() < head[0].front().arrival()
+                      : done0)) {
+      side = 1;
+    }
+    if (side < 0) {
+      DrainOutputs();
+      std::this_thread::yield();
+      continue;
+    }
+    StreamElement e = std::move(head[side].front());
+    head[side].pop_front();
+
+    switch (e.kind()) {
+      case ElementKind::kTuple: {
+        const uint64_t h = e.tuple().field(key_index[side]).Hash();
+        Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side),
+              std::move(e));
+        break;
+      }
+      case ElementKind::kPunctuation: {
+        // Broadcast. Staged order keeps the punctuation behind every tuple
+        // dispatched before it, per shard.
+        for (int s = 0; s + 1 < num_shards(); ++s) {
+          Stage(s, static_cast<int8_t>(side), e);
+        }
+        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e));
+        if (options_.punct_barrier) {
+          for (int s = 0; s < num_shards(); ++s) FlushStaged(s);
+          EpochBarrier();
+        }
+        break;
+      }
+      case ElementKind::kEndOfStream: {
+        for (int s = 0; s + 1 < num_shards(); ++s) {
+          Stage(s, static_cast<int8_t>(side), e);
+        }
+        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e));
+        eos_sent[side] = true;
+        break;
+      }
+    }
+    if (++since_drain >= static_cast<int64_t>(options_.batch_size)) {
+      since_drain = 0;
+      DrainOutputs();
+    }
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    FlushStaged(s);
+    shards_[static_cast<size_t>(s)]->queue.Close();
+  }
+}
+
+Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
+                                 const std::vector<StreamElement>& right) {
+  PJOIN_DCHECK(!ran_);
+  ran_ = true;
+
+  // Wire per-shard output callbacks: results stage locally; a punctuation
+  // release first publishes the shard's staged results, then marks the
+  // board — so by the time the last shard completes a punctuation, every
+  // covered result is already in the output queue ahead of it.
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    shard->join->set_result_callback(
+        [shard](const Tuple& t) { shard->local_results.push_back(t); });
+    shard->join->set_punct_callback([this, shard](const Punctuation& p) {
+      std::lock_guard<std::mutex> lock(output_mu_);
+      for (Tuple& t : shard->local_results) {
+        output_results_.push_back(std::move(t));
+      }
+      shard->local_results.clear();
+      PunctCell& cell = punct_board_[p.ToString()];
+      if (!cell.punct.has_value()) cell.punct = p;
+      if (++cell.releases % num_shards() == 0) {
+        output_puncts_.push_back(*cell.punct);
+      }
+    });
+  }
+
+  StreamBuffer input[2] = {StreamBuffer(options_.input_buffer_capacity),
+                           StreamBuffer(options_.input_buffer_capacity)};
+  auto produce = [this](const std::vector<StreamElement>& src,
+                        StreamBuffer* buffer) {
+    for (size_t i = 0; i < src.size(); i += options_.batch_size) {
+      const size_t end = std::min(src.size(), i + options_.batch_size);
+      std::vector<StreamElement> chunk(src.begin() + static_cast<long>(i),
+                                       src.begin() + static_cast<long>(end));
+      if (buffer->PushBatch(std::move(chunk)) < end - i) break;
+    }
+    buffer->Close();
+  };
+
+  std::thread producer_l(produce, std::cref(left), &input[0]);
+  std::thread producer_r(produce, std::cref(right), &input[1]);
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    workers.emplace_back(&ParallelJoinPipeline::ShardLoop, this, shard.get());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RouterLoop(&input[0], &input[1]);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  producer_l.join();
+  producer_r.join();
+  for (std::thread& w : workers) w.join();
+  const auto t2 = std::chrono::steady_clock::now();
+  if (std::getenv("PJOIN_PAR_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[par debug] router=%lldms drain_workers=%lldms\n",
+                 (long long)std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count(),
+                 (long long)std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1).count());
+  }
+  DrainOutputs();
+
+  Status status;
+  shard_stats_.clear();
+  for (auto& shard : shards_) {
+    shard->stats.results = shard->join->results_emitted();
+    shard->stats.puncts_emitted = shard->join->puncts_emitted();
+    shard->stats.state_tuples = shard->join->total_state_tuples();
+    stalls_reported_ += shard->stats.stalls;
+    shard_stats_.push_back(shard->stats);
+    if (status.ok() && !shard->status.ok()) status = shard->status;
+  }
+  if (options_.stats_registry != nullptr) {
+    for (const ShardStats& stats : shard_stats_) {
+      PJOIN_RETURN_NOT_OK(options_.stats_registry->Dispatch(
+          Event{EventType::kShardStats, /*time=*/0, /*stream=*/stats.shard,
+                stats.ToString()}));
+    }
+  }
+  return status;
+}
+
+}  // namespace pjoin

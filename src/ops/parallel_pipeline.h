@@ -1,0 +1,202 @@
+// ParallelJoinPipeline: partition-parallel execution of a symmetric stream
+// join (PJoin / XJoin / SHJ).
+//
+// Topology (docs/PERFORMANCE.md):
+//
+//   producer L ─┐                 ┌─> shard 0 (own JoinOperator) ─┐
+//               ├─> router thread ┼─> shard 1                     ├─> output
+//   producer R ─┘                 └─> shard N-1                  ─┘   merge
+//
+// Two producer threads feed the input element vectors into bounded
+// StreamBuffers in batches (PushBatch). The router merges the two inputs in
+// global arrival order, hashes each tuple's join key, and dispatches tuple
+// batches to the shard whose key subset the hash selects. Because an
+// equi-join only ever pairs tuples of equal keys, and all tuples of one key
+// hash to the same shard, every shard runs the complete single-threaded
+// join algorithm over a disjoint key subset: memory portion, disk portion,
+// purge buffer, and purge/disk-join work all stay shard-local.
+//
+// Punctuations and end-of-stream markers are broadcast to every shard
+// (each shard's punctuation set sees the full punctuation stream, so purge
+// and contract-validation decisions are identical to the single-threaded
+// run restricted to the shard's keys). Per-shard FIFO delivery preserves
+// the relative order of a punctuation and the tuples it covers; optionally
+// an epoch barrier additionally drains all shards before dispatch resumes,
+// making every punctuation a global synchronization point. Stalls are
+// detected per shard (a dry shard runs its disk join / reactive stage,
+// exactly as the single-threaded consumer would).
+//
+// Results are merged through a concurrent output queue (shard-local
+// buffers, flushed in batches); an output punctuation is released only
+// after *all* shards have propagated it, which preserves the invariant
+// that a punctuation follows every result it covers. The user callbacks
+// run on the caller's thread.
+//
+// Correctness oracle: for any input, the emitted result multiset equals the
+// single-threaded reference (tests/parallel_pipeline_test.cc asserts this
+// per seed; bench/par_scaling.cc re-checks it for every benchmarked
+// configuration).
+
+#ifndef PJOIN_OPS_PARALLEL_PIPELINE_H_
+#define PJOIN_OPS_PARALLEL_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/registry.h"
+#include "join/join_base.h"
+#include "stream/stream_buffer.h"
+
+namespace pjoin {
+
+struct ParallelPipelineOptions {
+  /// Number of shard workers; 1 degenerates to router + one worker.
+  int num_shards = 4;
+  /// Capacity of each input StreamBuffer (elements); producers block on a
+  /// full buffer. 0 = unbounded.
+  size_t input_buffer_capacity = 8192;
+  /// Capacity of each shard's routed queue (elements); the router blocks on
+  /// a full shard queue. 0 = unbounded.
+  size_t shard_queue_capacity = 8192;
+  /// Batch size for producer pushes, router pops, and shard dispatch.
+  size_t batch_size = 256;
+  /// Flush a shard's local result buffer into the shared output queue after
+  /// this many results.
+  size_t result_flush = 256;
+  /// Broadcast punctuations behind an epoch barrier: the router waits until
+  /// every shard has drained its queue before dispatching anything newer.
+  /// FIFO delivery already preserves per-key punctuation order; the barrier
+  /// additionally makes punctuations global synchronization points.
+  bool punct_barrier = false;
+  /// A dry shard reports a stall to its join (disk join / reactive stage)
+  /// after this many consecutive empty polls.
+  int64_t stall_polls = 4;
+  /// Optional registry receiving one kShardStats event per shard when the
+  /// run completes (event.stream = shard id).
+  EventRegistry* stats_registry = nullptr;
+};
+
+/// Final per-shard occupancy of one run.
+struct ShardStats {
+  int shard = 0;
+  /// Elements delivered to the shard (routed tuples + broadcasts).
+  int64_t elements = 0;
+  /// Tuples routed to the shard (its key subset).
+  int64_t tuples = 0;
+  int64_t results = 0;
+  int64_t puncts_emitted = 0;
+  int64_t stalls = 0;
+  /// Final retained state (memory + disk + purge buffer) of the shard.
+  int64_t state_tuples = 0;
+
+  std::string ToString() const;
+};
+
+class ParallelJoinPipeline {
+ public:
+  using JoinFactory = std::function<std::unique_ptr<JoinOperator>(int shard)>;
+  using ResultCallback = std::function<void(const Tuple&)>;
+  using PunctCallback = std::function<void(const Punctuation&)>;
+
+  /// `factory` builds one identically-configured join per shard.
+  ParallelJoinPipeline(JoinFactory factory,
+                       ParallelPipelineOptions options = {});
+  ~ParallelJoinPipeline();
+  PJOIN_DISALLOW_COPY_AND_MOVE(ParallelJoinPipeline);
+
+  /// Called on the Run() caller's thread for every merged result / released
+  /// punctuation. Set before Run.
+  void set_result_callback(ResultCallback cb) { on_result_ = std::move(cb); }
+  void set_punct_callback(PunctCallback cb) { on_punct_ = std::move(cb); }
+
+  /// Runs producers, router and shard workers until both inputs are
+  /// exhausted and all shards have finished. Single-shot.
+  Status Run(const std::vector<StreamElement>& left,
+             const std::vector<StreamElement>& right);
+
+  // ---- Introspection (valid after Run) ----
+  int num_shards() const { return static_cast<int>(joins_.size()); }
+  JoinOperator* shard_join(int shard) { return joins_[shard].get(); }
+  const std::vector<ShardStats>& shard_stats() const { return shard_stats_; }
+  /// All shard counters merged into one set.
+  CounterSet MergedCounters() const;
+  int64_t results_emitted() const { return results_emitted_; }
+  int64_t puncts_emitted() const { return puncts_emitted_; }
+  int64_t stalls_reported() const { return stalls_reported_; }
+  /// Times the router blocked on a full shard queue.
+  int64_t router_backpressure_waits() const;
+  /// Punctuation epoch barriers the router executed.
+  int64_t epoch_barriers() const { return epoch_barriers_; }
+
+ private:
+  // An element tagged with its input side, as queued to a shard.
+  struct Routed {
+    int8_t side;
+    StreamElement element;
+  };
+
+  // A bounded MPSC-ish queue of routed elements (single router producer,
+  // single shard consumer) with batched push/pop and a drain signal for the
+  // epoch barrier.
+  class ShardQueue;
+
+  // Per-shard context: the queue, the worker's result staging buffer, and
+  // counters shared with the router.
+  struct Shard;
+
+  void RouterLoop(StreamBuffer* in_left, StreamBuffer* in_right);
+  void ShardLoop(Shard* shard);
+  /// Appends `e` of `side` to `shard`'s pending batch, flushing when full.
+  /// Takes ownership — routed tuples move all the way into the shard queue
+  /// without copying (broadcasts copy once per extra shard).
+  void Stage(int shard, int8_t side, StreamElement e);
+  void FlushStaged(int shard);
+  /// Waits until every shard has processed everything dispatched so far.
+  void EpochBarrier();
+  /// Drains the shared output queue into the user callbacks (router/caller
+  /// thread only).
+  void DrainOutputs();
+  /// Shard-side: flush `shard`'s local results into the output queue, then
+  /// record punctuation releases on the merge board.
+  void PublishShardOutputs(Shard* shard);
+
+  ParallelPipelineOptions options_;
+  std::vector<std::unique_ptr<JoinOperator>> joins_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<Routed>> staged_;  // router-local pending batches
+  ResultCallback on_result_;
+  PunctCallback on_punct_;
+
+  // Output merge: results + released punctuations, drained on the caller's
+  // thread. The board counts shard releases per punctuation; a punctuation
+  // moves to output_puncts_ each time all shards have released it (so a
+  // punctuation only ever trails the results it covers).
+  struct PunctCell {
+    int releases = 0;
+    std::optional<Punctuation> punct;
+  };
+  std::mutex output_mu_;
+  std::deque<Tuple> output_results_;
+  std::deque<Punctuation> output_puncts_;
+  std::map<std::string, PunctCell> punct_board_;
+
+  std::vector<ShardStats> shard_stats_;
+  int64_t results_emitted_ = 0;
+  int64_t puncts_emitted_ = 0;
+  int64_t stalls_reported_ = 0;
+  int64_t epoch_barriers_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_OPS_PARALLEL_PIPELINE_H_

@@ -1,5 +1,7 @@
 #include "stream/stream_buffer.h"
 
+#include <algorithm>
+
 namespace pjoin {
 
 Status StreamBuffer::TryPush(StreamElement element) {
@@ -33,6 +35,42 @@ void StreamBuffer::Push(StreamElement element) {
   const Status status = PushBlocking(std::move(element));
   PJOIN_DCHECK(status.ok());
   (void)status;
+}
+
+size_t StreamBuffer::PushBatch(std::vector<StreamElement> batch) {
+  size_t pushed = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pushed < batch.size()) {
+    if (capacity_ > 0 && queue_.size() >= capacity_ && !closed_) {
+      ++backpressure_waits_;
+      space_available_.wait(lock, [this] {
+        return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+      });
+    }
+    if (closed_) break;  // remaining elements are dropped with the buffer
+    // Fill the available window (the whole remainder when unbounded).
+    size_t room = batch.size() - pushed;
+    if (capacity_ > 0) {
+      room = std::min<size_t>(room, capacity_ - queue_.size());
+    }
+    for (size_t i = 0; i < room; ++i) {
+      queue_.push_back(std::move(batch[pushed++]));
+    }
+  }
+  return pushed;
+}
+
+std::vector<StreamElement> StreamBuffer::PopBatch(size_t max_elements) {
+  std::vector<StreamElement> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max_elements, queue_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (n > 0 && capacity_ > 0) space_available_.notify_all();
+  return out;
 }
 
 void StreamBuffer::Close() {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -46,6 +47,18 @@ class StreamBuffer {
   /// Legacy convenience: PushBlocking with the status asserted OK. Pushing
   /// to a closed buffer is a checked programming error.
   void Push(StreamElement element);
+
+  /// Appends the whole batch under one mutex acquisition per free-space
+  /// window, blocking while a bounded buffer is full (a batched
+  /// PushBlocking: producers amortize lock and wakeup traffic). Returns the
+  /// number of elements enqueued; short only when the buffer was closed
+  /// mid-batch, in which case the remaining elements are dropped with it.
+  size_t PushBatch(std::vector<StreamElement> batch);
+
+  /// Removes and returns up to `max_elements` oldest elements in one mutex
+  /// acquisition (a batched Pop; never blocks). Returns an empty vector when
+  /// nothing is queued.
+  std::vector<StreamElement> PopBatch(size_t max_elements);
 
   /// Marks the producer side finished; Pop drains the remainder then reports
   /// closure via std::nullopt with closed() == true. Unblocks any producer

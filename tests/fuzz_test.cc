@@ -297,7 +297,9 @@ TEST_P(ChaosFuzz, DropPolicyMatchesSanitizedReference) {
       EXPECT_EQ(recovering_stores[i]->recovery_stats().fallbacks, 1);
     }
   }
-  if (!any_degraded) EXPECT_EQ(degraded_events, 0);
+  if (!any_degraded) {
+    EXPECT_EQ(degraded_events, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, ChaosFuzz,

@@ -1,0 +1,303 @@
+// Equivalence tests for the partition-parallel pipeline: for every shard
+// count the merged parallel output multiset must equal the single-threaded
+// reference, across operators (PJoin / XJoin), seeds, punctuation densities
+// and key skews.
+
+#include "ops/parallel_pipeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/stream_generator.h"
+#include "join/pjoin.h"
+#include "join/xjoin.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPunct;
+using testing::KP;
+using testing::KeyPayloadSchema;
+using testing::ReferenceJoinRows;
+using testing::RunJoin;
+using testing::RunResult;
+
+enum class Operator { kPJoin, kXJoin };
+
+JoinOptions SmallStateOptions() {
+  JoinOptions opts;
+  opts.num_partitions = 8;
+  opts.runtime.purge_threshold = 1;
+  opts.runtime.memory_threshold_tuples = 64;
+  opts.runtime.propagate_count_threshold = 1;
+  return opts;
+}
+
+std::unique_ptr<JoinOperator> MakeJoin(Operator op, const SchemaPtr& left,
+                                       const SchemaPtr& right,
+                                       const JoinOptions& opts) {
+  if (op == Operator::kPJoin) {
+    return std::make_unique<PJoin>(left, right, opts);
+  }
+  return std::make_unique<XJoin>(left, right, opts);
+}
+
+/// Runs the parallel pipeline and returns the merged output in RunJoin's
+/// canonicalization (sorted result rows + punctuations in emission order).
+RunResult RunParallel(Operator op, const SchemaPtr& left_schema,
+                      const SchemaPtr& right_schema, const JoinOptions& jopts,
+                      const std::vector<StreamElement>& left,
+                      const std::vector<StreamElement>& right,
+                      ParallelPipelineOptions popts,
+                      ParallelJoinPipeline** out_pipeline = nullptr) {
+  static std::unique_ptr<ParallelJoinPipeline> last;  // keep alive for caller
+  last = std::make_unique<ParallelJoinPipeline>(
+      [&](int) { return MakeJoin(op, left_schema, right_schema, jopts); },
+      popts);
+  RunResult out;
+  last->set_result_callback(
+      [&out](const Tuple& t) { out.results.push_back(t.ToString()); });
+  last->set_punct_callback(
+      [&out](const Punctuation& p) { out.punctuations.push_back(p); });
+  const Status st = last->Run(left, right);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  out.stalls = last->stalls_reported();
+  std::sort(out.results.begin(), out.results.end());
+  if (out_pipeline != nullptr) *out_pipeline = last.get();
+  return out;
+}
+
+std::vector<std::string> SortedPunctStrings(const RunResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.punctuations.size());
+  for (const Punctuation& p : r.punctuations) out.push_back(p.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Workload {
+  std::string name;
+  GeneratedStreams streams;
+};
+
+Workload MakeWorkload(const std::string& name, uint64_t seed,
+                      double punct_rate, double zipf_s) {
+  DomainSpec domain;
+  domain.window_size = 16;
+  StreamSpec spec;
+  spec.num_tuples = 1200;
+  spec.punct_mean_interarrival_tuples = punct_rate;
+  spec.zipf_s = zipf_s;
+  spec.flush_punctuations_at_end = true;
+  return Workload{name, GenerateStreams(domain, spec, spec, seed)};
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<Operator> {};
+
+TEST_P(ParallelEquivalenceTest, MatchesReferenceAcrossSeedsAndShards) {
+  const Operator op = GetParam();
+  for (const uint64_t seed : {7u, 21u, 1234u}) {
+    Workload w = MakeWorkload("uniform", seed, /*punct_rate=*/25.0,
+                              /*zipf_s=*/0.0);
+    const std::vector<std::string> reference = ReferenceJoinRows(
+        w.streams.a, w.streams.b,
+        MakeJoin(op, w.streams.schema_a, w.streams.schema_b, JoinOptions())
+            ->output_schema(),
+        0, 0);
+    const JoinOptions jopts = SmallStateOptions();
+    for (const int shards : {1, 2, 4}) {
+      ParallelPipelineOptions popts;
+      popts.num_shards = shards;
+      popts.batch_size = 64;
+      const RunResult got =
+          RunParallel(op, w.streams.schema_a, w.streams.schema_b, jopts,
+                      w.streams.a, w.streams.b, popts);
+      EXPECT_EQ(got.results, reference)
+          << "seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, PunctuationHeavyWorkload) {
+  const Operator op = GetParam();
+  Workload w = MakeWorkload("punct-heavy", /*seed=*/99,
+                            /*punct_rate=*/4.0, /*zipf_s=*/0.0);
+  const JoinOptions jopts = SmallStateOptions();
+  // Single-threaded reference through the same operator configuration.
+  auto ref_join =
+      MakeJoin(op, w.streams.schema_a, w.streams.schema_b, jopts);
+  const RunResult ref = RunJoin(ref_join.get(), w.streams.a, w.streams.b);
+  for (const int shards : {2, 4}) {
+    ParallelPipelineOptions popts;
+    popts.num_shards = shards;
+    const RunResult got =
+        RunParallel(op, w.streams.schema_a, w.streams.schema_b, jopts,
+                    w.streams.a, w.streams.b, popts);
+    EXPECT_EQ(got.results, ref.results) << "shards=" << shards;
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, SkewedWorkload) {
+  const Operator op = GetParam();
+  Workload w = MakeWorkload("zipf", /*seed=*/5150, /*punct_rate=*/20.0,
+                            /*zipf_s=*/1.2);
+  const std::vector<std::string> reference = ReferenceJoinRows(
+      w.streams.a, w.streams.b,
+      MakeJoin(op, w.streams.schema_a, w.streams.schema_b, JoinOptions())
+          ->output_schema(),
+      0, 0);
+  const JoinOptions jopts = SmallStateOptions();
+  for (const int shards : {2, 4}) {
+    ParallelPipelineOptions popts;
+    popts.num_shards = shards;
+    const RunResult got =
+        RunParallel(op, w.streams.schema_a, w.streams.schema_b, jopts,
+                    w.streams.a, w.streams.b, popts);
+    EXPECT_EQ(got.results, reference) << "shards=" << shards;
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, ScanAndIndexedProbeAgree) {
+  const Operator op = GetParam();
+  Workload w = MakeWorkload("probe-mode", /*seed=*/31, /*punct_rate=*/30.0,
+                            /*zipf_s=*/0.5);
+  JoinOptions indexed = SmallStateOptions();
+  JoinOptions scan = SmallStateOptions();
+  scan.indexed_probe = false;
+  ParallelPipelineOptions popts;
+  popts.num_shards = 2;
+  const RunResult with_index =
+      RunParallel(op, w.streams.schema_a, w.streams.schema_b, indexed,
+                  w.streams.a, w.streams.b, popts);
+  const RunResult with_scan =
+      RunParallel(op, w.streams.schema_a, w.streams.schema_b, scan,
+                  w.streams.a, w.streams.b, popts);
+  EXPECT_EQ(with_index.results, with_scan.results);
+}
+
+INSTANTIATE_TEST_SUITE_P(Operators, ParallelEquivalenceTest,
+                         ::testing::Values(Operator::kPJoin, Operator::kXJoin),
+                         [](const ::testing::TestParamInfo<Operator>& info) {
+                           return info.param == Operator::kPJoin ? "PJoin"
+                                                                 : "XJoin";
+                         });
+
+// ---- PJoin-specific: punctuations and purge behavior ----
+
+TEST(ParallelPJoinTest, PunctuationsReleasedOnceAndAfterCoveredResults) {
+  const SchemaPtr schema = KeyPayloadSchema();
+  ElementsBuilder left, right;
+  for (int64_t k = 0; k < 6; ++k) {
+    left.Tup(KP(schema, k, 10 + k)).Tup(KP(schema, k, 20 + k));
+    right.Tup(KP(schema, k, 30 + k));
+    left.Punct(KeyPunct(k));
+    right.Punct(KeyPunct(k));
+  }
+  const std::vector<StreamElement> l = left.Finish();
+  const std::vector<StreamElement> r = right.Finish();
+
+  JoinOptions jopts = SmallStateOptions();
+  auto ref_join = std::make_unique<PJoin>(schema, schema, jopts);
+  const RunResult ref = RunJoin(ref_join.get(), l, r);
+
+  for (const int shards : {1, 2, 4}) {
+    ParallelPipelineOptions popts;
+    popts.num_shards = shards;
+    popts.batch_size = 4;
+    ParallelJoinPipeline* pipeline = nullptr;
+    const RunResult got = RunParallel(Operator::kPJoin, schema, schema, jopts,
+                                      l, r, popts, &pipeline);
+    EXPECT_EQ(got.results, ref.results) << "shards=" << shards;
+    // The merge board must deduplicate the N shard-local emissions of each
+    // output punctuation down to the single-threaded multiset.
+    EXPECT_EQ(SortedPunctStrings(got), SortedPunctStrings(ref))
+        << "shards=" << shards;
+    // Every shard fully purged its state: all keys were punctuated on both
+    // sides, so no shard may retain tuples the reference would have dropped.
+    int64_t state = 0;
+    for (const ShardStats& s : pipeline->shard_stats()) {
+      state += s.state_tuples;
+    }
+    EXPECT_EQ(state, ref_join->total_state_tuples()) << "shards=" << shards;
+  }
+}
+
+TEST(ParallelPJoinTest, EpochBarrierModeMatchesReference) {
+  Workload w = MakeWorkload("barrier", /*seed=*/404, /*punct_rate=*/10.0,
+                            /*zipf_s=*/0.0);
+  const JoinOptions jopts = SmallStateOptions();
+  auto ref_join =
+      std::make_unique<PJoin>(w.streams.schema_a, w.streams.schema_b, jopts);
+  const RunResult ref = RunJoin(ref_join.get(), w.streams.a, w.streams.b);
+
+  ParallelPipelineOptions popts;
+  popts.num_shards = 4;
+  popts.punct_barrier = true;
+  ParallelJoinPipeline* pipeline = nullptr;
+  const RunResult got =
+      RunParallel(Operator::kPJoin, w.streams.schema_a, w.streams.schema_b,
+                  jopts, w.streams.a, w.streams.b, popts, &pipeline);
+  EXPECT_EQ(got.results, ref.results);
+  // One barrier per broadcast punctuation.
+  EXPECT_EQ(pipeline->epoch_barriers(),
+            w.streams.NumPunctuations(w.streams.a) +
+                w.streams.NumPunctuations(w.streams.b));
+}
+
+TEST(ParallelPJoinTest, ShardStatsCoverAllRoutedElements) {
+  Workload w = MakeWorkload("stats", /*seed=*/8, /*punct_rate=*/20.0,
+                            /*zipf_s=*/0.0);
+  const JoinOptions jopts = SmallStateOptions();
+  ParallelPipelineOptions popts;
+  popts.num_shards = 4;
+  ParallelJoinPipeline* pipeline = nullptr;
+  const RunResult got =
+      RunParallel(Operator::kPJoin, w.streams.schema_a, w.streams.schema_b,
+                  jopts, w.streams.a, w.streams.b, popts, &pipeline);
+  (void)got;
+  // Punctuations and the two end-of-stream markers are broadcast to every
+  // shard; data tuples are routed to exactly one.
+  const int64_t broadcasts = w.streams.NumPunctuations(w.streams.a) +
+                             w.streams.NumPunctuations(w.streams.b) + 2;
+  int64_t tuples = 0;
+  int64_t results = 0;
+  for (const ShardStats& s : pipeline->shard_stats()) {
+    tuples += s.tuples;
+    results += s.results;
+    EXPECT_EQ(s.elements, s.tuples + broadcasts) << "shard=" << s.shard;
+  }
+  EXPECT_EQ(tuples, w.streams.NumTuples(w.streams.a) +
+                        w.streams.NumTuples(w.streams.b));
+  // The merged output saw every shard-emitted result exactly once.
+  EXPECT_EQ(results, pipeline->results_emitted());
+}
+
+TEST(ParallelPJoinTest, SingleShardMatchesMergedCountersOfReference) {
+  Workload w = MakeWorkload("one-shard", /*seed=*/77, /*punct_rate=*/15.0,
+                            /*zipf_s=*/0.0);
+  const JoinOptions jopts = SmallStateOptions();
+  auto ref_join =
+      std::make_unique<PJoin>(w.streams.schema_a, w.streams.schema_b, jopts);
+  const RunResult ref = RunJoin(ref_join.get(), w.streams.a, w.streams.b);
+
+  ParallelPipelineOptions popts;
+  popts.num_shards = 1;
+  ParallelJoinPipeline* pipeline = nullptr;
+  const RunResult got =
+      RunParallel(Operator::kPJoin, w.streams.schema_a, w.streams.schema_b,
+                  jopts, w.streams.a, w.streams.b, popts, &pipeline);
+  EXPECT_EQ(got.results, ref.results);
+  // One shard sees the exact single-threaded element sequence, so the final
+  // state must match the reference join's exactly.
+  EXPECT_EQ(pipeline->shard_join(0)->total_state_tuples(),
+            ref_join->total_state_tuples());
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -158,5 +158,67 @@ TEST(StreamBufferTest, CloseUnblocksWaitingProducerWithError) {
   EXPECT_TRUE(buf.exhausted());
 }
 
+TEST(StreamBufferTest, BatchRoundtripPreservesFifoOrder) {
+  StreamBuffer buf(/*capacity=*/0);
+  std::vector<StreamElement> batch;
+  for (int64_t i = 0; i < 10; ++i) batch.push_back(IntElement(i, i * 100));
+  EXPECT_EQ(buf.PushBatch(std::move(batch)), 10u);
+  EXPECT_EQ(buf.size(), 10u);
+
+  std::vector<StreamElement> first = buf.PopBatch(4);
+  ASSERT_EQ(first.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(first[static_cast<size_t>(i)].tuple().field(0).AsInt64(), i);
+  }
+  std::vector<StreamElement> rest = buf.PopBatch(100);
+  ASSERT_EQ(rest.size(), 6u);
+  EXPECT_EQ(rest.front().tuple().field(0).AsInt64(), 4);
+  EXPECT_EQ(rest.back().tuple().field(0).AsInt64(), 9);
+  EXPECT_TRUE(buf.PopBatch(1).empty());
+}
+
+TEST(StreamBufferTest, PushBatchBlocksOnFullBufferUntilPopBatch) {
+  StreamBuffer buf(/*capacity=*/3);
+  std::vector<StreamElement> batch;
+  for (int64_t i = 0; i < 8; ++i) batch.push_back(IntElement(i));
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    EXPECT_EQ(buf.PushBatch(std::move(batch)), 8u);
+    done.store(true);
+  });
+  // The producer fills the 3-slot window and must then wait.
+  while (buf.backpressure_waits() == 0) std::this_thread::yield();
+  EXPECT_FALSE(done.load());
+  int64_t seen = 0;
+  int64_t next = 0;
+  while (seen < 8) {
+    for (const StreamElement& e : buf.PopBatch(2)) {
+      EXPECT_EQ(e.tuple().field(0).AsInt64(), next++);
+      ++seen;
+    }
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_GE(buf.backpressure_waits(), 1);
+}
+
+TEST(StreamBufferTest, CloseWhileBatchedReturnsShortCount) {
+  StreamBuffer buf(/*capacity=*/2);
+  std::vector<StreamElement> batch;
+  for (int64_t i = 0; i < 6; ++i) batch.push_back(IntElement(i));
+  std::atomic<size_t> pushed{~size_t{0}};
+  std::thread producer(
+      [&] { pushed.store(buf.PushBatch(std::move(batch))); });
+  while (buf.backpressure_waits() == 0) std::this_thread::yield();
+  buf.Close();
+  producer.join();
+  // Only the elements that fit before Close made it in; the remainder of the
+  // batch is reported as not pushed.
+  EXPECT_EQ(pushed.load(), 2u);
+  EXPECT_EQ(buf.PopBatch(100).size(), 2u);
+  EXPECT_TRUE(buf.exhausted());
+}
+
 }  // namespace
 }  // namespace pjoin
