@@ -58,9 +58,9 @@ BENCHMARK(BM_PatternAnd);
 void BM_PunctSetMatchKey(benchmark::State& state) {
   PunctuationSet ps(0);
   for (int64_t i = 0; i < state.range(0); ++i) {
-    (void)ps.Add(Punctuation::ForAttribute(2, 0,
-                                           Pattern::Constant(Value(i))),
-                 i);
+    const Result<int64_t> pid = ps.Add(
+        Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(i))), i);
+    PJOIN_DCHECK(pid.ok());
   }
   Value probe(state.range(0) / 2);
   for (auto _ : state) {
@@ -144,9 +144,9 @@ BENCHMARK(BM_ProbeIndexedBucket)->Arg(10)->Arg(100)->Arg(1000);
 void BM_PurgeScan(benchmark::State& state) {
   PunctuationSet ps(0);
   for (int64_t k = 0; k < 10; ++k) {
-    (void)ps.Add(Punctuation::ForAttribute(2, 0,
-                                           Pattern::Constant(Value(k))),
-                 k);
+    const Result<int64_t> pid = ps.Add(
+        Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(k))), k);
+    PJOIN_DCHECK(pid.ok());
   }
   HashState st = MakeState(state.range(0), 40);
   for (auto _ : state) {
@@ -168,9 +168,9 @@ void BM_IndexBuild(benchmark::State& state) {
     state.PauseTiming();
     PunctuationSet ps(0);
     for (int64_t k = 0; k < 20; ++k) {
-      (void)ps.Add(Punctuation::ForAttribute(2, 0,
-                                             Pattern::Constant(Value(k))),
-                   k);
+      const Result<int64_t> pid = ps.Add(
+          Punctuation::ForAttribute(2, 0, Pattern::Constant(Value(k))), k);
+      PJOIN_DCHECK(pid.ok());
     }
     HashState st = MakeState(state.range(0), 40);
     state.ResumeTiming();
@@ -215,7 +215,8 @@ void BM_SpillRoundtrip(benchmark::State& state) {
   }
   for (auto _ : state) {
     SimulatedDisk disk;
-    (void)disk.AppendBatch(0, records);
+    const Status append_status = disk.AppendBatch(0, records);
+    PJOIN_DCHECK(append_status.ok());
     auto out = disk.ReadPartition(0);
     benchmark::DoNotOptimize(out);
   }

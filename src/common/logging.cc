@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace pjoin {
 namespace {
@@ -10,8 +11,8 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 // Serializes writes so concurrent components do not interleave records.
-std::mutex& LogMutex() {
-  static std::mutex* m = new std::mutex();
+Mutex& LogMutex() {
+  static Mutex* m = new Mutex();
   return *m;
 }
 
@@ -48,7 +49,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -13,8 +13,10 @@ namespace pjoin {
 
 /// Holds either a successfully produced T or the Status explaining why the
 /// value could not be produced. Accessing the value of a failed Result aborts.
+///
+/// [[nodiscard]]: discarding a Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return MakeThing();`.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -25,10 +27,10 @@ class Result {
     PJOIN_DCHECK(!std::get<Status>(payload_).ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// The error status; OK when the Result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(payload_);
   }

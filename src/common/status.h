@@ -27,7 +27,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation. Cheap to copy in the OK case (no
 /// allocation); carries a message otherwise.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error. Call sites that
+/// genuinely cannot act must check ok() and log or DCHECK — `(void)` casts
+/// are rejected by tools/lint_check.py.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,8 +66,8 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".

@@ -1,0 +1,76 @@
+// Clang thread-safety analysis annotations (docs/STATIC_ANALYSIS.md).
+//
+// These macros attach compile-time lock-discipline contracts to mutexes,
+// the data they guard, and the functions that acquire them. Under Clang
+// with -Wthread-safety the compiler rejects any access to a GUARDED_BY
+// member without its mutex held and any call to a REQUIRES function
+// outside the declared critical section; under every other compiler the
+// macros expand to nothing.
+//
+// The project convention (enforced by tools/lint_check.py):
+//   - every mutex-protected member carries GUARDED_BY(mu_);
+//   - helpers that assume the lock are suffixed ...Locked() and carry
+//     REQUIRES(mu_);
+//   - public entry points that take the lock themselves carry
+//     EXCLUDES(mu_) so the analysis rejects re-entrant acquisition;
+//   - locks are only ever held through RAII (MutexLock, common/mutex.h).
+
+#ifndef PJOIN_COMMON_THREAD_ANNOTATIONS_H_
+#define PJOIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define CAPABILITY(x) PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Data member readable/writable only with the given mutex held.
+#define GUARDED_BY(x) PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define PT_GUARDED_BY(x) PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function that must be called with the given mutex(es) held exclusively.
+#define REQUIRES(...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the given mutex(es) held shared.
+#define REQUIRES_SHARED(...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and returns holding them.
+#define ACQUIRE(...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es).
+#define RELEASE(...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex only when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must be called with the given mutex(es) NOT held (the
+/// caller-side deadlock guard for functions that lock internally).
+#define EXCLUDES(...) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the mutex.
+#define ASSERT_CAPABILITY(x) \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// Function returning a reference to the given mutex.
+#define RETURN_CAPABILITY(x) PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the discipline cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PJOIN_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // PJOIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include "common/mutex.h"
+
 namespace pjoin {
 
 BackgroundExecutor::BackgroundExecutor()
@@ -7,28 +9,28 @@ BackgroundExecutor::BackgroundExecutor()
 
 BackgroundExecutor::~BackgroundExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
 }
 
 void BackgroundExecutor::Execute(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void BackgroundExecutor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  MutexLock lock(mu_);
+  while (!DrainedLocked()) drained_cv_.Wait(mu_);
 }
 
 int64_t BackgroundExecutor::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_executed_;
 }
 
@@ -36,8 +38,8 @@ void BackgroundExecutor::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -48,11 +50,11 @@ void BackgroundExecutor::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       busy_ = false;
       ++tasks_executed_;
     }
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 

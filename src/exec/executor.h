@@ -5,13 +5,13 @@
 #ifndef PJOIN_EXEC_EXECUTOR_H_
 #define PJOIN_EXEC_EXECUTOR_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pjoin {
 
@@ -38,21 +38,25 @@ class BackgroundExecutor : public Executor {
   ~BackgroundExecutor() override;
   PJOIN_DISALLOW_COPY_AND_MOVE(BackgroundExecutor);
 
-  void Execute(std::function<void()> task) override;
-  void Drain() override;
+  void Execute(std::function<void()> task) override EXCLUDES(mu_);
+  void Drain() override EXCLUDES(mu_);
 
-  int64_t tasks_executed() const;
+  [[nodiscard]] int64_t tasks_executed() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
+  /// True once every scheduled task has finished.
+  [[nodiscard]] bool DrainedLocked() const REQUIRES(mu_) {
+    return queue_.empty() && !busy_;
+  }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  bool busy_ = false;
-  int64_t tasks_executed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar drained_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  bool busy_ GUARDED_BY(mu_) = false;
+  int64_t tasks_executed_ GUARDED_BY(mu_) = 0;
   std::thread worker_;
 };
 

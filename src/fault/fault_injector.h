@@ -4,17 +4,20 @@
 // All decorators built from one FaultPlan share one injector, so the
 // injected-fault counters aggregate across stores and streams and the whole
 // run replays bit-identically from the plan's seed. Thread-safe: the
-// decorated stores and sources may live on different pipeline threads.
+// decorated stores and sources may live on different pipeline threads —
+// the random stream is GUARDED_BY its mutex, the counters live in a
+// SharedCounterSet.
 
 #ifndef PJOIN_FAULT_FAULT_INJECTOR_H_
 #define PJOIN_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace pjoin {
 
@@ -23,39 +26,36 @@ class FaultInjector {
   explicit FaultInjector(uint64_t seed) : rng_(seed) {}
 
   /// Deterministic Bernoulli trial; rates <= 0 never fire.
-  bool Roll(double probability) {
+  [[nodiscard]] bool Roll(double probability) EXCLUDES(mu_) {
     if (probability <= 0.0) return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return rng_.NextBool(probability);
   }
 
   /// Uniform integer in [lo, hi] from the shared deterministic stream.
-  int64_t UniformInt(int64_t lo, int64_t hi) {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] int64_t UniformInt(int64_t lo, int64_t hi) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return rng_.NextInt(lo, hi);
   }
 
   /// Records one injected fault under `name` (e.g. "io_transient_write").
   void Count(const std::string& name, int64_t delta = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
     counters_.Add(name, delta);
   }
 
-  int64_t Get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] int64_t Get(const std::string& name) const {
     return counters_.Get(name);
   }
 
   /// Snapshot of every injected-fault counter.
-  CounterSet SnapshotCounters() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return counters_;
+  [[nodiscard]] CounterSet SnapshotCounters() const {
+    return counters_.Snapshot();
   }
 
  private:
-  mutable std::mutex mu_;
-  Rng rng_;
-  CounterSet counters_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  SharedCounterSet counters_;
 };
 
 }  // namespace pjoin

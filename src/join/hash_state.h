@@ -46,12 +46,14 @@ class HashState {
   bool indexed() const { return indexed_; }
 
   /// The join-key value of a tuple of this stream.
-  const Value& KeyOf(const Tuple& t) const { return t.field(key_index_); }
+  [[nodiscard]] const Value& KeyOf(const Tuple& t) const {
+    return t.field(key_index_);
+  }
   /// The partition a key hashes to.
-  int PartitionOf(const Value& key) const;
+  [[nodiscard]] int PartitionOf(const Value& key) const;
   /// The partition a precomputed key hash maps to (same mapping as
   /// PartitionOf(key) for key_hash == key.Hash()).
-  int PartitionOfHash(uint64_t key_hash) const {
+  [[nodiscard]] int PartitionOfHash(uint64_t key_hash) const {
     return static_cast<int>(key_hash % partitions_.size());
   }
 
@@ -134,7 +136,7 @@ class HashState {
 
   /// Reads back (deserializes) the disk portion of partition `p`, with
   /// key hashes recomputed.
-  Result<std::vector<TupleEntry>> ReadDiskPartition(int p);
+  [[nodiscard]] Result<std::vector<TupleEntry>> ReadDiskPartition(int p);
 
   /// Replaces the disk portion of partition `p` with `survivors` (used by
   /// the disk join after purging disk-resident tuples).
@@ -167,7 +169,7 @@ class HashState {
 
   /// All tuples retained anywhere in the state (memory + disk + purge
   /// buffer): the paper's "number of tuples in the join state".
-  int64_t total_tuples() const {
+  [[nodiscard]] int64_t total_tuples() const {
     return memory_tuples_ + disk_tuples_ + purge_buffer_tuples_;
   }
 

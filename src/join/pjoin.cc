@@ -249,7 +249,7 @@ Status PJoin::PurgeState(int side) {
     // The paper's algorithm: scan the memory state applying setMatch. The
     // scan cost, proportional to the state size, is what makes eager purge
     // expensive (Fig 9).
-    (void)opp_ps.TakeUnappliedForPurge();  // mark them applied
+    opp_ps.TakeUnappliedForPurge();  // mark them applied
     for (int p = 0; p < own.num_partitions(); ++p) {
       counters().Add("purge_scanned",
                      static_cast<int64_t>(own.memory(p).size()));

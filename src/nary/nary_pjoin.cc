@@ -165,8 +165,8 @@ Status NaryPJoin::OnPunctuation(int stream, const Punctuation& punct,
   PJOIN_RETURN_NOT_OK(own.puncts->Add(punct, arrival).status());
   // This operator scans rather than consumes the set's work queues; drain
   // them so they do not accumulate.
-  (void)own.puncts->TakeUnappliedForPurge();
-  (void)own.puncts->TakeUnindexed();
+  own.puncts->TakeUnappliedForPurge();
+  own.puncts->TakeUnindexed();
   if (options_.eager_purge) PurgeAll();
   return PropagateStream(stream);
 }

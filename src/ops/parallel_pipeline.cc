@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace pjoin {
 
 namespace {
@@ -36,14 +39,11 @@ class ParallelJoinPipeline::ShardQueue {
   explicit ShardQueue(size_t capacity) : capacity_(capacity) {}
 
   /// Moves the whole batch in, blocking while the queue is at capacity.
-  void PushBatch(std::vector<Routed>* batch) {
-    std::unique_lock<std::mutex> lock(mu_);
+  void PushBatch(std::vector<Routed>* batch) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t pushed = 0;
     while (pushed < batch->size()) {
-      if (capacity_ > 0 && queue_.size() >= capacity_) {
-        ++backpressure_waits_;
-        space_.wait(lock, [this] { return queue_.size() < capacity_; });
-      }
+      if (!HasSpaceLocked()) WaitForSpaceLocked();
       size_t room = batch->size() - pushed;
       if (capacity_ > 0) {
         room = std::min<size_t>(room, capacity_ - queue_.size());
@@ -51,51 +51,61 @@ class ParallelJoinPipeline::ShardQueue {
       for (size_t i = 0; i < room; ++i) {
         queue_.push_back(std::move((*batch)[pushed++]));
       }
-      data_.notify_one();
+      data_.NotifyOne();
     }
     batch->clear();
   }
 
   /// Appends up to `max` elements to `out`, waiting up to `wait` for data.
   void PopBatch(size_t max, std::chrono::microseconds wait,
-                std::vector<Routed>* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+                std::vector<Routed>* out) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (queue_.empty() && !closed_) {
-      data_.wait_for(lock, wait,
-                     [this] { return !queue_.empty() || closed_; });
+      const auto deadline = std::chrono::steady_clock::now() + wait;
+      while (queue_.empty() && !closed_) {
+        if (data_.WaitUntil(mu_, deadline)) break;
+      }
     }
     const size_t n = std::min(max, queue_.size());
     for (size_t i = 0; i < n; ++i) {
       out->push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    if (n > 0 && capacity_ > 0) space_.notify_all();
+    if (n > 0 && capacity_ > 0) space_.NotifyAll();
   }
 
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
-    data_.notify_all();
+    data_.NotifyAll();
   }
 
-  bool exhausted() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool exhausted() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_ && queue_.empty();
   }
 
-  int64_t backpressure_waits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t backpressure_waits() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return backpressure_waits_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable data_;
-  std::condition_variable space_;
-  std::deque<Routed> queue_;
+  bool HasSpaceLocked() const REQUIRES(mu_) {
+    return capacity_ == 0 || queue_.size() < capacity_;
+  }
+  void WaitForSpaceLocked() REQUIRES(mu_) {
+    ++backpressure_waits_;
+    while (!HasSpaceLocked()) space_.Wait(mu_);
+  }
+
+  mutable Mutex mu_;
+  CondVar data_;
+  CondVar space_;
+  std::deque<Routed> queue_ GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
-  int64_t backpressure_waits_ = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  int64_t backpressure_waits_ GUARDED_BY(mu_) = 0;
 };
 
 struct ParallelJoinPipeline::Shard {
@@ -149,20 +159,34 @@ int64_t ParallelJoinPipeline::router_backpressure_waits() const {
   return total;
 }
 
-void ParallelJoinPipeline::PublishShardOutputs(Shard* shard) {
-  if (shard->local_results.empty()) return;
-  std::lock_guard<std::mutex> lock(output_mu_);
+void ParallelJoinPipeline::FlushShardResultsLocked(Shard* shard) {
   for (Tuple& t : shard->local_results) {
     output_results_.push_back(std::move(t));
   }
   shard->local_results.clear();
 }
 
+void ParallelJoinPipeline::PublishShardOutputs(Shard* shard) {
+  if (shard->local_results.empty()) return;
+  MutexLock lock(output_mu_);
+  FlushShardResultsLocked(shard);
+}
+
+void ParallelJoinPipeline::ReleasePunct(Shard* shard, const Punctuation& p) {
+  MutexLock lock(output_mu_);
+  FlushShardResultsLocked(shard);
+  PunctCell& cell = punct_board_[p.ToString()];
+  if (!cell.punct.has_value()) cell.punct = p;
+  if (++cell.releases % num_shards() == 0) {
+    output_puncts_.push_back(*cell.punct);
+  }
+}
+
 void ParallelJoinPipeline::DrainOutputs() {
   std::deque<Tuple> results;
   std::deque<Punctuation> puncts;
   {
-    std::lock_guard<std::mutex> lock(output_mu_);
+    MutexLock lock(output_mu_);
     results.swap(output_results_);
     puncts.swap(output_puncts_);
   }
@@ -364,16 +388,7 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
     shard->join->set_result_callback(
         [shard](const Tuple& t) { shard->local_results.push_back(t); });
     shard->join->set_punct_callback([this, shard](const Punctuation& p) {
-      std::lock_guard<std::mutex> lock(output_mu_);
-      for (Tuple& t : shard->local_results) {
-        output_results_.push_back(std::move(t));
-      }
-      shard->local_results.clear();
-      PunctCell& cell = punct_board_[p.ToString()];
-      if (!cell.punct.has_value()) cell.punct = p;
-      if (++cell.releases % num_shards() == 0) {
-        output_puncts_.push_back(*cell.punct);
-      }
+      ReleasePunct(shard, p);
     });
   }
 
@@ -425,9 +440,12 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
   }
   if (options_.stats_registry != nullptr) {
     for (const ShardStats& stats : shard_stats_) {
-      PJOIN_RETURN_NOT_OK(options_.stats_registry->Dispatch(
+      // A dispatch failure must not mask an earlier shard error: the shard
+      // error is the run's outcome, the stats event is bookkeeping.
+      const Status dispatch_status = options_.stats_registry->Dispatch(
           Event{EventType::kShardStats, /*time=*/0, /*stream=*/stats.shard,
-                stats.ToString()}));
+                stats.ToString()});
+      if (status.ok() && !dispatch_status.ok()) status = dispatch_status;
     }
   }
   return status;

@@ -41,17 +41,17 @@
 #define PJOIN_OPS_PARALLEL_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/registry.h"
 #include "join/join_base.h"
 #include "stream/stream_buffer.h"
@@ -138,6 +138,10 @@ class ParallelJoinPipeline {
   int64_t epoch_barriers() const { return epoch_barriers_; }
 
  private:
+  // Negative-compile probe for the thread-safety CI job; see
+  // tests/thread_safety_negative.cc.
+  friend class ThreadSafetyNegativeProbe;
+
   // An element tagged with its input side, as queued to a shard.
   struct Routed {
     int8_t side;
@@ -164,10 +168,17 @@ class ParallelJoinPipeline {
   void EpochBarrier();
   /// Drains the shared output queue into the user callbacks (router/caller
   /// thread only).
-  void DrainOutputs();
+  void DrainOutputs() EXCLUDES(output_mu_);
   /// Shard-side: flush `shard`'s local results into the output queue, then
   /// record punctuation releases on the merge board.
-  void PublishShardOutputs(Shard* shard);
+  void PublishShardOutputs(Shard* shard) EXCLUDES(output_mu_);
+  /// Shard-side: publish `shard`'s staged results, then record its release
+  /// of punctuation `p` on the board; the punctuation moves to the output
+  /// queue once every shard has released it (§3.3 invariant: a punctuation
+  /// only ever trails the results it covers).
+  void ReleasePunct(Shard* shard, const Punctuation& p) EXCLUDES(output_mu_);
+  /// Moves `shard`'s staged results into the shared output queue.
+  void FlushShardResultsLocked(Shard* shard) REQUIRES(output_mu_);
 
   ParallelPipelineOptions options_;
   std::vector<std::unique_ptr<JoinOperator>> joins_;
@@ -184,10 +195,10 @@ class ParallelJoinPipeline {
     int releases = 0;
     std::optional<Punctuation> punct;
   };
-  std::mutex output_mu_;
-  std::deque<Tuple> output_results_;
-  std::deque<Punctuation> output_puncts_;
-  std::map<std::string, PunctCell> punct_board_;
+  Mutex output_mu_;
+  std::deque<Tuple> output_results_ GUARDED_BY(output_mu_);
+  std::deque<Punctuation> output_puncts_ GUARDED_BY(output_mu_);
+  std::map<std::string, PunctCell> punct_board_ GUARDED_BY(output_mu_);
 
   std::vector<ShardStats> shard_stats_;
   int64_t results_emitted_ = 0;

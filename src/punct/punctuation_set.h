@@ -55,14 +55,14 @@ class PunctuationSet {
   Result<int64_t> Add(Punctuation punct, TimeMicros arrival);
 
   /// setMatch(t, PS): true if some punctuation in the set matches `t`.
-  bool SetMatch(const Tuple& t) const;
+  [[nodiscard]] bool SetMatch(const Tuple& t) const;
 
   /// Cross-stream setMatch on the join attribute (paper §2.2: "we only focus
   /// on exploiting punctuations over the join attribute"): true if some
   /// *key-only* punctuation's join-attribute pattern covers `join_value`.
   /// This is the test used to purge the opposite state and to drop arriving
   /// opposite-stream tuples on the fly.
-  bool SetMatchKey(const Value& join_value) const;
+  [[nodiscard]] bool SetMatchKey(const Value& join_value) const;
 
   /// The earliest-arrived punctuation matching `t`, or nullptr. Used to
   /// assign pids when building the propagation index.
@@ -103,8 +103,8 @@ class PunctuationSet {
     for (auto& [pid, entry] : entries_) fn(entry);
   }
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
 
   /// Approximate in-memory footprint in bytes.
   size_t ByteSize() const;

@@ -82,8 +82,15 @@ Status FileSpillStore::WritePage(const std::string& page,
 Status FileSpillStore::AppendBatch(int partition,
                                    const std::vector<std::string>& records) {
   if (records.empty()) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill file already closed");
+  }
   Partition& part = partitions_[partition];
   PageWriter writer(page_size_);
+  // Commit accounting only after the page holding a record is durable:
+  // RecoveringSpillStore resumes failed batches from PartitionRecordCount,
+  // so counting records ahead of a failed write would skip them on retry.
+  int64_t staged = 0;
   for (const auto& record : records) {
     if (record.size() + 8 > page_size_) {
       return Status::InvalidArgument("record larger than page size");
@@ -92,21 +99,28 @@ Status FileSpillStore::AppendBatch(int partition,
       int64_t index = 0;
       PJOIN_RETURN_NOT_OK(WritePage(writer.Finish(), &index));
       part.page_indexes.push_back(index);
+      part.record_count += staged;
+      stats_.records_written += staged;
+      staged = 0;
       const bool ok = writer.Append(record);
       PJOIN_DCHECK(ok);
     }
-    ++part.record_count;
-    ++stats_.records_written;
+    ++staged;
   }
   if (!writer.empty()) {
     int64_t index = 0;
     PJOIN_RETURN_NOT_OK(WritePage(writer.Finish(), &index));
     part.page_indexes.push_back(index);
   }
+  part.record_count += staged;
+  stats_.records_written += staged;
   return Status::OK();
 }
 
 Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill file already closed");
+  }
   std::vector<std::string> records;
   auto it = partitions_.find(partition);
   if (it == partitions_.end()) return records;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "storage/simulated_disk.h"
 
 namespace pjoin {
@@ -24,16 +25,16 @@ void AddStats(IoStats* into, const IoStats& delta) {
 RecoveringSpillStore::RecoveringSpillStore(std::unique_ptr<SpillStore> primary,
                                            RecoveryOptions options,
                                            EventSink sink)
-    : primary_(std::move(primary)),
-      options_(std::move(options)),
-      sink_(std::move(sink)) {
+    : options_(std::move(options)),
+      sink_(std::move(sink)),
+      primary_(std::move(primary)) {
   PJOIN_DCHECK(primary_ != nullptr);
   if (!options_.fallback_factory) {
     options_.fallback_factory = [] { return std::make_unique<SimulatedDisk>(); };
   }
 }
 
-void RecoveringSpillStore::Backoff(int attempt) {
+void RecoveringSpillStore::BackoffLocked(int attempt) {
   const double factor = std::pow(options_.backoff_multiplier, attempt);
   const auto delay = static_cast<int64_t>(
       static_cast<double>(options_.backoff_initial_micros) * factor);
@@ -43,12 +44,12 @@ void RecoveringSpillStore::Backoff(int attempt) {
   }
 }
 
-void RecoveringSpillStore::EmitIoError(const std::string& detail) {
+void RecoveringSpillStore::EmitIoErrorLocked(const std::string& detail) {
   ++recovery_stats_.io_errors;
   if (sink_) sink_(Event{EventType::kIoError, 0, -1, detail});
 }
 
-Status RecoveringSpillStore::FallBack(const std::string& reason) {
+Status RecoveringSpillStore::FallBackLocked(const std::string& reason) {
   PJOIN_DCHECK(!degraded_);
   PJOIN_LOG(kWarn) << "spill store degrading to fallback: " << reason;
   fallback_ = options_.fallback_factory();
@@ -62,10 +63,10 @@ Status RecoveringSpillStore::FallBack(const std::string& reason) {
     Result<std::vector<std::string>> records = primary_->ReadPartition(p);
     for (int attempt = 0; attempt < options_.max_retries && !records.ok();
          ++attempt) {
-      EmitIoError("migration read of partition " + std::to_string(p) + ": " +
-                  records.status().message());
+      EmitIoErrorLocked("migration read of partition " + std::to_string(p) +
+                        ": " + records.status().message());
       ++recovery_stats_.retries;
-      Backoff(attempt);
+      BackoffLocked(attempt);
       records = primary_->ReadPartition(p);
     }
     if (!records.ok()) {
@@ -98,40 +99,42 @@ Status RecoveringSpillStore::FallBack(const std::string& reason) {
 
 Status RecoveringSpillStore::AppendBatch(
     int partition, const std::vector<std::string>& records) {
-  if (records.empty()) return active()->AppendBatch(partition, records);
+  MutexLock lock(mu_);
+  if (records.empty()) return ActiveLocked()->AppendBatch(partition, records);
   // Resume-from-watermark: the partition's durable record count tells how
   // much of the batch survived a failed or short write, so retries append
   // exactly the missing suffix — no duplicates, no loss.
-  const int64_t durable_before = active()->PartitionRecordCount(partition);
+  const int64_t durable_before = ActiveLocked()->PartitionRecordCount(partition);
   size_t done = 0;
   Status status;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++recovery_stats_.retries;
-      Backoff(attempt - 1);
-      done = static_cast<size_t>(active()->PartitionRecordCount(partition) -
-                                 durable_before);
+      BackoffLocked(attempt - 1);
+      done = static_cast<size_t>(
+          ActiveLocked()->PartitionRecordCount(partition) - durable_before);
       PJOIN_DCHECK(done <= records.size());
     }
     const std::vector<std::string> suffix(
         records.begin() + static_cast<ptrdiff_t>(done), records.end());
     status = suffix.empty() ? Status::OK()
-                            : active()->AppendBatch(partition, suffix);
+                            : ActiveLocked()->AppendBatch(partition, suffix);
     if (status.ok()) {
       if (attempt > 0) ++recovery_stats_.recovered_ops;
       return Status::OK();
     }
-    EmitIoError("append to partition " + std::to_string(partition) + ": " +
-                status.message());
+    EmitIoErrorLocked("append to partition " + std::to_string(partition) +
+                      ": " + status.message());
   }
   if (degraded_) {
     return Status::IOError("fallback store failed: " + status.message());
   }
   // Retries exhausted on the primary: degrade. The durable prefix of this
   // batch migrates with its partition; only the unwritten suffix remains.
-  done = static_cast<size_t>(active()->PartitionRecordCount(partition) -
+  done = static_cast<size_t>(ActiveLocked()->PartitionRecordCount(partition) -
                              durable_before);
-  PJOIN_RETURN_NOT_OK(FallBack("permanent write failure: " + status.message()));
+  PJOIN_RETURN_NOT_OK(
+      FallBackLocked("permanent write failure: " + status.message()));
   const std::vector<std::string> suffix(
       records.begin() + static_cast<ptrdiff_t>(done), records.end());
   return fallback_->AppendBatch(partition, suffix);
@@ -139,63 +142,74 @@ Status RecoveringSpillStore::AppendBatch(
 
 Result<std::vector<std::string>> RecoveringSpillStore::ReadPartition(
     int partition) {
-  Result<std::vector<std::string>> result = active()->ReadPartition(partition);
+  MutexLock lock(mu_);
+  Result<std::vector<std::string>> result =
+      ActiveLocked()->ReadPartition(partition);
   for (int attempt = 0; attempt < options_.max_retries && !result.ok();
        ++attempt) {
-    EmitIoError("read of partition " + std::to_string(partition) + ": " +
-                result.status().message());
+    EmitIoErrorLocked("read of partition " + std::to_string(partition) + ": " +
+                      result.status().message());
     ++recovery_stats_.retries;
-    Backoff(attempt);
-    result = active()->ReadPartition(partition);
+    BackoffLocked(attempt);
+    result = ActiveLocked()->ReadPartition(partition);
     if (result.ok()) ++recovery_stats_.recovered_ops;
   }
   if (result.ok()) return result;
-  EmitIoError("read of partition " + std::to_string(partition) + ": " +
-              result.status().message());
+  EmitIoErrorLocked("read of partition " + std::to_string(partition) + ": " +
+                    result.status().message());
   if (degraded_) return result;
   // Permanent read failure on the primary: degrade. If this partition's
   // pages are truly unreadable the migration reports the loss.
-  PJOIN_RETURN_NOT_OK(FallBack("permanent read failure: " +
-                               result.status().message()));
+  PJOIN_RETURN_NOT_OK(FallBackLocked("permanent read failure: " +
+                                     result.status().message()));
   return fallback_->ReadPartition(partition);
 }
 
-Status RecoveringSpillStore::RunWithRecovery(
-    const std::string& what, const std::function<Status()>& op) {
-  Status status = op();
+Status RecoveringSpillStore::ClearPartition(int partition) {
+  MutexLock lock(mu_);
+  Status status = ActiveLocked()->ClearPartition(partition);
   for (int attempt = 0; attempt < options_.max_retries && !status.ok();
        ++attempt) {
-    EmitIoError(what + ": " + status.message());
+    EmitIoErrorLocked("clear of partition " + std::to_string(partition) + ": " +
+                      status.message());
     ++recovery_stats_.retries;
-    Backoff(attempt);
-    status = op();
+    BackoffLocked(attempt);
+    status = ActiveLocked()->ClearPartition(partition);
     if (status.ok()) ++recovery_stats_.recovered_ops;
   }
   return status;
 }
 
-Status RecoveringSpillStore::ClearPartition(int partition) {
-  return RunWithRecovery(
-      "clear of partition " + std::to_string(partition),
-      [this, partition] { return active()->ClearPartition(partition); });
-}
-
 int64_t RecoveringSpillStore::PartitionRecordCount(int partition) const {
-  return active()->PartitionRecordCount(partition);
+  MutexLock lock(mu_);
+  return ActiveLocked()->PartitionRecordCount(partition);
 }
 
 int64_t RecoveringSpillStore::TotalRecordCount() const {
-  return active()->TotalRecordCount();
+  MutexLock lock(mu_);
+  return ActiveLocked()->TotalRecordCount();
 }
 
 std::vector<int> RecoveringSpillStore::NonEmptyPartitions() const {
-  return active()->NonEmptyPartitions();
+  MutexLock lock(mu_);
+  return ActiveLocked()->NonEmptyPartitions();
 }
 
 const IoStats& RecoveringSpillStore::io_stats() const {
+  MutexLock lock(mu_);
   stats_ = retired_stats_;
-  AddStats(&stats_, active()->io_stats());
+  AddStats(&stats_, ActiveLocked()->io_stats());
   return stats_;
+}
+
+bool RecoveringSpillStore::degraded() const {
+  MutexLock lock(mu_);
+  return degraded_;
+}
+
+RecoveryStats RecoveringSpillStore::recovery_stats() const {
+  MutexLock lock(mu_);
+  return recovery_stats_;
 }
 
 }  // namespace pjoin

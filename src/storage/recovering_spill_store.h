@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/event.h"
 #include "storage/spill_store.h"
 
@@ -61,46 +63,51 @@ class RecoveringSpillStore : public SpillStore {
                                 EventSink sink = nullptr);
 
   Status AppendBatch(int partition,
-                     const std::vector<std::string>& records) override;
-  Result<std::vector<std::string>> ReadPartition(int partition) override;
-  Status ClearPartition(int partition) override;
-  int64_t PartitionRecordCount(int partition) const override;
-  int64_t TotalRecordCount() const override;
-  std::vector<int> NonEmptyPartitions() const override;
-  const IoStats& io_stats() const override;
+                     const std::vector<std::string>& records) override
+      EXCLUDES(mu_);
+  Result<std::vector<std::string>> ReadPartition(int partition) override
+      EXCLUDES(mu_);
+  Status ClearPartition(int partition) override EXCLUDES(mu_);
+  [[nodiscard]] int64_t PartitionRecordCount(int partition) const override
+      EXCLUDES(mu_);
+  [[nodiscard]] int64_t TotalRecordCount() const override EXCLUDES(mu_);
+  [[nodiscard]] std::vector<int> NonEmptyPartitions() const override
+      EXCLUDES(mu_);
+  const IoStats& io_stats() const override EXCLUDES(mu_);
 
   /// True once the store runs on the fallback.
-  bool degraded() const { return degraded_; }
-  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  [[nodiscard]] bool degraded() const EXCLUDES(mu_);
+  /// Consistent snapshot of the recovery counters (by value: the stats are
+  /// mutated on whichever pipeline thread drives the store).
+  [[nodiscard]] RecoveryStats recovery_stats() const EXCLUDES(mu_);
 
  private:
-  SpillStore* active() { return degraded_ ? fallback_.get() : primary_.get(); }
-  const SpillStore* active() const {
+  SpillStore* ActiveLocked() REQUIRES(mu_) {
+    return degraded_ ? fallback_.get() : primary_.get();
+  }
+  const SpillStore* ActiveLocked() const REQUIRES(mu_) {
     return degraded_ ? fallback_.get() : primary_.get();
   }
 
   /// Accounts (and optionally sleeps) the backoff before retry `attempt`.
-  void Backoff(int attempt);
-  void EmitIoError(const std::string& detail);
+  void BackoffLocked(int attempt) REQUIRES(mu_);
+  void EmitIoErrorLocked(const std::string& detail) REQUIRES(mu_);
 
   /// Switches to the fallback store, migrating every readable primary
   /// partition. Returns an error only if some partition is unreadable.
-  Status FallBack(const std::string& reason);
+  Status FallBackLocked(const std::string& reason) REQUIRES(mu_);
 
-  /// Runs `op` against the active store with retry + backoff. On permanent
-  /// failure falls back (at most once) and tries once more there.
-  Status RunWithRecovery(const std::string& what,
-                         const std::function<Status()>& op);
+  RecoveryOptions options_;  // immutable after construction
+  EventSink sink_;           // immutable after construction
 
-  std::unique_ptr<SpillStore> primary_;
-  std::unique_ptr<SpillStore> fallback_;
-  RecoveryOptions options_;
-  EventSink sink_;
-  bool degraded_ = false;
-  RecoveryStats recovery_stats_;
+  mutable Mutex mu_;
+  std::unique_ptr<SpillStore> primary_ GUARDED_BY(mu_);
+  std::unique_ptr<SpillStore> fallback_ GUARDED_BY(mu_);
+  bool degraded_ GUARDED_BY(mu_) = false;
+  RecoveryStats recovery_stats_ GUARDED_BY(mu_);
   /// io_stats() aggregate: retired-primary totals + active-store totals.
-  IoStats retired_stats_;
-  mutable IoStats stats_;
+  IoStats retired_stats_ GUARDED_BY(mu_);
+  mutable IoStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace pjoin

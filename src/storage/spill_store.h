@@ -43,19 +43,20 @@ class SpillStore {
 
   /// Reads back every record ever appended to the partition, in append
   /// order. The partition keeps its contents.
-  virtual Result<std::vector<std::string>> ReadPartition(int partition) = 0;
+  [[nodiscard]] virtual Result<std::vector<std::string>> ReadPartition(
+      int partition) = 0;
 
   /// Drops all records of the partition.
   virtual Status ClearPartition(int partition) = 0;
 
   /// Number of records currently stored in the partition.
-  virtual int64_t PartitionRecordCount(int partition) const = 0;
+  [[nodiscard]] virtual int64_t PartitionRecordCount(int partition) const = 0;
 
   /// Total records across all partitions.
-  virtual int64_t TotalRecordCount() const = 0;
+  [[nodiscard]] virtual int64_t TotalRecordCount() const = 0;
 
   /// Partitions with at least one record.
-  virtual std::vector<int> NonEmptyPartitions() const = 0;
+  [[nodiscard]] virtual std::vector<int> NonEmptyPartitions() const = 0;
 
   virtual const IoStats& io_stats() const = 0;
 };

@@ -2,28 +2,32 @@
 
 #include <algorithm>
 
+#include "common/mutex.h"
+
 namespace pjoin {
 
 Status StreamBuffer::TryPush(StreamElement element) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     return Status::FailedPrecondition("push to closed stream buffer");
   }
-  if (capacity_ > 0 && queue_.size() >= capacity_) {
+  if (!HasSpaceLocked()) {
     return Status::ResourceExhausted("stream buffer full");
   }
   queue_.push_back(std::move(element));
   return Status::OK();
 }
 
-Status StreamBuffer::PushBlocking(StreamElement element) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (capacity_ > 0 && queue_.size() >= capacity_ && !closed_) {
-    ++backpressure_waits_;
-    space_available_.wait(lock, [this] {
-      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
-    });
+void StreamBuffer::WaitForSpaceLocked() {
+  ++backpressure_waits_;
+  while (!closed_ && !HasSpaceLocked()) {
+    space_available_.Wait(mu_);
   }
+}
+
+Status StreamBuffer::PushBlocking(StreamElement element) {
+  MutexLock lock(mu_);
+  if (!closed_ && !HasSpaceLocked()) WaitForSpaceLocked();
   if (closed_) {
     return Status::FailedPrecondition("push to closed stream buffer");
   }
@@ -34,19 +38,13 @@ Status StreamBuffer::PushBlocking(StreamElement element) {
 void StreamBuffer::Push(StreamElement element) {
   const Status status = PushBlocking(std::move(element));
   PJOIN_DCHECK(status.ok());
-  (void)status;
 }
 
 size_t StreamBuffer::PushBatch(std::vector<StreamElement> batch) {
   size_t pushed = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (pushed < batch.size()) {
-    if (capacity_ > 0 && queue_.size() >= capacity_ && !closed_) {
-      ++backpressure_waits_;
-      space_available_.wait(lock, [this] {
-        return closed_ || capacity_ == 0 || queue_.size() < capacity_;
-      });
-    }
+    if (!closed_ && !HasSpaceLocked()) WaitForSpaceLocked();
     if (closed_) break;  // remaining elements are dropped with the buffer
     // Fill the available window (the whole remainder when unbounded).
     size_t room = batch.size() - pushed;
@@ -62,60 +60,60 @@ size_t StreamBuffer::PushBatch(std::vector<StreamElement> batch) {
 
 std::vector<StreamElement> StreamBuffer::PopBatch(size_t max_elements) {
   std::vector<StreamElement> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const size_t n = std::min(max_elements, queue_.size());
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  if (n > 0 && capacity_ > 0) space_available_.notify_all();
+  if (n > 0 && capacity_ > 0) space_available_.NotifyAll();
   return out;
 }
 
 void StreamBuffer::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  space_available_.notify_all();
+  space_available_.NotifyAll();
 }
 
 std::optional<StreamElement> StreamBuffer::Pop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   std::optional<StreamElement> e(std::in_place, std::move(queue_.front()));
   queue_.pop_front();
-  if (capacity_ > 0) space_available_.notify_one();
+  if (capacity_ > 0) space_available_.NotifyOne();
   return e;
 }
 
 std::optional<TimeMicros> StreamBuffer::PeekArrival() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   return queue_.front().arrival();
 }
 
 bool StreamBuffer::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.empty();
 }
 
 size_t StreamBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 bool StreamBuffer::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 bool StreamBuffer::exhausted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_ && queue_.empty();
 }
 
 int64_t StreamBuffer::backpressure_waits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return backpressure_waits_;
 }
 

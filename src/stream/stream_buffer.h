@@ -17,14 +17,14 @@
 #ifndef PJOIN_STREAM_STREAM_BUFFER_H_
 #define PJOIN_STREAM_STREAM_BUFFER_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "stream/element.h"
 
 namespace pjoin {
@@ -38,11 +38,11 @@ class StreamBuffer {
   /// Appends an element if the buffer is open and below capacity.
   /// FailedPrecondition on a closed buffer; ResourceExhausted when a
   /// bounded buffer is full. The element is untouched on failure.
-  Status TryPush(StreamElement element);
+  [[nodiscard]] Status TryPush(StreamElement element) EXCLUDES(mu_);
 
   /// Appends an element, blocking while a bounded buffer is full. Returns
   /// FailedPrecondition if the buffer is (or becomes) closed.
-  Status PushBlocking(StreamElement element);
+  [[nodiscard]] Status PushBlocking(StreamElement element) EXCLUDES(mu_);
 
   /// Legacy convenience: PushBlocking with the status asserted OK. Pushing
   /// to a closed buffer is a checked programming error.
@@ -53,42 +53,54 @@ class StreamBuffer {
   /// PushBlocking: producers amortize lock and wakeup traffic). Returns the
   /// number of elements enqueued; short only when the buffer was closed
   /// mid-batch, in which case the remaining elements are dropped with it.
-  size_t PushBatch(std::vector<StreamElement> batch);
+  size_t PushBatch(std::vector<StreamElement> batch) EXCLUDES(mu_);
 
   /// Removes and returns up to `max_elements` oldest elements in one mutex
   /// acquisition (a batched Pop; never blocks). Returns an empty vector when
   /// nothing is queued.
-  std::vector<StreamElement> PopBatch(size_t max_elements);
+  std::vector<StreamElement> PopBatch(size_t max_elements) EXCLUDES(mu_);
 
   /// Marks the producer side finished; Pop drains the remainder then reports
   /// closure via std::nullopt with closed() == true. Unblocks any producer
   /// waiting in PushBlocking.
-  void Close();
+  void Close() EXCLUDES(mu_);
 
   /// Removes and returns the oldest element, or nullopt if none available.
-  std::optional<StreamElement> Pop();
+  std::optional<StreamElement> Pop() EXCLUDES(mu_);
 
   /// Peeks at the arrival time of the oldest element without removing it.
-  std::optional<TimeMicros> PeekArrival() const;
+  [[nodiscard]] std::optional<TimeMicros> PeekArrival() const EXCLUDES(mu_);
 
-  bool empty() const;
-  size_t size() const;
+  [[nodiscard]] bool empty() const EXCLUDES(mu_);
+  [[nodiscard]] size_t size() const EXCLUDES(mu_);
   /// 0 = unbounded.
-  size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
   /// True once Close() was called (elements may still be queued).
-  bool closed() const;
+  [[nodiscard]] bool closed() const EXCLUDES(mu_);
   /// True when closed and fully drained.
-  bool exhausted() const;
+  [[nodiscard]] bool exhausted() const EXCLUDES(mu_);
   /// Times PushBlocking had to wait for space (backpressure applied).
-  int64_t backpressure_waits() const;
+  [[nodiscard]] int64_t backpressure_waits() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable space_available_;
-  std::deque<StreamElement> queue_;
-  size_t capacity_;
-  bool closed_ = false;
-  int64_t backpressure_waits_ = 0;
+  // Negative-compile probe for the thread-safety CI job; see
+  // tests/thread_safety_negative.cc.
+  friend class ThreadSafetyNegativeProbe;
+
+  /// True while an element may be appended without exceeding capacity.
+  [[nodiscard]] bool HasSpaceLocked() const REQUIRES(mu_) {
+    return capacity_ == 0 || queue_.size() < capacity_;
+  }
+  /// Blocks (accounting one backpressure wait) until the buffer has space
+  /// or is closed. Shared by PushBlocking and PushBatch.
+  void WaitForSpaceLocked() REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar space_available_;
+  std::deque<StreamElement> queue_ GUARDED_BY(mu_);
+  const size_t capacity_;  // immutable after construction: lock-free reads
+  bool closed_ GUARDED_BY(mu_) = false;
+  int64_t backpressure_waits_ GUARDED_BY(mu_) = 0;
 };
 
 /// Pull-style element source (generators implement this).

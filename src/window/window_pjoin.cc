@@ -119,8 +119,8 @@ Status WindowPJoin::OnPunctuation(int side, const Punctuation& punct,
   PJOIN_RETURN_NOT_OK(own.puncts->Add(punct, arrival).status());
   // This operator scans rather than consumes the set's work queues; drain
   // them so they do not accumulate.
-  (void)own.puncts->TakeUnappliedForPurge();
-  (void)own.puncts->TakeUnindexed();
+  own.puncts->TakeUnappliedForPurge();
+  own.puncts->TakeUnindexed();
   // The punctuation purges the *opposite* state immediately (eager purge)…
   PurgeByPunctuations(1 - side);
   // …and may itself become propagable right away (early propagation): with

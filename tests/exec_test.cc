@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/mutex.h"
 #include "exec/executor.h"
 #include "exec/monitor.h"
 #include "exec/registry.h"
@@ -253,10 +254,10 @@ TEST(SerialExecutorTest, RunsInline) {
 TEST(BackgroundExecutorTest, RunsAllTasksInOrder) {
   BackgroundExecutor exec;
   std::vector<int> order;
-  std::mutex mu;
+  Mutex mu;
   for (int i = 0; i < 50; ++i) {
     exec.Execute([&order, &mu, i] {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       order.push_back(i);
     });
   }

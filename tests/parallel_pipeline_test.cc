@@ -278,6 +278,68 @@ TEST(ParallelPJoinTest, ShardStatsCoverAllRoutedElements) {
   EXPECT_EQ(results, pipeline->results_emitted());
 }
 
+/// Listener whose HandleEvent always fails, for exercising dispatch-error
+/// propagation in Run().
+class FailingStatsListener : public EventListener {
+ public:
+  std::string_view name() const override { return "failing-stats"; }
+  Status HandleEvent(const Event&) override {
+    return Status::Internal("stats sink unavailable");
+  }
+};
+
+// Regression: a failing kShardStats dispatch used to *replace* a shard's own
+// join error (PJOIN_RETURN_NOT_OK on Dispatch ran after the shard scan).
+// The shard error is the run's outcome; stats dispatch is bookkeeping.
+TEST(ParallelPJoinTest, ShardErrorNotMaskedByFailingStatsDispatch) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  JoinOptions jopts = SmallStateOptions();
+  jopts.violation_policy = ViolationPolicy::kFail;
+  // Key 1 arrives after its own punctuation: a contract violation that makes
+  // the owning shard fail with FailedPrecondition under kFail.
+  auto left = ElementsBuilder()
+                  .Tup(KP(sa, 1, 0))
+                  .Punct(KeyPunct(1))
+                  .Tup(KP(sa, 1, 2))
+                  .Finish();
+  auto right = ElementsBuilder(/*step=*/10).Tup(KP(sb, 1, 9)).Finish();
+
+  EventRegistry registry;
+  FailingStatsListener listener;
+  registry.Register(EventType::kShardStats, &listener);
+  ParallelPipelineOptions popts;
+  popts.num_shards = 2;
+  popts.stats_registry = &registry;
+  ParallelJoinPipeline pipeline(
+      [&](int) { return std::make_unique<PJoin>(sa, sb, jopts); }, popts);
+  const Status st = pipeline.Run(left, right);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+}
+
+// With healthy shards, a failing stats dispatch is the only error and must
+// surface (it is not swallowed either).
+TEST(ParallelPJoinTest, StatsDispatchErrorSurfacesWhenShardsSucceed) {
+  SchemaPtr sa = KeyPayloadSchema("a");
+  SchemaPtr sb = KeyPayloadSchema("b");
+  auto left = ElementsBuilder().Tup(KP(sa, 1, 0)).Finish();
+  auto right = ElementsBuilder(/*step=*/10).Tup(KP(sb, 1, 9)).Finish();
+
+  EventRegistry registry;
+  FailingStatsListener listener;
+  registry.Register(EventType::kShardStats, &listener);
+  ParallelPipelineOptions popts;
+  popts.num_shards = 2;
+  popts.stats_registry = &registry;
+  ParallelJoinPipeline pipeline(
+      [&](int) {
+        return std::make_unique<PJoin>(sa, sb, SmallStateOptions());
+      },
+      popts);
+  const Status st = pipeline.Run(left, right);
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st.ToString();
+}
+
 TEST(ParallelPJoinTest, SingleShardMatchesMergedCountersOfReference) {
   Workload w = MakeWorkload("one-shard", /*seed=*/77, /*punct_rate=*/15.0,
                             /*zipf_s=*/0.0);

@@ -160,6 +160,37 @@ TEST(FileSpillStoreTest, RemovesFileOnDestruction) {
   if (f != nullptr) std::fclose(f);
 }
 
+// Regression: AppendBatch after Close must fail cleanly and, critically,
+// must not inflate PartitionRecordCount. RecoveringSpillStore resumes a
+// failed batch from PartitionRecordCount, so counting records whose page
+// was never written would make the retry skip them (silent record loss).
+TEST(FileSpillStoreTest, FailedAppendDoesNotInflateRecordCount) {
+  auto store = FileSpillStore::Open("/tmp/pjoin_spill_atomic_test.bin");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendBatch(0, {"a", "b", "c"}).ok());
+  EXPECT_EQ((*store)->PartitionRecordCount(0), 3);
+  ASSERT_TRUE((*store)->Close().ok());
+
+  const Status append = (*store)->AppendBatch(0, {"d", "e"});
+  EXPECT_EQ(append.code(), StatusCode::kFailedPrecondition);
+  // The failed batch contributed nothing to the watermark.
+  EXPECT_EQ((*store)->PartitionRecordCount(0), 3);
+  EXPECT_EQ((*store)->TotalRecordCount(), 3);
+}
+
+// Regression: ReadPartition after Close used to dereference the null FILE*
+// (a crash); it must return FailedPrecondition instead.
+TEST(FileSpillStoreTest, ReadAfterCloseFailsCleanly) {
+  auto store = FileSpillStore::Open("/tmp/pjoin_spill_read_closed_test.bin");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendBatch(2, {"r1", "r2"}).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+
+  auto records = (*store)->ReadPartition(2);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(IoStatsTest, ToStringContainsFields) {
   IoStats stats;
   stats.pages_written = 3;

@@ -1,0 +1,66 @@
+// Compile-only probes for the Clang -Wthread-safety annotations.
+//
+// This TU is never linked into a test binary. CMake registers one ctest
+// entry per PROBE_CASE that invokes the compiler with
+//   -Wthread-safety -Werror -fsyntax-only -DPROBE_CASE=<n>
+// (Clang only). Case 0 is the positive control: correctly-locked access
+// must compile cleanly. Every other case commits a locking mistake that
+// the analysis must reject, and its ctest entry is marked WILL_FAIL —
+// so removing a GUARDED_BY/REQUIRES annotation from StreamBuffer or the
+// pipeline's release board makes the corresponding probe compile, which
+// fails the suite. That is the point: the annotations themselves are
+// under test.
+//
+// ThreadSafetyNegativeProbe is a friend of the probed classes so the
+// probes can name private guarded members directly; friendship does not
+// weaken the analysis.
+
+#ifndef PROBE_CASE
+#error "compile with -DPROBE_CASE=<n>"
+#endif
+
+#include "ops/parallel_pipeline.h"
+#include "stream/stream_buffer.h"
+
+namespace pjoin {
+
+class ThreadSafetyNegativeProbe {
+ public:
+  static void ProbeBuffer(StreamBuffer& buffer);
+  static void ProbePipeline(ParallelJoinPipeline& pipeline);
+};
+
+void ThreadSafetyNegativeProbe::ProbeBuffer(StreamBuffer& buffer) {
+#if PROBE_CASE == 0
+  // Positive control: hold mu_ for every guarded access.
+  MutexLock lock(buffer.mu_);
+  if (buffer.closed_) buffer.queue_.clear();
+  if (buffer.HasSpaceLocked()) ++buffer.backpressure_waits_;
+#elif PROBE_CASE == 1
+  // Reading a GUARDED_BY(mu_) member without the lock.
+  if (buffer.closed_) buffer.backpressure_waits_ = 0;
+#elif PROBE_CASE == 2
+  // Mutating the guarded queue without the lock.
+  buffer.queue_.clear();
+#elif PROBE_CASE == 3
+  // Calling a REQUIRES(mu_) method without holding mu_.
+  if (buffer.HasSpaceLocked()) buffer.WaitForSpaceLocked();
+#endif
+}
+
+void ThreadSafetyNegativeProbe::ProbePipeline(ParallelJoinPipeline& pipeline) {
+#if PROBE_CASE == 0
+  // Positive control: the release board is touched under output_mu_.
+  MutexLock lock(pipeline.output_mu_);
+  pipeline.punct_board_.clear();
+  pipeline.output_results_.clear();
+#elif PROBE_CASE == 4
+  // Unguarded access to the punctuation release board.
+  pipeline.punct_board_.clear();
+#elif PROBE_CASE == 5
+  // Unguarded access to the shared output queue.
+  pipeline.output_results_.clear();
+#endif
+}
+
+}  // namespace pjoin

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include <mutex>
+#include "common/mutex.h"
 
 #include "gen/stream_generator.h"
 #include "join/pjoin.h"
@@ -29,9 +29,9 @@ std::vector<std::string> RunThreaded(JoinOperator* join,
                                      const GeneratedStreams& g,
                                      int64_t* stalls = nullptr) {
   std::vector<std::string> rows;
-  std::mutex mu;
+  Mutex mu;
   join->set_result_callback([&](const Tuple& t) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     rows.push_back(t.ToString());
   });
   ThreadedJoinPipeline pipeline(join);
@@ -110,9 +110,9 @@ TEST(ThreadedPipelineTest, BoundedBuffersApplyBackpressure) {
   GeneratedStreams g = MakeStreams(7);
   PJoin join(g.schema_a, g.schema_b);
   std::vector<std::string> rows;
-  std::mutex mu;
+  Mutex mu;
   join.set_result_callback([&](const Tuple& t) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     rows.push_back(t.ToString());
   });
   ThreadedPipelineOptions popts;

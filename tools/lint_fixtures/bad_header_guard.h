@@ -1,0 +1,10 @@
+// Lint fixture: wrong header-guard name. Must trigger header-guard — guards
+// are PJOIN_<PATH>_H_ derived from the path under src/.
+#ifndef SOME_UNRELATED_GUARD_H
+#define SOME_UNRELATED_GUARD_H
+
+namespace fixture {
+inline int Answer() { return 42; }
+}  // namespace fixture
+
+#endif  // SOME_UNRELATED_GUARD_H

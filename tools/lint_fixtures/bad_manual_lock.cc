@@ -1,0 +1,15 @@
+// Lint fixture: manual Lock()/Unlock() calls. Must trigger manual-lock —
+// locking is RAII-only (MutexLock); a manual Unlock is skipped by any early
+// return or exception between the calls.
+#include "common/mutex.h"
+
+namespace fixture {
+
+inline int Touch(pjoin::Mutex& mu, int v) {
+  mu.Lock();
+  const int out = v + 1;
+  mu.Unlock();
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: a raw std::mutex member. Must trigger raw-sync-primitive —
+// raw standard lock types are invisible to Clang's -Wthread-safety analysis;
+// pjoin::Mutex from common/mutex.h is mandatory.
+#include <mutex>
+
+namespace fixture {
+
+struct Holder {
+  std::mutex mu;
+  int value = 0;
+};
+
+}  // namespace fixture

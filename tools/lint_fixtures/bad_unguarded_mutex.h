@@ -1,0 +1,19 @@
+// Lint fixture: a Mutex member with no GUARDED_BY user. Must trigger
+// unguarded-mutex — a mutex that guards nothing is either dead or guarding
+// members the thread-safety analysis cannot see.
+#ifndef PJOIN_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_
+#define PJOIN_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Cache {
+ private:
+  mutable pjoin::Mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // PJOIN_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_

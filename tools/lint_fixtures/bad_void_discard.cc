@@ -1,0 +1,14 @@
+// Lint fixture: (void)-discard of a call result. Must trigger
+// void-status-discard — for Status/Result the cast silently defeats
+// [[nodiscard]], and for anything else a bare call needs no cast at all.
+#include "common/status.h"
+
+namespace fixture {
+
+inline pjoin::Status Op() { return pjoin::Status::OK(); }
+
+inline void Caller() {
+  (void)Op();
+}
+
+}  // namespace fixture

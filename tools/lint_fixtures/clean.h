@@ -1,0 +1,31 @@
+// Lint fixture: follows every convention — the self-test asserts zero
+// findings here (the positive control for the linter itself).
+#ifndef PJOIN_FIXTURE_CLEAN_H_
+#define PJOIN_FIXTURE_CLEAN_H_
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(int64_t d) EXCLUDES(mu_) {
+    pjoin::MutexLock lock(mu_);
+    value_ += d;
+  }
+  [[nodiscard]] int64_t Get() const EXCLUDES(mu_) {
+    pjoin::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable pjoin::Mutex mu_;
+  int64_t value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // PJOIN_FIXTURE_CLEAN_H_

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the project lint (tools/lint_check.py): first the linter's own
+# self-test against the fixture files, then the full repo scan. Mirrors the
+# CI lint job; run locally before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== lint self-test =="
+python3 tools/lint_check.py --self-test
+
+echo "== repo lint =="
+python3 tools/lint_check.py --root .
