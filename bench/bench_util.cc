@@ -57,6 +57,10 @@ RunStats RunExperiment(
   stats.results = results;
   stats.puncts_out = puncts;
   stats.state_vs_stream = join->state_series();
+  // The stream is over: surface the thinned tail sample so the series ends
+  // at the operator's true final state (post-purge size, not whichever
+  // sample last cleared the thinning interval).
+  stats.state_vs_stream.Flush();
   stats.counters = join->counters();
   stats.max_state = stats.state_vs_stream.MaxValue();
   stats.mean_state = stats.state_vs_stream.MeanValue();

@@ -13,8 +13,12 @@
 // BENCH_par_scaling.json.
 //
 // Usage: par_scaling [--tuples=N] [--shards=a,b,c] [--punct=T] [--out=FILE]
-//                    [--check]
-//   --check  exit non-zero if any oracle fails (CI perf-smoke mode).
+//                    [--check] [--trace=FILE] [--metrics=FILE]
+//   --check    exit non-zero if any oracle fails (CI perf-smoke mode).
+//   --trace    record operator tracing for the whole sweep and write a
+//              Chrome trace_event JSON (Perfetto-loadable); needs a build
+//              with PJOIN_TRACING=ON to contain events.
+//   --metrics  dump the global MetricsRegistry as JSON after the sweep.
 
 #include <chrono>
 #include <cstdio>
@@ -28,6 +32,9 @@
 
 #include "bench_util.h"
 #include "join/pjoin.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "ops/parallel_pipeline.h"
 #include "ops/pipeline.h"
 
@@ -39,8 +46,14 @@ struct Cli {
   int64_t tuples = 40000;
   double punct_rate = 2000.0;  // tuples per punctuation: sparse = probe-heavy
   int64_t window = 16384;      // open keys: wide = large state, few matches
+  // Memory cap (state tuples) for the extra spill configuration; 0 skips it.
+  // The cap is deliberately tight so the run exercises relocation and the
+  // disk join (spill-store page IO shows up in --trace output).
+  int64_t memcap = 4096;
   std::vector<int> shards = {1, 2, 4};
   std::string out = "BENCH_par_scaling.json";
+  std::string trace;    // empty = tracing not started
+  std::string metrics;  // empty = no metrics dump
   bool check = false;
 };
 
@@ -58,8 +71,14 @@ Cli ParseCli(int argc, char** argv) {
       cli.window = std::atoll(v);
     } else if (const char* v = value("--punct=")) {
       cli.punct_rate = std::atof(v);
+    } else if (const char* v = value("--memcap=")) {
+      cli.memcap = std::atoll(v);
     } else if (const char* v = value("--out=")) {
       cli.out = v;
+    } else if (const char* v = value("--trace=")) {
+      cli.trace = v;
+    } else if (const char* v = value("--metrics=")) {
+      cli.metrics = v;
     } else if (const char* v = value("--shards=")) {
       cli.shards.clear();
       std::stringstream ss(v);
@@ -97,10 +116,11 @@ struct Oracle {
   }
 };
 
-JoinOptions BenchJoinOptions(bool indexed_probe) {
+JoinOptions BenchJoinOptions(bool indexed_probe, int64_t memcap = 0) {
   JoinOptions opts;
   opts.num_partitions = 16;
   opts.indexed_probe = indexed_probe;
+  if (memcap > 0) opts.runtime.memory_threshold_tuples = memcap;
   return opts;
 }
 
@@ -137,16 +157,20 @@ Measured RunSingle(const std::string& name, const GeneratedStreams& streams,
   return m;
 }
 
-Measured RunParallel(const GeneratedStreams& streams, int shards) {
+Measured RunParallel(const GeneratedStreams& streams, int shards,
+                     int64_t memcap = 0) {
   Measured m;
-  m.name = "parallel_x" + std::to_string(shards);
+  m.name = "parallel_x" + std::to_string(shards) + (memcap > 0 ? "_spill" : "");
   m.shards = shards;
   ParallelPipelineOptions popts;
   popts.num_shards = shards;
   ParallelJoinPipeline pipeline(
-      [&streams](int) {
-        return std::make_unique<PJoin>(streams.schema_a, streams.schema_b,
-                                       BenchJoinOptions(true));
+      [&streams, memcap, shards](int) {
+        // The cap is per shard: split the total budget so the aggregate
+        // in-memory state matches the single-cap intent.
+        return std::make_unique<PJoin>(
+            streams.schema_a, streams.schema_b,
+            BenchJoinOptions(true, memcap > 0 ? memcap / shards : 0));
       },
       popts);
   pipeline.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
@@ -219,11 +243,22 @@ int Main(int argc, char** argv) {
   spec.flush_punctuations_at_end = true;
   const GeneratedStreams streams = GenerateStreams(domain, spec, spec, 2004);
 
+  if (!cli.trace.empty()) {
+    obs::Tracer::Global().Start();
+    TRACE_SET_THREAD_NAME("bench-main");
+  }
+
   const Measured baseline = RunSingle("scan_1thread", streams, false);
   const Measured indexed = RunSingle("indexed_1thread", streams, true);
   std::vector<Measured> parallel;
   for (const int shards : cli.shards) {
     parallel.push_back(RunParallel(streams, shards));
+  }
+  if (cli.memcap > 0 && !cli.shards.empty()) {
+    // One memory-capped configuration at the widest shard count: state
+    // relocation and the disk join run under pressure, so the spill path
+    // is measured (and traced) alongside the in-memory sweep.
+    parallel.push_back(RunParallel(streams, cli.shards.back(), cli.memcap));
   }
 
   bool all_pass = indexed.oracle == baseline.oracle;
@@ -245,6 +280,29 @@ int Main(int argc, char** argv) {
 
   WriteJson(cli.out, cli, baseline, indexed, parallel);
   std::printf("  wrote %s\n", cli.out.c_str());
+
+  if (!cli.trace.empty()) {
+    obs::Tracer::Global().Stop();
+    const Status st = obs::WriteChromeTraceFile(cli.trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%lld events dropped by ring overflow)\n",
+                cli.trace.c_str(),
+                static_cast<long long>(obs::Tracer::Global().dropped_events()));
+  }
+  if (!cli.metrics.empty()) {
+    std::ofstream mout(cli.metrics);
+    mout << obs::MetricsRegistry::Global().ToJson();
+    if (!mout) {
+      std::fprintf(stderr, "metrics export to %s failed\n",
+                   cli.metrics.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", cli.metrics.c_str());
+  }
 
   PrintShapeCheck("parallel output multiset == single-threaded reference",
                   all_pass);

@@ -32,4 +32,9 @@ TimeMicros Stopwatch::ElapsedMicros() const {
   return clock_.NowMicros() - start_;
 }
 
+std::chrono::steady_clock::time_point SteadyDeadlineAfter(
+    std::chrono::microseconds wait) {
+  return std::chrono::steady_clock::now() + wait;
+}
+
 }  // namespace pjoin

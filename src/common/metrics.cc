@@ -13,9 +13,18 @@ namespace pjoin {
 void TimeSeries::Record(TimeMicros time, int64_t value) {
   if (min_interval_ > 0 && !samples_.empty() &&
       time - samples_.back().time < min_interval_) {
+    pending_ = Sample{time, value};
+    has_pending_ = true;
     return;
   }
   samples_.push_back(Sample{time, value});
+  has_pending_ = false;
+}
+
+void TimeSeries::Flush() {
+  if (!has_pending_) return;
+  samples_.push_back(pending_);
+  has_pending_ = false;
 }
 
 int64_t TimeSeries::MaxValue() const {

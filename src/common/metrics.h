@@ -30,8 +30,15 @@ class TimeSeries {
   explicit TimeSeries(TimeMicros min_interval = 0)
       : min_interval_(min_interval) {}
 
-  /// Appends a sample unless it falls inside the thinning interval.
+  /// Appends a sample unless it falls inside the thinning interval, in which
+  /// case it is held as the pending tail (replacing any previous one) until
+  /// a sample clears the interval or Flush() is called.
   void Record(TimeMicros time, int64_t value);
+
+  /// Appends the pending thinned sample, if any. Call when the stream ends:
+  /// without it the series' final value is whatever sample last cleared the
+  /// thinning interval, and LastValue()/Resample() misreport the end state.
+  void Flush();
 
   const std::vector<Sample>& samples() const { return samples_; }
   bool empty() const { return samples_.empty(); }
@@ -48,6 +55,8 @@ class TimeSeries {
  private:
   TimeMicros min_interval_;
   std::vector<Sample> samples_;
+  Sample pending_{0, 0};  // newest thinned sample, valid iff has_pending_
+  bool has_pending_ = false;
 };
 
 /// A histogram over int64 values with power-of-two bucket bounds.

@@ -1,5 +1,6 @@
 #include "join/join_base.h"
 
+#include "obs/trace.h"
 #include "storage/simulated_disk.h"
 
 namespace pjoin {
@@ -75,6 +76,7 @@ Status JoinOperator::OnElement(int side, const StreamElement& element) {
 Status JoinOperator::OnStreamsStalled() { return Status::OK(); }
 
 int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
+  TRACE_SPAN("join", "probe");
   HashState& own = *states_[side];
   HashState& opp = *states_[1 - side];
   const Value& key = own.KeyOf(tuple);
@@ -121,6 +123,7 @@ Status JoinOperator::RelocateUntilBelowThreshold() {
       }
     }
     if (victim_side < 0) break;  // nothing left to flush
+    TRACE_SPAN("join", "relocate_flush");
     PJOIN_RETURN_NOT_OK(states_[victim_side]->FlushPartitionToDisk(
         victim_partition, NextTick()));
     counters_.Add("relocations");
@@ -137,6 +140,7 @@ void JoinOperator::EmitResult(const Tuple& left, const Tuple& right) {
 }
 
 void JoinOperator::EmitPunctuation(Punctuation punct) {
+  TRACE_INSTANT("join", "punct_out");
   ++puncts_emitted_;
   counters_.Add("puncts_propagated");
   if (on_punct_) on_punct_(punct);

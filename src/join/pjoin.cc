@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pjoin {
 
 // Maps the monitor's notion of "now" to the virtual time of the most
@@ -178,6 +180,7 @@ Status PJoin::OnPunctuation(int side, const Punctuation& punct) {
                                  &punct);
     }
   }
+  TRACE_INSTANT("pjoin", "punct_arrival");
   NextTick();
   HashState& own = mutable_state(side);
   Result<int64_t> pid = punct_sets_[side]->Add(punct, last_arrival());
@@ -211,6 +214,7 @@ Status PJoin::OnStreamsStalled() {
 Status PJoin::RequestPropagation() { return monitor_->RequestPropagation(); }
 
 Status PJoin::RunPurge() {
+  TRACE_SPAN("pjoin", "purge");
   counters().Add("purge_runs");
   PJOIN_RETURN_NOT_OK(PurgeState(0));
   PJOIN_RETURN_NOT_OK(PurgeState(1));
@@ -287,6 +291,7 @@ Status PJoin::PurgeState(int side) {
 }
 
 Status PJoin::RunDiskJoin() {
+  TRACE_SPAN("pjoin", "disk_join");
   counters().Add("disk_join_runs");
   for (int p = 0; p < state(0).num_partitions(); ++p) {
     PJOIN_RETURN_NOT_OK(DiskJoinPartition(p));
@@ -421,6 +426,7 @@ Status PJoin::DiskJoinPartition(int p) {
 }
 
 Status PJoin::RunIndexBuild(int side) {
+  TRACE_SPAN("pjoin", "index_build");
   PunctuationIndexer::BuildIndex(punct_sets_[side].get(),
                                  &mutable_state(side), &counters());
   return Status::OK();
@@ -432,6 +438,7 @@ Status PJoin::RunIndexBuildBoth() {
 }
 
 Status PJoin::RunPropagation() {
+  TRACE_SPAN("pjoin", "propagation");
   // Defensive re-checks: the registry normally schedules the disk join and
   // index build ahead of propagation, but pull-mode callers may reach this
   // directly.

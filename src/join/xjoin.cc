@@ -1,5 +1,7 @@
 #include "join/xjoin.h"
 
+#include "obs/trace.h"
+
 namespace pjoin {
 
 XJoin::XJoin(SchemaPtr left_schema, SchemaPtr right_schema,
@@ -46,6 +48,7 @@ Status XJoin::OnStreamsStalled() {
 }
 
 Status XJoin::ReactivePass(int side, int partition) {
+  TRACE_SPAN("xjoin", "reactive_pass");
   HashState& own = mutable_state(side);
   HashState& opp = mutable_state(1 - side);
   const int64_t pass_tick = NextTick();
@@ -75,6 +78,7 @@ Status XJoin::ReactivePass(int side, int partition) {
 }
 
 Status XJoin::CleanupPass() {
+  TRACE_SPAN("xjoin", "cleanup_pass");
   counters().Add("cleanup_passes");
   const int64_t pass_tick = NextTick();
   HashState& left = mutable_state(0);

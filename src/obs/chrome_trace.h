@@ -1,0 +1,32 @@
+// Chrome trace_event JSON export (docs/OBSERVABILITY.md): serializes drained
+// TraceEvents into the object-form trace format that chrome://tracing and
+// Perfetto load directly. Spans become "X" (complete) events, instants "i",
+// counter samples "C"; named threads are emitted as "thread_name" metadata
+// records so Perfetto labels the tracks.
+
+#ifndef PJOIN_OBS_CHROME_TRACE_H_
+#define PJOIN_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace pjoin {
+namespace obs {
+
+/// Writes `events` as Chrome trace JSON to `os`. `thread_names` labels the
+/// tid tracks (pass Tracer::Global().ThreadNames()).
+void WriteChromeTrace(
+    std::ostream& os, const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<int32_t, std::string>>& thread_names);
+
+/// Drains the global tracer and writes the trace to `path`.
+[[nodiscard]] Status WriteChromeTraceFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_CHROME_TRACE_H_

@@ -1,0 +1,134 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/mutex.h"
+
+namespace pjoin {
+namespace obs {
+
+namespace {
+
+// FNV-1a over name + '\0' + labels; the separator keeps ("ab","c") and
+// ("a","bc") on independent shards.
+uint64_t KeyHash(std::string_view name, std::string_view labels) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  h = (h ^ 0) * 0x100000001b3ull;
+  for (char c : labels) h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  return h;
+}
+
+std::string MakeKey(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + 1 + labels.size());
+  key.append(name);
+  key.push_back('\0');
+  key.append(labels);
+  return key;
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+MetricCell* MetricsRegistry::GetCell(std::string_view name,
+                                     std::string_view labels,
+                                     MetricKind kind) {
+  Shard& shard = shards_[KeyHash(name, labels) % kShards];
+  MutexLock lock(shard.mu);
+  auto [it, inserted] = shard.cells.try_emplace(MakeKey(name, labels));
+  if (inserted) {
+    it->second = std::make_unique<MetricCell>();
+    it->second->name = std::string(name);
+    it->second->labels = std::string(labels);
+    it->second->kind = kind;
+  }
+  // Re-registering under another kind would silently alias a counter and a
+  // gauge onto one cell; make it a programming error instead.
+  PJOIN_DCHECK(it->second->kind == kind);
+  return it->second.get();
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name,
+                                    std::string_view labels) {
+  return Counter(GetCell(name, labels, MetricKind::kCounter));
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name,
+                                std::string_view labels) {
+  return Gauge(GetCell(name, labels, MetricKind::kGauge));
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [key, cell] : shard.cells) {
+      samples.push_back(MetricSample{
+          cell->name, cell->labels, cell->kind,
+          cell->value.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::ostringstream os;
+  os << "{\"metrics\": [";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i > 0) os << ", ";
+    os << "\n  {\"name\": ";
+    AppendJsonString(os, s.name);
+    os << ", \"labels\": ";
+    AppendJsonString(os, s.labels);
+    os << ", \"kind\": "
+       << (s.kind == MetricKind::kCounter ? "\"counter\"" : "\"gauge\"")
+       << ", \"value\": " << s.value << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.cells.clear();
+  }
+}
+
+}  // namespace obs
+}  // namespace pjoin

@@ -1,0 +1,157 @@
+// MetricsRegistry: one process-wide, lock-sharded home for counters and
+// gauges (docs/OBSERVABILITY.md).
+//
+// The pre-existing per-operator CounterSets stay where they are (they are
+// part of each operator's introspection API); the registry is the layer
+// *above* them: subsystems that previously kept ad-hoc tallies (stream
+// buffers, spill stores, the parallel pipeline) register named, labeled
+// handles here, and one ToJson() call snapshots everything a run touched in
+// a stable machine-readable form.
+//
+// Design for the hot path: a handle resolves (name, labels) -> metric once,
+// under one shard mutex; after that every Add/Set is a single relaxed
+// atomic RMW/store on the metric cell — no lock, no map lookup. Handles are
+// trivially copyable values; a default-constructed handle is inert (all
+// operations no-op), so instrumentation can be optional without null checks
+// at every call site.
+//
+// Registration is lock-sharded: (name, labels) hashes to one of kShards
+// independent {Mutex, map} pairs, so concurrent registration from shard
+// workers does not serialize on a single registry lock.
+
+#ifndef PJOIN_OBS_METRICS_REGISTRY_H_
+#define PJOIN_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace pjoin {
+namespace obs {
+
+enum class MetricKind : int8_t {
+  /// Monotone sum (Add only).
+  kCounter,
+  /// Last-write-wins level (Set / Add).
+  kGauge,
+};
+
+/// One registered metric cell. Owned by the registry; handles point at it.
+struct MetricCell {
+  std::string name;
+  std::string labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::atomic<int64_t> value{0};
+};
+
+/// Cumulative counter handle. Copyable; inert when default-constructed.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Add(int64_t delta = 1) {
+    if (cell_ != nullptr) {
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] int64_t Get() const {
+    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(MetricCell* cell) : cell_(cell) {}
+  MetricCell* cell_ = nullptr;
+};
+
+/// Point-in-time level handle (queue depth, state size). Copyable; inert
+/// when default-constructed.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(int64_t value) {
+    if (cell_ != nullptr) {
+      cell_->value.store(value, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t delta) {
+    if (cell_ != nullptr) {
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] int64_t Get() const {
+    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(MetricCell* cell) : cell_(cell) {}
+  MetricCell* cell_ = nullptr;
+};
+
+/// A consistent-enough copy of one metric for snapshots/export.
+struct MetricSample {
+  std::string name;
+  std::string labels;
+  MetricKind kind;
+  int64_t value;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  PJOIN_DISALLOW_COPY_AND_MOVE(MetricsRegistry);
+
+  /// Returns the handle for (name, labels), registering the metric on first
+  /// use. The same (name, labels) pair always resolves to the same cell —
+  /// two call sites asking for "stream_buffer.depth"/"buf=input_l" share
+  /// one value, while a different labels string is a distinct metric.
+  /// Asking for an existing metric with a different kind is a checked
+  /// programming error.
+  Counter GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge GetGauge(std::string_view name, std::string_view labels = "");
+
+  /// All registered metrics, sorted by (name, labels).
+  [[nodiscard]] std::vector<MetricSample> Snapshot() const;
+
+  /// Stable machine-readable snapshot:
+  ///   {"metrics": [{"name": ..., "labels": ..., "kind": "counter"|"gauge",
+  ///                 "value": N}, ...]}
+  /// sorted by (name, labels) so diffs and goldens are deterministic.
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Drops every registered metric. Test-only: outstanding handles dangle.
+  void ResetForTest();
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct Shard {
+    mutable Mutex mu;
+    // std::map: stable element addresses, deterministic iteration.
+    std::map<std::string, std::unique_ptr<MetricCell>> cells GUARDED_BY(mu);
+  };
+
+  MetricCell* GetCell(std::string_view name, std::string_view labels,
+                      MetricKind kind);
+
+  Shard shards_[kShards];
+};
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/mutex.h"
+
+namespace pjoin {
+namespace obs {
+
+TimeMicros TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRing::TraceRing(int32_t tid, size_t capacity)
+    : tid_(tid), capacity_(capacity), slots_(new Slot[capacity]) {
+  PJOIN_DCHECK(capacity > 0);
+}
+
+void TraceRing::Emit(const char* category, const char* name, TracePhase phase,
+                     TimeMicros ts, int64_t value) {
+  const int64_t idx = next_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(idx) % capacity_];
+  // Invalidate the slot first so a concurrent drain that catches the write
+  // mid-flight sees a sequence mismatch rather than a half-new event.
+  slot.seq.store(-1, std::memory_order_release);
+  slot.category.store(category, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.phase.store(static_cast<int32_t>(phase), std::memory_order_relaxed);
+  slot.ts.store(ts, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.seq.store(idx, std::memory_order_release);
+  next_.store(idx + 1, std::memory_order_release);
+}
+
+int64_t TraceRing::Drain(std::vector<TraceEvent>* out) const {
+  const int64_t end = next_.load(std::memory_order_acquire);
+  const int64_t cap = static_cast<int64_t>(capacity_);
+  const int64_t begin = std::max<int64_t>(0, end - cap);
+  for (int64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[static_cast<size_t>(i) % capacity_];
+    TraceEvent e;
+    e.tid = tid_;
+    if (slot.seq.load(std::memory_order_acquire) != i) continue;  // lapped
+    e.category = slot.category.load(std::memory_order_relaxed);
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.phase = static_cast<TracePhase>(slot.phase.load(std::memory_order_relaxed));
+    e.ts = slot.ts.load(std::memory_order_relaxed);
+    e.value = slot.value.load(std::memory_order_relaxed);
+    // Re-check: a writer that wrapped during the reads above invalidated or
+    // re-published the slot for a different index.
+    if (slot.seq.load(std::memory_order_acquire) != i) continue;
+    out->push_back(e);
+  }
+  return begin;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives exiting threads
+  return *tracer;
+}
+
+void Tracer::Start() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+TraceRing* Tracer::CurrentThreadRing() {
+  // One ring per (thread, reset generation): after ResetForTest a live
+  // thread re-registers instead of writing into a dropped ring.
+  struct ThreadSlot {
+    std::shared_ptr<TraceRing> ring;
+    int64_t generation = -1;
+  };
+  thread_local ThreadSlot slot;
+  const int64_t gen = generation_.load(std::memory_order_acquire);
+  if (slot.ring == nullptr || slot.generation != gen) {
+    std::shared_ptr<TraceRing> ring;
+    {
+      MutexLock lock(mu_);
+      ring = std::make_shared<TraceRing>(next_tid_++, kRingCapacity);
+      rings_.push_back(ring);
+    }
+    slot.ring = std::move(ring);
+    slot.generation = gen;
+  }
+  return slot.ring.get();
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  TraceRing* ring = CurrentThreadRing();
+  MutexLock lock(mu_);
+  ring->set_thread_name(std::move(name));
+}
+
+std::vector<std::pair<int32_t, std::string>> Tracer::ThreadNames() const {
+  std::vector<std::pair<int32_t, std::string>> names;
+  MutexLock lock(mu_);
+  for (const auto& ring : rings_) {
+    if (!ring->thread_name().empty()) {
+      names.emplace_back(ring->tid(), ring->thread_name());
+    }
+  }
+  return names;
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    ring->Drain(&events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  return events;
+}
+
+int64_t Tracer::dropped_events() const {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  int64_t dropped = 0;
+  std::vector<TraceEvent> scratch;
+  for (const auto& ring : rings) {
+    scratch.clear();
+    dropped += ring->Drain(&scratch);
+  }
+  return dropped;
+}
+
+void Tracer::ResetForTest() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  MutexLock lock(mu_);
+  rings_.clear();
+  next_tid_ = 0;
+}
+
+void EmitEvent(const char* category, const char* name, TracePhase phase,
+               int64_t value) {
+  Tracer::Global().CurrentThreadRing()->Emit(category, name, phase,
+                                             TraceNowMicros(), value);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (category_ == nullptr) return;
+  const TimeMicros now = TraceNowMicros();
+  Tracer::Global().CurrentThreadRing()->Emit(
+      category_, name_, TracePhase::kComplete, start_, now - start_);
+}
+
+}  // namespace obs
+}  // namespace pjoin

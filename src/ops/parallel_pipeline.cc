@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/trace.h"
 
 namespace pjoin {
 
@@ -61,7 +63,7 @@ class ParallelJoinPipeline::ShardQueue {
                 std::vector<Routed>* out) EXCLUDES(mu_) {
     MutexLock lock(mu_);
     if (queue_.empty() && !closed_) {
-      const auto deadline = std::chrono::steady_clock::now() + wait;
+      const auto deadline = SteadyDeadlineAfter(wait);
       while (queue_.empty() && !closed_) {
         if (data_.WaitUntil(mu_, deadline)) break;
       }
@@ -173,6 +175,7 @@ void ParallelJoinPipeline::PublishShardOutputs(Shard* shard) {
 }
 
 void ParallelJoinPipeline::ReleasePunct(Shard* shard, const Punctuation& p) {
+  TRACE_INSTANT("par", "punct_release");
   MutexLock lock(output_mu_);
   FlushShardResultsLocked(shard);
   PunctCell& cell = punct_board_[p.ToString()];
@@ -190,6 +193,8 @@ void ParallelJoinPipeline::DrainOutputs() {
     results.swap(output_results_);
     puncts.swap(output_puncts_);
   }
+  if (results.empty() && puncts.empty()) return;
+  TRACE_SPAN("par", "merge_drain");
   for (const Tuple& t : results) {
     ++results_emitted_;
     if (on_result_) on_result_(t);
@@ -215,6 +220,7 @@ void ParallelJoinPipeline::FlushStaged(int shard) {
 }
 
 void ParallelJoinPipeline::EpochBarrier() {
+  TRACE_SPAN("par", "epoch_barrier");
   ++epoch_barriers_;
   while (true) {
     bool drained = true;
@@ -232,12 +238,14 @@ void ParallelJoinPipeline::EpochBarrier() {
 }
 
 void ParallelJoinPipeline::ShardLoop(Shard* shard) {
+  TRACE_SET_THREAD_NAME("shard-" + std::to_string(shard->id));
   JoinOperator* join = shard->join;
   std::vector<Routed> batch;
   batch.reserve(options_.batch_size);
   int64_t dry = 0;
   bool failed = false;
   int64_t busy_us = 0;
+  Stopwatch batch_timer;
   const bool debug = std::getenv("PJOIN_PAR_DEBUG") != nullptr;
   while (true) {
     batch.clear();
@@ -260,24 +268,25 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
       continue;
     }
     dry = 0;
-    const auto b0 = std::chrono::steady_clock::now();
-    for (Routed& r : batch) {
-      if (!failed) {
-        ++shard->stats.elements;
-        if (r.element.is_tuple()) ++shard->stats.tuples;
-        const Status st = join->OnElement(r.side, r.element);
-        if (!st.ok()) {
-          shard->status = st;
-          // Keep draining (and discarding) so the router never blocks on
-          // this shard's queue; the error is surfaced after the run.
-          failed = true;
+    batch_timer.Restart();
+    {
+      TRACE_SPAN("par", "shard_batch");
+      for (Routed& r : batch) {
+        if (!failed) {
+          ++shard->stats.elements;
+          if (r.element.is_tuple()) ++shard->stats.tuples;
+          const Status st = join->OnElement(r.side, r.element);
+          if (!st.ok()) {
+            shard->status = st;
+            // Keep draining (and discarding) so the router never blocks on
+            // this shard's queue; the error is surfaced after the run.
+            failed = true;
+          }
         }
+        shard->processed.fetch_add(1, std::memory_order_release);
       }
-      shard->processed.fetch_add(1, std::memory_order_release);
     }
-    busy_us += std::chrono::duration_cast<std::chrono::microseconds>(
-                   std::chrono::steady_clock::now() - b0)
-                   .count();
+    busy_us += batch_timer.ElapsedMicros();
     if (shard->local_results.size() >= options_.result_flush) {
       PublishShardOutputs(shard);
     }
@@ -292,6 +301,8 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
 
 void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
                                       StreamBuffer* in_right) {
+  TRACE_SET_THREAD_NAME("router");
+  TRACE_SPAN("par", "router");
   StreamBuffer* in[2] = {in_left, in_right};
   std::deque<StreamElement> head[2];
   bool eos_sent[2] = {false, false};
@@ -394,8 +405,12 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
 
   StreamBuffer input[2] = {StreamBuffer(options_.input_buffer_capacity),
                            StreamBuffer(options_.input_buffer_capacity)};
+  input[0].BindMetrics("input_l");
+  input[1].BindMetrics("input_r");
   auto produce = [this](const std::vector<StreamElement>& src,
-                        StreamBuffer* buffer) {
+                        StreamBuffer* buffer,
+                        [[maybe_unused]] const char* name) {
+    TRACE_SET_THREAD_NAME(name);
     for (size_t i = 0; i < src.size(); i += options_.batch_size) {
       const size_t end = std::min(src.size(), i + options_.batch_size);
       std::vector<StreamElement> chunk(src.begin() + static_cast<long>(i),
@@ -405,26 +420,26 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
     buffer->Close();
   };
 
-  std::thread producer_l(produce, std::cref(left), &input[0]);
-  std::thread producer_r(produce, std::cref(right), &input[1]);
+  std::thread producer_l(produce, std::cref(left), &input[0], "producer-l");
+  std::thread producer_r(produce, std::cref(right), &input[1], "producer-r");
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
   for (auto& shard : shards_) {
     workers.emplace_back(&ParallelJoinPipeline::ShardLoop, this, shard.get());
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  Stopwatch phase_timer;
   RouterLoop(&input[0], &input[1]);
-  const auto t1 = std::chrono::steady_clock::now();
+  const TimeMicros router_us = phase_timer.ElapsedMicros();
 
   producer_l.join();
   producer_r.join();
   for (std::thread& w : workers) w.join();
-  const auto t2 = std::chrono::steady_clock::now();
+  const TimeMicros total_us = phase_timer.ElapsedMicros();
   if (std::getenv("PJOIN_PAR_DEBUG") != nullptr) {
     std::fprintf(stderr, "[par debug] router=%lldms drain_workers=%lldms\n",
-                 (long long)std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count(),
-                 (long long)std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1).count());
+                 (long long)(router_us / 1000),
+                 (long long)((total_us - router_us) / 1000));
   }
   DrainOutputs();
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace pjoin {
 
@@ -24,7 +25,13 @@ Result<std::unique_ptr<FileSpillStore>> FileSpillStore::Open(
 
 FileSpillStore::FileSpillStore(std::FILE* file, std::string path,
                                size_t page_size)
-    : file_(file), path_(std::move(path)), page_size_(page_size) {}
+    : file_(file),
+      path_(std::move(path)),
+      page_size_(page_size),
+      pages_written_metric_(obs::MetricsRegistry::Global().GetCounter(
+          "spill.pages_written", "store=file")),
+      pages_read_metric_(obs::MetricsRegistry::Global().GetCounter(
+          "spill.pages_read", "store=file")) {}
 
 FileSpillStore::~FileSpillStore() {
   const Status status = Close();
@@ -75,6 +82,7 @@ Status FileSpillStore::WritePage(const std::string& page,
   }
   ++next_page_index_;
   ++stats_.pages_written;
+  pages_written_metric_.Add();
   *page_index = index;
   return Status::OK();
 }
@@ -85,6 +93,7 @@ Status FileSpillStore::AppendBatch(int partition,
   if (file_ == nullptr) {
     return Status::FailedPrecondition("spill file already closed");
   }
+  TRACE_SPAN("spill", "append_batch");
   Partition& part = partitions_[partition];
   PageWriter writer(page_size_);
   // Commit accounting only after the page holding a record is durable:
@@ -124,6 +133,7 @@ Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
   std::vector<std::string> records;
   auto it = partitions_.find(partition);
   if (it == partitions_.end()) return records;
+  TRACE_SPAN("spill", "read_partition");
   std::string page(page_size_, '\0');
   for (int64_t index : it->second.page_indexes) {
     if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
@@ -134,6 +144,7 @@ Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
       return Status::IOError("short read from spill file");
     }
     ++stats_.pages_read;
+    pages_read_metric_.Add();
     PageReader reader(page);
     std::string_view record;
     while (reader.Next(&record)) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/metrics_registry.h"
 #include "storage/page.h"
 #include "storage/spill_store.h"
 
@@ -56,6 +57,10 @@ class FileSpillStore : public SpillStore {
   int64_t next_page_index_ = 0;
   std::map<int, Partition> partitions_;
   IoStats stats_;
+  // Process-wide page-IO tally across all file stores
+  // (docs/OBSERVABILITY.md); per-store numbers stay in stats_.
+  obs::Counter pages_written_metric_;
+  obs::Counter pages_read_metric_;
 };
 
 }  // namespace pjoin

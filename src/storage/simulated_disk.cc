@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace pjoin {
 
@@ -16,11 +17,16 @@ std::string IoStats::ToString() const {
 }
 
 SimulatedDisk::SimulatedDisk(SimulatedDiskOptions options)
-    : options_(options) {}
+    : options_(options),
+      pages_written_metric_(obs::MetricsRegistry::Global().GetCounter(
+          "spill.pages_written", "store=sim")),
+      pages_read_metric_(obs::MetricsRegistry::Global().GetCounter(
+          "spill.pages_read", "store=sim")) {}
 
 Status SimulatedDisk::AppendBatch(int partition,
                                   const std::vector<std::string>& records) {
   if (records.empty()) return Status::OK();
+  TRACE_SPAN("spill", "append_batch");
   Partition& part = partitions_[partition];
   PageWriter writer(options_.page_size);
   for (const auto& record : records) {
@@ -30,6 +36,7 @@ Status SimulatedDisk::AppendBatch(int partition,
     if (!writer.Append(record)) {
       part.pages.push_back(writer.Finish());
       ++stats_.pages_written;
+      pages_written_metric_.Add();
       stats_.simulated_latency_micros += options_.page_latency_micros;
       const bool ok = writer.Append(record);
       PJOIN_DCHECK(ok);
@@ -40,6 +47,7 @@ Status SimulatedDisk::AppendBatch(int partition,
   if (!writer.empty()) {
     part.pages.push_back(writer.Finish());
     ++stats_.pages_written;
+    pages_written_metric_.Add();
     stats_.simulated_latency_micros += options_.page_latency_micros;
   }
   return Status::OK();
@@ -49,9 +57,11 @@ Result<std::vector<std::string>> SimulatedDisk::ReadPartition(int partition) {
   std::vector<std::string> records;
   auto it = partitions_.find(partition);
   if (it == partitions_.end()) return records;
+  TRACE_SPAN("spill", "read_partition");
   records.reserve(static_cast<size_t>(it->second.record_count));
   for (const auto& page : it->second.pages) {
     ++stats_.pages_read;
+    pages_read_metric_.Add();
     stats_.simulated_latency_micros += options_.page_latency_micros;
     PageReader reader(page);
     std::string_view record;

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "storage/page.h"
 #include "storage/spill_store.h"
 
@@ -40,6 +41,10 @@ class SimulatedDisk : public SpillStore {
   SimulatedDiskOptions options_;
   std::map<int, Partition> partitions_;
   IoStats stats_;
+  // Process-wide page-IO tally across all simulated stores
+  // (docs/OBSERVABILITY.md); per-store numbers stay in stats_.
+  obs::Counter pages_written_metric_;
+  obs::Counter pages_read_metric_;
 };
 
 }  // namespace pjoin

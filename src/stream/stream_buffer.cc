@@ -1,10 +1,33 @@
 #include "stream/stream_buffer.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/mutex.h"
+#include "obs/trace.h"
 
 namespace pjoin {
+
+void StreamBuffer::BindMetrics(std::string_view name) {
+  const std::string labels = "buf=" + std::string(name);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  MutexLock lock(mu_);
+  depth_metric_ = registry.GetGauge("stream_buffer.depth", labels);
+  pushed_metric_ = registry.GetCounter("stream_buffer.pushed", labels);
+  popped_metric_ = registry.GetCounter("stream_buffer.popped", labels);
+  backpressure_metric_ =
+      registry.GetCounter("stream_buffer.backpressure_waits", labels);
+  depth_metric_.Set(static_cast<int64_t>(queue_.size()));
+}
+
+void StreamBuffer::RecordDepthLocked(int64_t pushed, int64_t popped) {
+  if (!depth_metric_.bound()) return;
+  depth_metric_.Set(static_cast<int64_t>(queue_.size()));
+  if (pushed > 0) pushed_metric_.Add(pushed);
+  if (popped > 0) popped_metric_.Add(popped);
+  TRACE_COUNTER("stream", "buffer_depth",
+                static_cast<int64_t>(queue_.size()));
+}
 
 Status StreamBuffer::TryPush(StreamElement element) {
   MutexLock lock(mu_);
@@ -15,11 +38,13 @@ Status StreamBuffer::TryPush(StreamElement element) {
     return Status::ResourceExhausted("stream buffer full");
   }
   queue_.push_back(std::move(element));
+  RecordDepthLocked(1, 0);
   return Status::OK();
 }
 
 void StreamBuffer::WaitForSpaceLocked() {
   ++backpressure_waits_;
+  backpressure_metric_.Add();
   while (!closed_ && !HasSpaceLocked()) {
     space_available_.Wait(mu_);
   }
@@ -32,6 +57,7 @@ Status StreamBuffer::PushBlocking(StreamElement element) {
     return Status::FailedPrecondition("push to closed stream buffer");
   }
   queue_.push_back(std::move(element));
+  RecordDepthLocked(1, 0);
   return Status::OK();
 }
 
@@ -55,6 +81,7 @@ size_t StreamBuffer::PushBatch(std::vector<StreamElement> batch) {
       queue_.push_back(std::move(batch[pushed++]));
     }
   }
+  RecordDepthLocked(static_cast<int64_t>(pushed), 0);
   return pushed;
 }
 
@@ -67,6 +94,7 @@ std::vector<StreamElement> StreamBuffer::PopBatch(size_t max_elements) {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  if (n > 0) RecordDepthLocked(0, static_cast<int64_t>(n));
   if (n > 0 && capacity_ > 0) space_available_.NotifyAll();
   return out;
 }
@@ -82,6 +110,7 @@ std::optional<StreamElement> StreamBuffer::Pop() {
   if (queue_.empty()) return std::nullopt;
   std::optional<StreamElement> e(std::in_place, std::move(queue_.front()));
   queue_.pop_front();
+  RecordDepthLocked(0, 1);
   if (capacity_ > 0) space_available_.NotifyOne();
   return e;
 }

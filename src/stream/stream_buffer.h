@@ -19,12 +19,14 @@
 
 #include <deque>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics_registry.h"
 #include "stream/element.h"
 
 namespace pjoin {
@@ -82,6 +84,13 @@ class StreamBuffer {
   /// Times PushBlocking had to wait for space (backpressure applied).
   [[nodiscard]] int64_t backpressure_waits() const EXCLUDES(mu_);
 
+  /// Registers this buffer with the global MetricsRegistry under label
+  /// "buf=<name>": a queue-depth gauge ("stream_buffer.depth") plus
+  /// pushed/popped/backpressure counters, all updated on every push and pop
+  /// (docs/OBSERVABILITY.md). Unbound buffers skip the accounting. Call
+  /// before handing the buffer to other threads.
+  void BindMetrics(std::string_view name) EXCLUDES(mu_);
+
  private:
   // Negative-compile probe for the thread-safety CI job; see
   // tests/thread_safety_negative.cc.
@@ -95,12 +104,20 @@ class StreamBuffer {
   /// or is closed. Shared by PushBlocking and PushBatch.
   void WaitForSpaceLocked() REQUIRES(mu_);
 
+  /// Publishes the current depth (and push/pop deltas) to the bound metric
+  /// handles; no-op when BindMetrics was never called.
+  void RecordDepthLocked(int64_t pushed, int64_t popped) REQUIRES(mu_);
+
   mutable Mutex mu_;
   CondVar space_available_;
   std::deque<StreamElement> queue_ GUARDED_BY(mu_);
   const size_t capacity_;  // immutable after construction: lock-free reads
   bool closed_ GUARDED_BY(mu_) = false;
   int64_t backpressure_waits_ GUARDED_BY(mu_) = 0;
+  obs::Gauge depth_metric_ GUARDED_BY(mu_);
+  obs::Counter pushed_metric_ GUARDED_BY(mu_);
+  obs::Counter popped_metric_ GUARDED_BY(mu_);
+  obs::Counter backpressure_metric_ GUARDED_BY(mu_);
 };
 
 /// Pull-style element source (generators implement this).

@@ -1,0 +1,99 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pjoin {
+namespace {
+
+TEST(TimeSeriesTest, RecordsEverySampleWithoutThinning) {
+  TimeSeries series;
+  series.Record(0, 1);
+  series.Record(1, 2);
+  series.Record(1, 3);  // same timestamp still recorded
+  EXPECT_EQ(series.samples().size(), 3u);
+  EXPECT_EQ(series.LastValue(), 3);
+}
+
+TEST(TimeSeriesTest, ThinningDropsIntermediateSamples) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 1);
+  series.Record(50, 2);   // thinned
+  series.Record(120, 3);  // clears the interval
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.samples()[1].time, 120);
+  EXPECT_EQ(series.samples()[1].value, 3);
+}
+
+// Regression: a final sample inside min_interval_ used to be dropped
+// outright, so LastValue()/Resample() reported whichever sample last
+// cleared the thinning interval instead of the series' true end state.
+TEST(TimeSeriesTest, FlushRecoversThinnedTail) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 1);
+  series.Record(50, 7);  // thinned: held as pending tail
+  EXPECT_EQ(series.LastValue(), 1);
+  series.Flush();
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.LastValue(), 7);
+  EXPECT_EQ(series.samples().back().time, 50);
+}
+
+TEST(TimeSeriesTest, FlushKeepsOnlyNewestPendingSample) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 1);
+  series.Record(10, 2);  // thinned
+  series.Record(20, 3);  // thinned, replaces the previous pending
+  series.Flush();
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.samples().back().time, 20);
+  EXPECT_EQ(series.samples().back().value, 3);
+}
+
+TEST(TimeSeriesTest, FlushIsIdempotentAndNoopWithoutPending) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Flush();  // empty: nothing pending
+  EXPECT_TRUE(series.empty());
+  series.Record(0, 1);
+  series.Record(10, 2);
+  series.Flush();
+  series.Flush();  // second flush must not duplicate the tail
+  EXPECT_EQ(series.samples().size(), 2u);
+}
+
+TEST(TimeSeriesTest, SampleClearingIntervalDiscardsStalePending) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 1);
+  series.Record(10, 2);   // thinned
+  series.Record(150, 3);  // recorded; the pending {10, 2} is now stale
+  series.Flush();
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.samples().back().time, 150);
+  EXPECT_EQ(series.samples().back().value, 3);
+}
+
+// bench_util copies the operator's series into RunStats and flushes the
+// copy; the pending tail must travel with the copy.
+TEST(TimeSeriesTest, CopyCarriesPendingTail) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 1);
+  series.Record(50, 9);  // thinned
+  TimeSeries copy = series;
+  copy.Flush();
+  EXPECT_EQ(copy.LastValue(), 9);
+  // The original is untouched.
+  EXPECT_EQ(series.LastValue(), 1);
+}
+
+TEST(TimeSeriesTest, ResampleReflectsFlushedTail) {
+  TimeSeries series(/*min_interval=*/100);
+  series.Record(0, 10);
+  series.Record(90, 0);  // thinned: state dropped to zero at the end
+  series.Flush();
+  const std::vector<Sample> grid = series.Resample(/*horizon=*/100,
+                                                   /*buckets=*/2);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.back().value, 0);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,459 @@
+// Tests for the observability layer (src/obs/): metrics registry handle
+// semantics, trace-ring overflow behavior, concurrent emit/drain (exercised
+// under TSan in CI), and Chrome trace_event export validated by an in-test
+// JSON parser.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace pjoin {
+namespace {
+
+// ---- Minimal JSON parser: just enough to validate exporter output. ----
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return false;  // \uXXXX etc.: exporter never emits these
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') return ParseLiteral("null");
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---- MetricsRegistry ----
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::MetricsRegistry::Global().ResetForTest(); }
+  void TearDown() override { obs::MetricsRegistry::Global().ResetForTest(); }
+};
+
+TEST_F(MetricsRegistryTest, SameNameAndLabelsShareOneCell) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter a = registry.GetCounter("test.counter", "side=l");
+  obs::Counter b = registry.GetCounter("test.counter", "side=l");
+  a.Add(3);
+  b.Add(4);
+  EXPECT_EQ(a.Get(), 7);
+  EXPECT_EQ(b.Get(), 7);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+}
+
+TEST_F(MetricsRegistryTest, DifferentLabelsAreDistinctMetrics) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter l = registry.GetCounter("test.counter", "side=l");
+  obs::Counter r = registry.GetCounter("test.counter", "side=r");
+  obs::Counter bare = registry.GetCounter("test.counter");
+  l.Add(1);
+  r.Add(2);
+  bare.Add(4);
+  EXPECT_EQ(l.Get(), 1);
+  EXPECT_EQ(r.Get(), 2);
+  EXPECT_EQ(bare.Get(), 4);
+  EXPECT_EQ(registry.Snapshot().size(), 3u);
+}
+
+TEST_F(MetricsRegistryTest, DefaultHandlesAreInert) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  EXPECT_FALSE(counter.bound());
+  EXPECT_FALSE(gauge.bound());
+  counter.Add(5);  // must not crash
+  gauge.Set(5);
+  gauge.Add(1);
+  EXPECT_EQ(counter.Get(), 0);
+  EXPECT_EQ(gauge.Get(), 0);
+}
+
+TEST_F(MetricsRegistryTest, GaugeIsLastWriteWins) {
+  obs::Gauge gauge =
+      obs::MetricsRegistry::Global().GetGauge("test.depth", "buf=x");
+  gauge.Set(10);
+  gauge.Set(3);
+  gauge.Add(2);
+  EXPECT_EQ(gauge.Get(), 5);
+}
+
+TEST_F(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha", "b=2");
+  registry.GetCounter("alpha", "a=1");
+  const std::vector<obs::MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[0].labels, "a=1");
+  EXPECT_EQ(snapshot[1].name, "alpha");
+  EXPECT_EQ(snapshot[1].labels, "b=2");
+  EXPECT_EQ(snapshot[2].name, "zeta");
+}
+
+TEST_F(MetricsRegistryTest, ToJsonParsesAndCarriesValues) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("spill.pages", "store=sim").Add(42);
+  registry.GetGauge("buffer.depth", "buf=input_l").Set(-7);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.ToJson()).Parse(&root));
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->type, JsonValue::Type::kArray);
+  ASSERT_EQ(metrics->array.size(), 2u);
+  // Sorted: buffer.depth < spill.pages.
+  const JsonValue& depth = metrics->array[0];
+  EXPECT_EQ(depth.Find("name")->str, "buffer.depth");
+  EXPECT_EQ(depth.Find("labels")->str, "buf=input_l");
+  EXPECT_EQ(depth.Find("kind")->str, "gauge");
+  EXPECT_EQ(depth.Find("value")->number, -7.0);
+  const JsonValue& pages = metrics->array[1];
+  EXPECT_EQ(pages.Find("kind")->str, "counter");
+  EXPECT_EQ(pages.Find("value")->number, 42.0);
+}
+
+// ---- TraceRing ----
+
+TEST(TraceRingTest, DrainReturnsEventsOldestFirst) {
+  obs::TraceRing ring(/*tid=*/5, /*capacity=*/8);
+  for (int64_t i = 0; i < 4; ++i) {
+    ring.Emit("cat", "name", obs::TracePhase::kCounter, /*ts=*/i * 10, i);
+  }
+  std::vector<obs::TraceEvent> events;
+  EXPECT_EQ(ring.Drain(&events), 0);  // nothing dropped
+  ASSERT_EQ(events.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].value, i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].tid, 5);
+  }
+}
+
+TEST(TraceRingTest, OverflowKeepsNewestEventsAndCountsDropped) {
+  constexpr int64_t kCapacity = 8;
+  constexpr int64_t kEmitted = 20;
+  obs::TraceRing ring(/*tid=*/0, kCapacity);
+  for (int64_t i = 0; i < kEmitted; ++i) {
+    ring.Emit("cat", "name", obs::TracePhase::kCounter, /*ts=*/i, i);
+  }
+  std::vector<obs::TraceEvent> events;
+  const int64_t dropped = ring.Drain(&events);
+  EXPECT_EQ(dropped, kEmitted - kCapacity);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kCapacity));
+  // The survivors are exactly the newest kCapacity events, oldest first.
+  for (int64_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].value,
+              kEmitted - kCapacity + i);
+  }
+}
+
+// ---- Tracer ----
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Tracer::Global().ResetForTest(); }
+  void TearDown() override {
+    obs::Tracer::Global().Stop();
+    obs::Tracer::Global().ResetForTest();
+  }
+};
+
+#if PJOIN_TRACING
+
+TEST_F(TracerTest, EventsWhileStoppedAreDropped) {
+  TRACE_INSTANT("test", "before_start");
+  {
+    TRACE_SPAN("test", "span_before_start");
+  }
+  EXPECT_TRUE(obs::Tracer::Global().Drain().empty());
+}
+
+TEST_F(TracerTest, SpansCarryNonNegativeDuration) {
+  obs::Tracer::Global().Start();
+  {
+    TRACE_SPAN("test", "outer");
+    TRACE_INSTANT("test", "inside");
+  }
+  obs::Tracer::Global().Stop();
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_span = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.phase == obs::TracePhase::kComplete) {
+      saw_span = true;
+      EXPECT_STREQ(e.name, "outer");
+      EXPECT_GE(e.value, 0);  // duration
+    }
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST_F(TracerTest, ThreadNamesAreExported) {
+  obs::Tracer::Global().SetCurrentThreadName("main-test");
+  const auto names = obs::Tracer::Global().ThreadNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].second, "main-test");
+}
+
+// Writers emit through the macros while the main thread drains concurrently;
+// run under TSan in CI. Drained events must never be torn (a null name or
+// category would mean a half-written slot escaped the seq check).
+TEST_F(TracerTest, ConcurrentEmitAndDrainIsSafe) {
+  obs::Tracer::Global().Start();
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TRACE_COUNTER("test", "spin", i);
+        if (i % 64 == 0) {
+          TRACE_SPAN("test", "chunk");
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (const obs::TraceEvent& e : obs::Tracer::Global().Drain()) {
+      ASSERT_NE(e.name, nullptr);
+      ASSERT_NE(e.category, nullptr);
+      ASSERT_GE(static_cast<int32_t>(e.phase), 0);
+      ASSERT_LE(static_cast<int32_t>(e.phase), 2);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  obs::Tracer::Global().Stop();
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  EXPECT_FALSE(events.empty());
+  EXPECT_LE(events.size(),
+            static_cast<size_t>(kThreads) *
+                (kEventsPerThread + kEventsPerThread / 64 + 1));
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts, events[i].ts);  // drain sorts by timestamp
+  }
+}
+
+// ---- Chrome trace export ----
+
+TEST_F(TracerTest, ChromeTraceExportIsValidAndComplete) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  tracer.SetCurrentThreadName("escape \"this\" \\ name");
+  {
+    TRACE_SPAN("cat_span", "a_span");
+  }
+  TRACE_INSTANT("cat_inst", "an_instant");
+  TRACE_COUNTER("cat_ctr", "a_counter", 17);
+  tracer.Stop();
+
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, tracer.Drain(), tracer.ThreadNames());
+  const std::string json = os.str();
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->type, JsonValue::Type::kArray);
+  // 1 thread-name metadata record + 3 events.
+  ASSERT_EQ(trace_events->array.size(), 4u);
+
+  bool saw_meta = false, saw_span = false, saw_instant = false,
+       saw_counter = false;
+  for (const JsonValue& e : trace_events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    if (ph->str == "M") {
+      saw_meta = true;
+      EXPECT_EQ(e.Find("args")->Find("name")->str, "escape \"this\" \\ name");
+    } else if (ph->str == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.Find("name")->str, "a_span");
+      EXPECT_EQ(e.Find("cat")->str, "cat_span");
+      ASSERT_NE(e.Find("dur"), nullptr);
+      EXPECT_GE(e.Find("dur")->number, 0.0);
+      ASSERT_NE(e.Find("ts"), nullptr);
+    } else if (ph->str == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.Find("name")->str, "an_instant");
+      EXPECT_EQ(e.Find("s")->str, "t");
+    } else if (ph->str == "C") {
+      saw_counter = true;
+      EXPECT_EQ(e.Find("name")->str, "a_counter");
+      EXPECT_EQ(e.Find("args")->Find("value")->number, 17.0);
+    } else {
+      FAIL() << "unexpected phase " << ph->str;
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+#endif  // PJOIN_TRACING
+
+TEST_F(TracerTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, {}, {});
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root));
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  EXPECT_TRUE(trace_events->array.empty());
+  EXPECT_EQ(root.Find("displayTimeUnit")->str, "ms");
+}
+
+}  // namespace
+}  // namespace pjoin

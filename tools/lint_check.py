@@ -30,6 +30,12 @@ and src/common/status.h actually hold across the tree:
   missing-include      files using GUARDED_BY/REQUIRES/... must include
                        common/thread_annotations.h; files using Mutex /
                        MutexLock / CondVar must include common/mutex.h.
+  raw-clock            std::chrono::{steady,system,high_resolution}_clock
+                       ::now() in src/ outside src/common/clock.* and the
+                       tracer (src/obs/trace.*). Operators and drivers
+                       read time through the Clock interface / Stopwatch /
+                       SteadyDeadlineAfter so virtual-time benches and
+                       deterministic tests stay honest.
 
 A line containing NOLINT (optionally NOLINT(<rule>)) is exempt from that
 rule on that line. Fixture files under tools/lint_fixtures/ are excluded
@@ -50,6 +56,14 @@ FIXTURE_DIR = os.path.join("tools", "lint_fixtures")
 # The wrapper layer itself is the one place raw primitives and manual
 # lock calls are legitimate.
 WRAPPER_HEADER = os.path.join("src", "common", "mutex.h")
+# The only src/ files allowed to read the raw monotonic clock: the Clock
+# wrapper layer and the tracer's timestamp source (docs/OBSERVABILITY.md).
+RAW_CLOCK_EXEMPT = (
+    "src/common/clock.h",
+    "src/common/clock.cc",
+    "src/obs/trace.h",
+    "src/obs/trace.cc",
+)
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
@@ -63,6 +77,9 @@ ANNOTATION_RE = re.compile(
     r"TRY_ACQUIRE|EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY|CAPABILITY|"
     r"SCOPED_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\s*\(")
 MUTEX_USE_RE = re.compile(r"\b(MutexLock|CondVar)\b|\bMutex\b\s*[&*\w]")
+RAW_CLOCK_RE = re.compile(
+    r"std::chrono::(steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\(")
 NOLINT_RE = re.compile(r"NOLINT(?:\((?P<rules>[\w,\- ]*)\))?")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -151,6 +168,15 @@ class Linter:
                                 "manual lock()/unlock() call; use RAII "
                                 "MutexLock instead")
 
+            if (is_src and RAW_CLOCK_RE.search(code_no_comment)
+                    and rel_path.replace(os.sep, "/") not in RAW_CLOCK_EXEMPT):
+                if not nolinted(raw, "raw-clock"):
+                    self.report(rel_path, i, "raw-clock",
+                                "raw std::chrono clock read; go through "
+                                "common/clock.h (Clock / Stopwatch / "
+                                "SteadyDeadlineAfter) so virtual-time "
+                                "benches stay honest")
+
             if VOID_DISCARD_RE.search(code_no_comment):
                 if not nolinted(raw, "void-status-discard"):
                     self.report(rel_path, i, "void-status-discard",
@@ -231,6 +257,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_unguarded_mutex.h": {"unguarded-mutex"},
     "bad_void_discard.cc": {"void-status-discard"},
     "bad_header_guard.h": {"header-guard"},
+    "bad_raw_clock.cc": {"raw-clock"},
     "clean.h": set(),
 }
 

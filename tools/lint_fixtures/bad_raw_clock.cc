@@ -1,0 +1,15 @@
+// Lint fixture: a direct monotonic-clock read. Must trigger raw-clock —
+// src/ code reads time through common/clock.h (Clock / Stopwatch /
+// SteadyDeadlineAfter); only the clock wrapper and the tracer may call
+// std::chrono::steady_clock::now() themselves.
+#include <chrono>
+
+namespace fixture {
+
+inline long long NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture
