@@ -14,11 +14,18 @@
 //
 // Usage: par_scaling [--tuples=N] [--shards=a,b,c] [--punct=T] [--out=FILE]
 //                    [--check] [--trace=FILE] [--metrics=FILE]
+//                    [--serve_port=P] [--serve_linger_ms=N]
 //   --check    exit non-zero if any oracle fails (CI perf-smoke mode).
 //   --trace    record operator tracing for the whole sweep and write a
 //              Chrome trace_event JSON (Perfetto-loadable); needs a build
 //              with PJOIN_TRACING=ON to contain events.
 //   --metrics  dump the global MetricsRegistry as JSON after the sweep.
+//   --serve_port     serve /metrics, /statusz, /tracez on this loopback
+//                    port for the duration of the run (0 = ephemeral; the
+//                    bound port is printed). See docs/OBSERVABILITY.md.
+//   --serve_linger_ms  after the sweep, keep re-running the widest parallel
+//                    configuration for this long so scrapers catch a live
+//                    pipeline; GET /quitquitquit ends the linger early.
 
 #include <chrono>
 #include <cstdio>
@@ -31,8 +38,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/clock.h"
 #include "join/pjoin.h"
 #include "obs/chrome_trace.h"
+#include "obs/introspection.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "ops/parallel_pipeline.h"
@@ -55,6 +64,8 @@ struct Cli {
   std::string trace;    // empty = tracing not started
   std::string metrics;  // empty = no metrics dump
   bool check = false;
+  int serve_port = -1;         // -1 = no introspection server
+  int64_t serve_linger_ms = 0;
 };
 
 Cli ParseCli(int argc, char** argv) {
@@ -79,6 +90,10 @@ Cli ParseCli(int argc, char** argv) {
       cli.trace = v;
     } else if (const char* v = value("--metrics=")) {
       cli.metrics = v;
+    } else if (const char* v = value("--serve_port=")) {
+      cli.serve_port = std::atoi(v);
+    } else if (const char* v = value("--serve_linger_ms=")) {
+      cli.serve_linger_ms = std::atoll(v);
     } else if (const char* v = value("--shards=")) {
       cli.shards.clear();
       std::stringstream ss(v);
@@ -248,6 +263,20 @@ int Main(int argc, char** argv) {
     TRACE_SET_THREAD_NAME("bench-main");
   }
 
+  std::unique_ptr<obs::IntrospectionServer> server;
+  if (cli.serve_port >= 0) {
+    server = std::make_unique<obs::IntrospectionServer>();
+    const Status st = server->Start(cli.serve_port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "introspection server failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("  serving introspection on http://127.0.0.1:%d\n",
+                server->port());
+    std::fflush(stdout);  // scrape scripts poll for this line
+  }
+
   const Measured baseline = RunSingle("scan_1thread", streams, false);
   const Measured indexed = RunSingle("indexed_1thread", streams, true);
   std::vector<Measured> parallel;
@@ -280,6 +309,22 @@ int Main(int argc, char** argv) {
 
   WriteJson(cli.out, cli, baseline, indexed, parallel);
   std::printf("  wrote %s\n", cli.out.c_str());
+
+  if (server != nullptr && cli.serve_linger_ms > 0) {
+    std::printf(
+        "  lingering %lld ms for scrapes (GET /quitquitquit ends early)\n",
+        static_cast<long long>(cli.serve_linger_ms));
+    std::fflush(stdout);
+    const int widest = cli.shards.empty() ? 1 : cli.shards.back();
+    const Stopwatch linger;
+    while (linger.ElapsedMicros() < cli.serve_linger_ms * 1000 &&
+           !server->quit_requested()) {
+      // Keep a pipeline running so scrapes catch live /statusz sections and
+      // moving queue-depth gauges, not just end-of-run values.
+      const Measured again = RunParallel(streams, widest);
+      all_pass = all_pass && again.oracle == baseline.oracle;
+    }
+  }
 
   if (!cli.trace.empty()) {
     obs::Tracer::Global().Stop();

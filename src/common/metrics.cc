@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -94,15 +95,28 @@ double Histogram::mean() const {
 int64_t Histogram::Percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const int64_t target = static_cast<int64_t>(q * static_cast<double>(count_));
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
   int64_t seen = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen > target) {
-      // Upper bound of bucket b is 2^b - 1 (bucket 0 holds <= 0).
-      if (b == 0) return 0;
-      return (int64_t{1} << b) - 1;
+    const int64_t n = buckets_[b];
+    if (n == 0) continue;
+    if (static_cast<double>(seen) + static_cast<double>(n) > target) {
+      if (b == 0) return 0;  // bucket 0 holds values <= 0
+      // Interpolate within bucket b's range [2^(b-1), 2^b - 1] by the
+      // quantile's position among the bucket's n values, then clamp to the
+      // observed [min_, max_] so sparse tail buckets cannot report a value
+      // the histogram never saw.
+      const double lo = std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b) - 1.0;
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(n);
+      double value = lo + frac * (hi - lo);
+      value = std::min(value, static_cast<double>(max_));
+      value = std::max(value, static_cast<double>(min_));
+      return static_cast<int64_t>(std::llround(value));
     }
+    seen += n;
   }
   return max_;
 }

@@ -134,6 +134,9 @@ Status JoinOperator::RelocateUntilBelowThreshold() {
 
 void JoinOperator::EmitResult(const Tuple& left, const Tuple& right) {
   ++results_emitted_;
+  if (tuple_latency_hist_.bound() && ingress_us_ > 0) {
+    tuple_latency_hist_.Observe(obs::TraceNowMicros() - ingress_us_);
+  }
   if (on_result_) {
     on_result_(Tuple::Concat(left, right, output_schema_));
   }
@@ -143,7 +146,63 @@ void JoinOperator::EmitPunctuation(Punctuation punct) {
   TRACE_INSTANT("join", "punct_out");
   ++puncts_emitted_;
   counters_.Add("puncts_propagated");
+  if (punct_lag_hist_.bound() && ingress_us_ > 0) {
+    // Lag from the *current* element's ingress: when propagation runs
+    // inline with the triggering arrival this is exactly punct-in →
+    // punct-out; for deferred propagation (disk join, finish) it measures
+    // trigger → release, the part the operator controls.
+    punct_lag_hist_.Observe(obs::TraceNowMicros() - ingress_us_);
+  }
   if (on_punct_) on_punct_(punct);
+}
+
+void JoinOperator::BindLatencyMetrics(std::string_view labels) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  tuple_latency_hist_ = registry.GetHistogram("pjoin_tuple_latency_seconds",
+                                              labels, /*unit_scale=*/1e-6);
+  punct_lag_hist_ = registry.GetHistogram("pjoin_punct_propagation_seconds",
+                                          labels, /*unit_scale=*/1e-6);
+}
+
+void JoinOperator::BindStateGauges(std::string_view labels) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  state_gauge_labels_ = std::string(labels);
+  static constexpr std::string_view kSide[2] = {"side=left", "side=right"};
+  for (int side = 0; side < 2; ++side) {
+    const std::string side_labels = JoinLabels(labels, kSide[side]);
+    mem_tuples_gauge_[side] =
+        registry.GetGauge("pjoin_state_memory_tuples", side_labels);
+    disk_tuples_gauge_[side] =
+        registry.GetGauge("pjoin_state_disk_tuples", side_labels);
+    purge_buffer_gauge_[side] =
+        registry.GetGauge("pjoin_state_purge_buffer_tuples", side_labels);
+    mem_bytes_gauge_[side] =
+        registry.GetGauge("pjoin_state_memory_bytes", side_labels);
+  }
+  state_gauges_bound_ = true;
+}
+
+void JoinOperator::PublishStateGauges() {
+  if (!state_gauges_bound_) return;
+  for (int side = 0; side < 2; ++side) {
+    const HashState& state = *states_[side];
+    mem_tuples_gauge_[side].Set(state.memory_tuples());
+    disk_tuples_gauge_[side].Set(state.disk_tuples());
+    purge_buffer_gauge_[side].Set(state.purge_buffer_tuples());
+    mem_bytes_gauge_[side].Set(state.memory_bytes());
+  }
+  PublishExtraGauges();
+}
+
+std::string JoinLabels(std::string_view base, std::string_view extra) {
+  if (base.empty()) return std::string(extra);
+  if (extra.empty()) return std::string(base);
+  std::string out;
+  out.reserve(base.size() + 1 + extra.size());
+  out.append(base);
+  out.push_back(',');
+  out.append(extra);
+  return out;
 }
 
 void JoinOperator::SampleState() {

@@ -8,10 +8,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/metrics.h"
 #include "exec/monitor.h"
 #include "join/hash_state.h"
+#include "obs/metrics_registry.h"
 #include "stream/element.h"
 #include "storage/spill_store.h"
 
@@ -135,6 +137,33 @@ class JoinOperator {
   /// Virtual arrival time of the most recently processed element.
   TimeMicros last_arrival() const { return last_arrival_; }
 
+  // ---- Live introspection (docs/OBSERVABILITY.md) ----
+  //
+  // All of this is opt-in: an unbound operator (the default, and every
+  // single-threaded bench baseline) pays nothing — inert handles, no clock
+  // reads.
+
+  /// Registers the end-to-end latency histograms under `labels` (e.g.
+  /// "pipeline=parallel,shard=3"): pjoin_tuple_latency_seconds observes
+  /// ingress→result-emit and pjoin_punct_propagation_seconds observes
+  /// ingress→punct-emit (the live analogue of the paper's fig 14), both in
+  /// microseconds with a 1e-6 exposition scale.
+  void BindLatencyMetrics(std::string_view labels);
+
+  /// Wall-clock (TraceNowMicros) arrival time of the element currently
+  /// being processed; the driver sets it right before OnElement so emits
+  /// can attribute latency. 0 = unknown (nothing is recorded).
+  void set_element_ingress_micros(TimeMicros us) { ingress_us_ = us; }
+
+  /// Registers per-side state-size gauges (memory/disk/purge-buffer tuples,
+  /// memory bytes) under `labels`; subclasses may add their own via
+  /// PublishExtraGauges.
+  void BindStateGauges(std::string_view labels);
+  /// Publishes the current state sizes to the bound gauges. Call from the
+  /// thread that owns this operator (gauge writes are atomic; HashState
+  /// reads are not locked).
+  void PublishStateGauges();
+
  protected:
   // ---- Subclass interface ----
   virtual Status OnTuple(int side, const Tuple& tuple) = 0;
@@ -172,6 +201,14 @@ class JoinOperator {
   /// Records a state-size sample at the current virtual time.
   void SampleState();
 
+  /// Subclass hook run by PublishStateGauges (PJoin publishes punctuation
+  /// set sizes — the live purge watermarks).
+  virtual void PublishExtraGauges() {}
+  /// Labels BindStateGauges was called with ("" when unbound).
+  const std::string& state_gauge_labels() const {
+    return state_gauge_labels_;
+  }
+
  private:
   JoinOptions options_;
   SchemaPtr output_schema_;
@@ -186,7 +223,21 @@ class JoinOperator {
   TimeMicros last_arrival_ = 0;
   bool eos_[2] = {false, false};
   bool finished_ = false;
+
+  // Live-introspection state; all handles inert until the Bind* calls.
+  obs::Histogram tuple_latency_hist_;
+  obs::Histogram punct_lag_hist_;
+  TimeMicros ingress_us_ = 0;
+  std::string state_gauge_labels_;
+  bool state_gauges_bound_ = false;
+  obs::Gauge mem_tuples_gauge_[2];
+  obs::Gauge disk_tuples_gauge_[2];
+  obs::Gauge purge_buffer_gauge_[2];
+  obs::Gauge mem_bytes_gauge_[2];
 };
+
+/// "base,extra" — joins two "k=v,..." label strings, eliding empties.
+std::string JoinLabels(std::string_view base, std::string_view extra);
 
 }  // namespace pjoin
 

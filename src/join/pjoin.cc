@@ -492,4 +492,21 @@ Status PJoin::Finish() {
   return Status::OK();
 }
 
+void PJoin::PublishExtraGauges() {
+  if (!extra_gauges_bound_) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static constexpr std::string_view kSide[2] = {"side=left", "side=right"};
+    for (int side = 0; side < 2; ++side) {
+      punct_set_gauge_[side] = registry.GetGauge(
+          "pjoin_punct_set_size",
+          JoinLabels(state_gauge_labels(), kSide[side]));
+    }
+    extra_gauges_bound_ = true;
+  }
+  for (int side = 0; side < 2; ++side) {
+    punct_set_gauge_[side].Set(
+        static_cast<int64_t>(punct_sets_[side]->size()));
+  }
+}
+
 }  // namespace pjoin

@@ -62,6 +62,9 @@ class PJoin : public JoinOperator {
   Status OnTuple(int side, const Tuple& tuple) override;
   Status OnPunctuation(int side, const Punctuation& punct) override;
   Status Finish() override;
+  /// Publishes the punctuation-set sizes (the live purge watermarks) next
+  /// to the base-class state gauges.
+  void PublishExtraGauges() override;
 
  private:
   // A component of §3.6: an event listener delegating to a PJoin method.
@@ -108,6 +111,8 @@ class PJoin : public JoinOperator {
   std::vector<int64_t> disk_pass_tick_;
   std::vector<Tuple> quarantined_tuples_[2];
   std::vector<Punctuation> quarantined_puncts_[2];
+  bool extra_gauges_bound_ = false;
+  obs::Gauge punct_set_gauge_[2];
   std::unique_ptr<Component> purge_component_;
   std::unique_ptr<Component> relocation_component_;
   std::unique_ptr<Component> disk_join_component_;

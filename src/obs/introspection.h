@@ -1,0 +1,86 @@
+// Live introspection endpoints (docs/OBSERVABILITY.md): an HttpServer
+// pre-wired with
+//
+//   GET /metrics   Prometheus text exposition of MetricsRegistry::Global()
+//   GET /statusz   human-readable snapshot: uptime, build flags, every
+//                  registered status section (pipelines publish per-shard
+//                  queue depths and join-state breakdowns here), and a dump
+//                  of all registry gauges
+//   GET /tracez    most recent drained trace spans, grouped by category
+//   GET /quitquitquit  sets quit_requested() — lets a linger loop (bench
+//                  --serve_linger_ms) be told to exit by the scraper
+//
+// Status sections are a process-global registry so a pipeline deep in the
+// call stack can contribute to /statusz without threading a server handle
+// through every layer; ScopedStatusSection unregisters on destruction so a
+// finished pipeline stops appearing.
+
+#ifndef PJOIN_OBS_INTROSPECTION_H_
+#define PJOIN_OBS_INTROSPECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "obs/http_server.h"
+
+namespace pjoin {
+namespace obs {
+
+/// Renders one /statusz section body (called on a server worker thread —
+/// must only read thread-safe state: registry handles, atomics, own locks).
+using StatusSectionFn = std::function<std::string()>;
+
+/// Registers a titled /statusz section; returns an id for Unregister.
+int64_t RegisterStatusSection(std::string title, StatusSectionFn fn);
+void UnregisterStatusSection(int64_t id);
+
+/// All registered sections rendered in registration order (used by the
+/// /statusz handler; exposed for tests).
+std::string RenderStatusSections();
+
+/// RAII section registration.
+class ScopedStatusSection {
+ public:
+  ScopedStatusSection(std::string title, StatusSectionFn fn)
+      : id_(RegisterStatusSection(std::move(title), std::move(fn))) {}
+  ~ScopedStatusSection() { UnregisterStatusSection(id_); }
+  PJOIN_DISALLOW_COPY_AND_MOVE(ScopedStatusSection);
+
+ private:
+  int64_t id_;
+};
+
+/// Renders the /statusz body (also used headlessly in tests).
+std::string RenderStatusz(TimeMicros uptime_us);
+
+class IntrospectionServer {
+ public:
+  explicit IntrospectionServer(HttpServerOptions options = {});
+  PJOIN_DISALLOW_COPY_AND_MOVE(IntrospectionServer);
+
+  /// Starts serving on loopback:`port` (0 = ephemeral; see port()).
+  Status Start(int port);
+  void Stop();
+
+  [[nodiscard]] int port() const { return server_.port(); }
+
+  /// True once a scraper has hit /quitquitquit.
+  [[nodiscard]] bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+ private:
+  HttpServer server_;
+  std::atomic<bool> quit_{false};
+  TimeMicros start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_INTROSPECTION_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/mutex.h"
+#include "obs/text_escape.h"
 
 namespace pjoin {
 namespace obs {
@@ -30,26 +32,21 @@ std::string MakeKey(std::string_view name, std::string_view labels) {
 }
 
 void AppendJsonString(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        os << c;
-    }
+  std::string escaped;
+  AppendEscapedStringBody(&escaped, s);
+  os << '"' << escaped << '"';
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
   }
-  os << '"';
+  return "unknown";
 }
 
 }  // namespace
@@ -60,8 +57,16 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricCell* MetricsRegistry::GetCell(std::string_view name,
-                                     std::string_view labels,
-                                     MetricKind kind) {
+                                     std::string_view labels, MetricKind kind,
+                                     double unit_scale) {
+  if (!IsValidMetricName(name)) {
+    // An unregistrable name is a programming error, but aborting inside
+    // instrumentation would be worse than losing the metric: log and hand
+    // back an inert handle.
+    PJOIN_LOG(kError) << "rejecting invalid metric name "
+                      << QuoteEscaped(name);
+    return nullptr;
+  }
   Shard& shard = shards_[KeyHash(name, labels) % kShards];
   MutexLock lock(shard.mu);
   auto [it, inserted] = shard.cells.try_emplace(MakeKey(name, labels));
@@ -70,6 +75,10 @@ MetricCell* MetricsRegistry::GetCell(std::string_view name,
     it->second->name = std::string(name);
     it->second->labels = std::string(labels);
     it->second->kind = kind;
+    it->second->unit_scale = unit_scale;
+    if (kind == MetricKind::kHistogram) {
+      it->second->hist = std::make_unique<HistogramData>();
+    }
   }
   // Re-registering under another kind would silently alias a counter and a
   // gauge onto one cell; make it a programming error instead.
@@ -87,14 +96,39 @@ Gauge MetricsRegistry::GetGauge(std::string_view name,
   return Gauge(GetCell(name, labels, MetricKind::kGauge));
 }
 
+Histogram MetricsRegistry::GetHistogram(std::string_view name,
+                                        std::string_view labels,
+                                        double unit_scale) {
+  return Histogram(GetCell(name, labels, MetricKind::kHistogram, unit_scale));
+}
+
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> samples;
   for (const Shard& shard : shards_) {
     MutexLock lock(shard.mu);
     for (const auto& [key, cell] : shard.cells) {
-      samples.push_back(MetricSample{
-          cell->name, cell->labels, cell->kind,
-          cell->value.load(std::memory_order_relaxed)});
+      MetricSample s;
+      s.name = cell->name;
+      s.labels = cell->labels;
+      s.kind = cell->kind;
+      s.unit_scale = cell->unit_scale;
+      if (cell->kind == MetricKind::kHistogram) {
+        const HistogramData& h = *cell->hist;
+        s.value = h.count.load(std::memory_order_relaxed);
+        s.sum = h.sum.load(std::memory_order_relaxed);
+        int last = HistogramData::kNumBuckets - 1;
+        while (last >= 0 &&
+               h.buckets[last].load(std::memory_order_relaxed) == 0) {
+          --last;
+        }
+        s.buckets.reserve(last + 1);
+        for (int b = 0; b <= last; ++b) {
+          s.buckets.push_back(h.buckets[b].load(std::memory_order_relaxed));
+        }
+      } else {
+        s.value = cell->value.load(std::memory_order_relaxed);
+      }
+      samples.push_back(std::move(s));
     }
   }
   std::sort(samples.begin(), samples.end(),
@@ -115,9 +149,19 @@ std::string MetricsRegistry::ToJson() const {
     AppendJsonString(os, s.name);
     os << ", \"labels\": ";
     AppendJsonString(os, s.labels);
-    os << ", \"kind\": "
-       << (s.kind == MetricKind::kCounter ? "\"counter\"" : "\"gauge\"")
-       << ", \"value\": " << s.value << "}";
+    os << ", \"kind\": \"" << KindName(s.kind) << "\"";
+    if (s.kind == MetricKind::kHistogram) {
+      os << ", \"count\": " << s.value << ", \"sum\": " << s.sum
+         << ", \"unit_scale\": " << s.unit_scale << ", \"buckets\": [";
+      for (size_t b = 0; b < s.buckets.size(); ++b) {
+        if (b > 0) os << ", ";
+        os << s.buckets[b];
+      }
+      os << "]";
+    } else {
+      os << ", \"value\": " << s.value;
+    }
+    os << "}";
   }
   os << "\n]}\n";
   return os.str();

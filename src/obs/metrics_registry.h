@@ -42,6 +42,30 @@ enum class MetricKind : int8_t {
   kCounter,
   /// Last-write-wins level (Set / Add).
   kGauge,
+  /// Power-of-two bucketed distribution (Observe only).
+  kHistogram,
+};
+
+/// Atomic power-of-two bucket array backing a registry histogram: the
+/// thread-safe sibling of common/metrics.h::Histogram (same BucketFor law,
+/// relaxed atomics instead of plain ints). Bucket 0 holds v <= 0; bucket
+/// b >= 1 holds values in [2^(b-1), 2^b - 1].
+struct HistogramData {
+  static constexpr int kNumBuckets = 64;
+
+  std::atomic<int64_t> buckets[kNumBuckets] = {};
+  std::atomic<int64_t> sum{0};
+  std::atomic<int64_t> count{0};
+
+  static int BucketFor(int64_t v) {
+    if (v <= 0) return 0;
+    int b = 0;
+    while (v > 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
 };
 
 /// One registered metric cell. Owned by the registry; handles point at it.
@@ -50,6 +74,11 @@ struct MetricCell {
   std::string labels;
   MetricKind kind = MetricKind::kCounter;
   std::atomic<int64_t> value{0};
+  /// Histogram-only. Observations are recorded as raw int64 values (e.g.
+  /// microseconds); exporters multiply bucket bounds and sums by
+  /// `unit_scale` (e.g. 1e-6 for a `_seconds` exposition).
+  double unit_scale = 1.0;
+  std::unique_ptr<HistogramData> hist;
 };
 
 /// Cumulative counter handle. Copyable; inert when default-constructed.
@@ -100,12 +129,50 @@ class Gauge {
   MetricCell* cell_ = nullptr;
 };
 
+/// Distribution handle (latencies, sizes). Copyable; inert when
+/// default-constructed. Observe() is two relaxed atomic RMWs plus a
+/// branch-free bucket computation — safe on the shard-worker hot path.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Observe(int64_t value) {
+    if (cell_ == nullptr) return;
+    HistogramData& h = *cell_->hist;
+    h.buckets[HistogramData::BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t Count() const {
+    return cell_ == nullptr
+               ? 0
+               : cell_->hist->count.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t Sum() const {
+    return cell_ == nullptr
+               ? 0
+               : cell_->hist->sum.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool bound() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(MetricCell* cell) : cell_(cell) {}
+  MetricCell* cell_ = nullptr;
+};
+
 /// A consistent-enough copy of one metric for snapshots/export.
 struct MetricSample {
   std::string name;
   std::string labels;
   MetricKind kind;
+  /// Counter/gauge value; for histograms, the observation count.
   int64_t value;
+  /// Histogram-only: raw-unit sum and per-bucket counts (empty otherwise).
+  int64_t sum = 0;
+  double unit_scale = 1.0;
+  std::vector<int64_t> buckets;
 };
 
 class MetricsRegistry {
@@ -120,9 +187,17 @@ class MetricsRegistry {
   /// two call sites asking for "stream_buffer.depth"/"buf=input_l" share
   /// one value, while a different labels string is a distinct metric.
   /// Asking for an existing metric with a different kind is a checked
-  /// programming error.
+  /// programming error. A name rejected by obs::IsValidMetricName() logs
+  /// once and returns an inert handle (bound() == false) instead of
+  /// registering junk an exporter could not emit.
   Counter GetCounter(std::string_view name, std::string_view labels = "");
   Gauge GetGauge(std::string_view name, std::string_view labels = "");
+
+  /// `unit_scale` converts raw observations to exposition units (1e-6 when
+  /// observing microseconds under a `_seconds` name). Fixed at first
+  /// registration.
+  Histogram GetHistogram(std::string_view name, std::string_view labels = "",
+                         double unit_scale = 1.0);
 
   /// All registered metrics, sorted by (name, labels).
   [[nodiscard]] std::vector<MetricSample> Snapshot() const;
@@ -130,7 +205,9 @@ class MetricsRegistry {
   /// Stable machine-readable snapshot:
   ///   {"metrics": [{"name": ..., "labels": ..., "kind": "counter"|"gauge",
   ///                 "value": N}, ...]}
-  /// sorted by (name, labels) so diffs and goldens are deterministic.
+  /// Histogram entries carry "count", "sum", "unit_scale" and "buckets"
+  /// instead of "value". Sorted by (name, labels) so diffs and goldens are
+  /// deterministic.
   [[nodiscard]] std::string ToJson() const;
 
   /// Drops every registered metric. Test-only: outstanding handles dangle.
@@ -146,7 +223,7 @@ class MetricsRegistry {
   };
 
   MetricCell* GetCell(std::string_view name, std::string_view labels,
-                      MetricKind kind);
+                      MetricKind kind, double unit_scale = 1.0);
 
   Shard shards_[kShards];
 };

@@ -1,0 +1,32 @@
+// Prometheus text exposition (version 0.0.4) for MetricsRegistry snapshots:
+// the wire format behind the introspection server's GET /metrics
+// (docs/OBSERVABILITY.md). Counters and gauges become single samples;
+// histograms become cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`, with power-of-two bucket upper bounds scaled by the metric's
+// unit_scale (so microsecond observations under a `_seconds` name export
+// second-valued `le` bounds).
+
+#ifndef PJOIN_OBS_PROMTEXT_H_
+#define PJOIN_OBS_PROMTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace pjoin {
+namespace obs {
+
+/// Renders `samples` (as produced by MetricsRegistry::Snapshot()) in
+/// Prometheus text exposition format. Metric names are sanitized for the
+/// format (dots become underscores); each distinct output name gets one
+/// `# TYPE` header. Deterministic for a given snapshot.
+std::string WritePrometheusText(const std::vector<MetricSample>& samples);
+
+/// Snapshot of MetricsRegistry::Global(), rendered.
+std::string GlobalPrometheusText();
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_PROMTEXT_H_

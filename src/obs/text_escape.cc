@@ -1,0 +1,63 @@
+#include "obs/text_escape.h"
+
+#include <cstdio>
+
+namespace pjoin {
+namespace obs {
+
+void AppendEscapedStringBody(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string QuoteEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  AppendEscapedStringBody(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  const auto is_alpha = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!is_alpha(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!is_alpha(c) && !(c >= '0' && c <= '9') && c != '.' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace pjoin

@@ -1,0 +1,36 @@
+// Shared string-body escaping for the machine-readable exporters
+// (docs/OBSERVABILITY.md): MetricsRegistry::ToJson() and the Prometheus text
+// exposition writer (obs/promtext.h) both quote metric names and label
+// values with this one escaper, so a label value containing quotes,
+// backslashes or newlines can never produce invalid output in either format.
+
+#ifndef PJOIN_OBS_TEXT_ESCAPE_H_
+#define PJOIN_OBS_TEXT_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace pjoin {
+namespace obs {
+
+/// Appends the body of a double-quoted string (no surrounding quotes) with
+/// `"` / `\` / control characters escaped. The output is simultaneously a
+/// valid JSON string body and a valid Prometheus label value body: both
+/// formats share the `\"`, `\\`, `\n`, `\t`, `\r` escapes, and the
+/// remaining control characters (which no sane label contains) are emitted
+/// as JSON-style `\u00XX`.
+void AppendEscapedStringBody(std::string* out, std::string_view s);
+
+/// Convenience: `"` + escaped body + `"`.
+std::string QuoteEscaped(std::string_view s);
+
+/// True when `name` is acceptable as a registry metric name: nonempty,
+/// starts with a letter or '_', continues with letters, digits or one of
+/// `_ . :` (dots are transliterated to underscores by the Prometheus
+/// exposition writer). Registration rejects anything else.
+bool IsValidMetricName(std::string_view name);
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_TEXT_ESCAPE_H_

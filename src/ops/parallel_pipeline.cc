@@ -8,6 +8,8 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/introspection.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace pjoin {
@@ -92,6 +94,13 @@ class ParallelJoinPipeline::ShardQueue {
     return backpressure_waits_;
   }
 
+  /// Current depth; safe from any thread (the /statusz handler reads it
+  /// while the router and worker are live).
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return queue_.size();
+  }
+
  private:
   bool HasSpaceLocked() const REQUIRES(mu_) {
     return capacity_ == 0 || queue_.size() < capacity_;
@@ -119,8 +128,11 @@ struct ParallelJoinPipeline::Shard {
   /// Elements the worker has fully processed; the router's epoch barrier
   /// compares this against its enqueued count.
   std::atomic<int64_t> processed{0};
-  /// Elements the router has pushed (router thread only).
-  int64_t enqueued = 0;
+  /// Elements the router has pushed (written by the router only; atomic so
+  /// the /statusz section can read it live).
+  std::atomic<int64_t> enqueued{0};
+  /// Live queue depth, published by the worker once per batch.
+  obs::Gauge depth_gauge;
   /// Worker-local result staging, flushed into the shared output queue in
   /// batches (and always before a punctuation release is recorded).
   std::vector<Tuple> local_results;
@@ -205,9 +217,10 @@ void ParallelJoinPipeline::DrainOutputs() {
   }
 }
 
-void ParallelJoinPipeline::Stage(int shard, int8_t side, StreamElement e) {
+void ParallelJoinPipeline::Stage(int shard, int8_t side, StreamElement e,
+                                 TimeMicros ingress_us) {
   auto& pending = staged_[static_cast<size_t>(shard)];
-  pending.push_back(Routed{side, std::move(e)});
+  pending.push_back(Routed{side, std::move(e), ingress_us});
   if (pending.size() >= options_.batch_size) FlushStaged(shard);
 }
 
@@ -215,7 +228,8 @@ void ParallelJoinPipeline::FlushStaged(int shard) {
   auto& pending = staged_[static_cast<size_t>(shard)];
   if (pending.empty()) return;
   Shard& s = *shards_[static_cast<size_t>(shard)];
-  s.enqueued += static_cast<int64_t>(pending.size());
+  s.enqueued.fetch_add(static_cast<int64_t>(pending.size()),
+                       std::memory_order_relaxed);
   s.queue.PushBatch(&pending);
 }
 
@@ -226,7 +240,7 @@ void ParallelJoinPipeline::EpochBarrier() {
     bool drained = true;
     for (const auto& shard : shards_) {
       if (shard->processed.load(std::memory_order_acquire) <
-          shard->enqueued) {
+          shard->enqueued.load(std::memory_order_relaxed)) {
         drained = false;
         break;
       }
@@ -258,11 +272,15 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
       if (!failed && ++dry >= options_.stall_polls) {
         dry = 0;
         ++shard->stats.stalls;
+        // Emissions out of the stall work (disk-join results, deferred
+        // propagation) attribute latency to the stall start.
+        join->set_element_ingress_micros(obs::TraceNowMicros());
         const Status st = join->OnStreamsStalled();
         if (!st.ok()) {
           shard->status = st;
           failed = true;
         }
+        join->PublishStateGauges();
         PublishShardOutputs(shard);
       }
       continue;
@@ -275,6 +293,7 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
         if (!failed) {
           ++shard->stats.elements;
           if (r.element.is_tuple()) ++shard->stats.tuples;
+          join->set_element_ingress_micros(r.ingress_us);
           const Status st = join->OnElement(r.side, r.element);
           if (!st.ok()) {
             shard->status = st;
@@ -287,10 +306,16 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
       }
     }
     busy_us += batch_timer.ElapsedMicros();
+    // Once-per-batch live publication: queue depth plus the join's state
+    // gauges (the worker owns the join, so the HashState reads are safe).
+    shard->depth_gauge.Set(static_cast<int64_t>(shard->queue.size()));
+    join->PublishStateGauges();
     if (shard->local_results.size() >= options_.result_flush) {
       PublishShardOutputs(shard);
     }
   }
+  shard->depth_gauge.Set(0);
+  join->PublishStateGauges();
   PublishShardOutputs(shard);
   if (debug) {
     std::fprintf(stderr, "[par debug] shard=%d busy=%lldms stalls=%lld\n",
@@ -309,6 +334,12 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
   const size_t key_index[2] = {joins_[0]->state(0).key_index(),
                                joins_[0]->state(1).key_index()};
   int64_t since_drain = 0;
+  // Ingress timestamps for latency attribution, refreshed every few
+  // dispatches so the clock read amortizes off the routing hot path. The
+  // resulting quantization (a handful of router iterations) is far below
+  // the queueing delays the histograms exist to expose.
+  TimeMicros now_us = obs::TraceNowMicros();
+  int now_refresh = 0;
 
   auto refill = [&](int side) {
     if (!head[side].empty() || eos_sent[side]) return;
@@ -344,21 +375,26 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
     }
     StreamElement e = std::move(head[side].front());
     head[side].pop_front();
+    if (now_refresh-- <= 0) {
+      now_us = obs::TraceNowMicros();
+      now_refresh = 63;
+    }
 
     switch (e.kind()) {
       case ElementKind::kTuple: {
         const uint64_t h = e.tuple().field(key_index[side]).Hash();
         Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side),
-              std::move(e));
+              std::move(e), now_us);
         break;
       }
       case ElementKind::kPunctuation: {
         // Broadcast. Staged order keeps the punctuation behind every tuple
         // dispatched before it, per shard.
         for (int s = 0; s + 1 < num_shards(); ++s) {
-          Stage(s, static_cast<int8_t>(side), e);
+          Stage(s, static_cast<int8_t>(side), e, now_us);
         }
-        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e));
+        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e),
+              now_us);
         if (options_.punct_barrier) {
           for (int s = 0; s < num_shards(); ++s) FlushStaged(s);
           EpochBarrier();
@@ -367,9 +403,10 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
       }
       case ElementKind::kEndOfStream: {
         for (int s = 0; s + 1 < num_shards(); ++s) {
-          Stage(s, static_cast<int8_t>(side), e);
+          Stage(s, static_cast<int8_t>(side), e, now_us);
         }
-        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e));
+        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e),
+              now_us);
         eos_sent[side] = true;
         break;
       }
@@ -401,7 +438,37 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
     shard->join->set_punct_callback([this, shard](const Punctuation& p) {
       ReleasePunct(shard, p);
     });
+    const std::string labels =
+        "pipeline=parallel,shard=" + std::to_string(shard->id);
+    shard->join->BindLatencyMetrics(labels);
+    shard->join->BindStateGauges(labels);
+    shard->depth_gauge = obs::MetricsRegistry::Global().GetGauge(
+        "pjoin_shard_queue_depth", labels);
   }
+
+  // Live /statusz contribution for the duration of the run: per-shard
+  // queue depths and router/worker progress, all read through locks or
+  // atomics so the server's handler threads can call this any time.
+  obs::ScopedStatusSection statusz_section(
+      "parallel pipeline", [this]() {
+        std::string out;
+        for (const auto& shard : shards_) {
+          out.append("shard ");
+          out.append(std::to_string(shard->id));
+          out.append(": queue_depth=");
+          out.append(std::to_string(shard->queue.size()));
+          out.append(" enqueued=");
+          out.append(std::to_string(
+              shard->enqueued.load(std::memory_order_relaxed)));
+          out.append(" processed=");
+          out.append(std::to_string(
+              shard->processed.load(std::memory_order_acquire)));
+          out.append(" backpressure_waits=");
+          out.append(std::to_string(shard->queue.backpressure_waits()));
+          out.push_back('\n');
+        }
+        return out;
+      });
 
   StreamBuffer input[2] = {StreamBuffer(options_.input_buffer_capacity),
                            StreamBuffer(options_.input_buffer_capacity)};

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "exec/registry.h"
@@ -146,6 +147,10 @@ class ParallelJoinPipeline {
   struct Routed {
     int8_t side;
     StreamElement element;
+    /// Wall-clock (TraceNowMicros) router dispatch time; the shard worker
+    /// hands it to the join so result/punctuation emits can observe
+    /// end-to-end latency. Coarse (refreshed every few router iterations).
+    TimeMicros ingress_us = 0;
   };
 
   // A bounded MPSC-ish queue of routed elements (single router producer,
@@ -162,7 +167,7 @@ class ParallelJoinPipeline {
   /// Appends `e` of `side` to `shard`'s pending batch, flushing when full.
   /// Takes ownership — routed tuples move all the way into the shard queue
   /// without copying (broadcasts copy once per extra shard).
-  void Stage(int shard, int8_t side, StreamElement e);
+  void Stage(int shard, int8_t side, StreamElement e, TimeMicros ingress_us);
   void FlushStaged(int shard);
   /// Waits until every shard has processed everything dispatched so far.
   void EpochBarrier();

@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "obs/introspection.h"
+#include "obs/trace.h"
+
 namespace pjoin {
 
 ThreadedJoinPipeline::ThreadedJoinPipeline(JoinOperator* join,
@@ -13,6 +16,14 @@ ThreadedJoinPipeline::ThreadedJoinPipeline(JoinOperator* join,
 
 Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
                                  const std::vector<StreamElement>& right) {
+  join_->BindLatencyMetrics("pipeline=threaded");
+  join_->BindStateGauges("pipeline=threaded");
+  obs::ScopedStatusSection statusz_section("threaded pipeline", [this]() {
+    return "elements_processed=" +
+           std::to_string(
+               elements_processed_.load(std::memory_order_relaxed)) +
+           "\n";
+  });
   StreamBuffer buffers[2] = {StreamBuffer(options_.buffer_capacity),
                              StreamBuffer(options_.buffer_capacity)};
   auto producer = [this](const std::vector<StreamElement>& elements,
@@ -37,6 +48,10 @@ Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
 
   Status status;
   int64_t dry_polls = 0;
+  // Ingress timestamps for latency attribution, refreshed every few
+  // elements to keep the clock read off the per-element path.
+  TimeMicros now_us = obs::TraceNowMicros();
+  int now_refresh = 0;
   // Merge loop: consume the earlier-timestamped head. To keep global
   // arrival order we only consume from a buffer when the other side either
   // has a head to compare against or is done for good.
@@ -58,16 +73,24 @@ Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
       // lull for background work (reactive disk stage).
       if (++dry_polls % options_.stall_report_interval == 0) {
         ++stalls_reported_;
+        join_->set_element_ingress_micros(obs::TraceNowMicros());
         status = join_->OnStreamsStalled();
         if (!status.ok()) break;
+        join_->PublishStateGauges();
       }
       std::this_thread::yield();
       continue;
     }
     auto element = buffers[side].Pop();
     PJOIN_DCHECK(element.has_value());
+    if (now_refresh-- <= 0) {
+      now_us = obs::TraceNowMicros();
+      now_refresh = 63;
+      join_->PublishStateGauges();
+    }
+    join_->set_element_ingress_micros(now_us);
     status = join_->OnElement(side, *element);
-    ++elements_processed_;
+    elements_processed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   t0.join();

@@ -8,6 +8,7 @@
 #ifndef PJOIN_OPS_THREADED_PIPELINE_H_
 #define PJOIN_OPS_THREADED_PIPELINE_H_
 
+#include <atomic>
 #include <vector>
 
 #include "join/join_base.h"
@@ -39,7 +40,9 @@ class ThreadedJoinPipeline {
              const std::vector<StreamElement>& right);
 
   int64_t stalls_reported() const { return stalls_reported_; }
-  int64_t elements_processed() const { return elements_processed_; }
+  int64_t elements_processed() const {
+    return elements_processed_.load(std::memory_order_relaxed);
+  }
   /// Times a producer blocked on a full buffer (bounded buffers only).
   int64_t backpressure_waits() const { return backpressure_waits_; }
 
@@ -47,7 +50,8 @@ class ThreadedJoinPipeline {
   JoinOperator* join_;
   ThreadedPipelineOptions options_;
   int64_t stalls_reported_ = 0;
-  int64_t elements_processed_ = 0;
+  /// Atomic so the live /statusz section can read the consumer's progress.
+  std::atomic<int64_t> elements_processed_{0};
   int64_t backpressure_waits_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 
@@ -31,7 +32,13 @@ FileSpillStore::FileSpillStore(std::FILE* file, std::string path,
       pages_written_metric_(obs::MetricsRegistry::Global().GetCounter(
           "spill.pages_written", "store=file")),
       pages_read_metric_(obs::MetricsRegistry::Global().GetCounter(
-          "spill.pages_read", "store=file")) {}
+          "spill.pages_read", "store=file")),
+      append_latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "pjoin_spill_page_io_seconds", "store=file,op=append",
+          /*unit_scale=*/1e-6)),
+      read_latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "pjoin_spill_page_io_seconds", "store=file,op=read",
+          /*unit_scale=*/1e-6)) {}
 
 FileSpillStore::~FileSpillStore() {
   const Status status = Close();
@@ -94,6 +101,7 @@ Status FileSpillStore::AppendBatch(int partition,
     return Status::FailedPrecondition("spill file already closed");
   }
   TRACE_SPAN("spill", "append_batch");
+  const Stopwatch watch;
   Partition& part = partitions_[partition];
   PageWriter writer(page_size_);
   // Commit accounting only after the page holding a record is durable:
@@ -123,6 +131,7 @@ Status FileSpillStore::AppendBatch(int partition,
   }
   part.record_count += staged;
   stats_.records_written += staged;
+  append_latency_hist_.Observe(watch.ElapsedMicros());
   return Status::OK();
 }
 
@@ -134,6 +143,7 @@ Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
   auto it = partitions_.find(partition);
   if (it == partitions_.end()) return records;
   TRACE_SPAN("spill", "read_partition");
+  const Stopwatch watch;
   std::string page(page_size_, '\0');
   for (int64_t index : it->second.page_indexes) {
     if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
@@ -152,6 +162,7 @@ Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
       ++stats_.records_read;
     }
   }
+  read_latency_hist_.Observe(watch.ElapsedMicros());
   return records;
 }
 

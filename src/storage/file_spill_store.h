@@ -61,6 +61,8 @@ class FileSpillStore : public SpillStore {
   // (docs/OBSERVABILITY.md); per-store numbers stay in stats_.
   obs::Counter pages_written_metric_;
   obs::Counter pages_read_metric_;
+  obs::Histogram append_latency_hist_;
+  obs::Histogram read_latency_hist_;
 };
 
 }  // namespace pjoin

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/clock.h"
 #include "common/macros.h"
 #include "obs/trace.h"
 
@@ -21,12 +22,19 @@ SimulatedDisk::SimulatedDisk(SimulatedDiskOptions options)
       pages_written_metric_(obs::MetricsRegistry::Global().GetCounter(
           "spill.pages_written", "store=sim")),
       pages_read_metric_(obs::MetricsRegistry::Global().GetCounter(
-          "spill.pages_read", "store=sim")) {}
+          "spill.pages_read", "store=sim")),
+      append_latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "pjoin_spill_page_io_seconds", "store=sim,op=append",
+          /*unit_scale=*/1e-6)),
+      read_latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "pjoin_spill_page_io_seconds", "store=sim,op=read",
+          /*unit_scale=*/1e-6)) {}
 
 Status SimulatedDisk::AppendBatch(int partition,
                                   const std::vector<std::string>& records) {
   if (records.empty()) return Status::OK();
   TRACE_SPAN("spill", "append_batch");
+  const Stopwatch watch;
   Partition& part = partitions_[partition];
   PageWriter writer(options_.page_size);
   for (const auto& record : records) {
@@ -50,6 +58,7 @@ Status SimulatedDisk::AppendBatch(int partition,
     pages_written_metric_.Add();
     stats_.simulated_latency_micros += options_.page_latency_micros;
   }
+  append_latency_hist_.Observe(watch.ElapsedMicros());
   return Status::OK();
 }
 
@@ -58,6 +67,7 @@ Result<std::vector<std::string>> SimulatedDisk::ReadPartition(int partition) {
   auto it = partitions_.find(partition);
   if (it == partitions_.end()) return records;
   TRACE_SPAN("spill", "read_partition");
+  const Stopwatch watch;
   records.reserve(static_cast<size_t>(it->second.record_count));
   for (const auto& page : it->second.pages) {
     ++stats_.pages_read;
@@ -70,6 +80,7 @@ Result<std::vector<std::string>> SimulatedDisk::ReadPartition(int partition) {
       ++stats_.records_read;
     }
   }
+  read_latency_hist_.Observe(watch.ElapsedMicros());
   return records;
 }
 

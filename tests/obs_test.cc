@@ -5,16 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "obs/chrome_trace.h"
+#include "obs/introspection.h"
 #include "obs/metrics_registry.h"
+#include "obs/promtext.h"
 #include "obs/trace.h"
 
 namespace pjoin {
@@ -87,7 +91,26 @@ class JsonParser {
           case 'n': c = '\n'; break;
           case 't': c = '\t'; break;
           case 'r': c = '\r'; break;
-          default: return false;  // \uXXXX etc.: exporter never emits these
+          case 'u': {
+            // The escaper only emits \u00XX for control characters, so a
+            // one-byte decode suffices.
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code > 0xff) return false;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: return false;
         }
       }
       out->push_back(c);
@@ -259,6 +282,205 @@ TEST_F(MetricsRegistryTest, ToJsonParsesAndCarriesValues) {
   const JsonValue& pages = metrics->array[1];
   EXPECT_EQ(pages.Find("kind")->str, "counter");
   EXPECT_EQ(pages.Find("value")->number, 42.0);
+}
+
+TEST_F(MetricsRegistryTest, ToJsonEscapesLabelValues) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  // Quote, backslash, newline and a raw control byte — every class the
+  // shared escaper must handle for the output to stay parseable.
+  const std::string labels = std::string("path=a\"b\\c\nd\x01e");
+  registry.GetCounter("escape.test", labels).Add(1);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.ToJson()).Parse(&root))
+      << registry.ToJson();
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 1u);
+  // Round-trips exactly: what went in as a label string comes back out.
+  EXPECT_EQ(metrics->array[0].Find("labels")->str, labels);
+}
+
+TEST_F(MetricsRegistryTest, InvalidNamesYieldInertHandles) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_FALSE(registry.GetCounter("9starts.with.digit").bound());
+  EXPECT_FALSE(registry.GetCounter("has space").bound());
+  EXPECT_FALSE(registry.GetCounter("").bound());
+  EXPECT_FALSE(registry.GetGauge("newline\nname").bound());
+  EXPECT_FALSE(registry.GetHistogram("semi;colon").bound());
+  // Rejected names never reach the registry.
+  EXPECT_TRUE(registry.Snapshot().empty());
+  // The full legal alphabet is accepted.
+  EXPECT_TRUE(registry.GetCounter("_ok.name:with_ALL09.classes").bound());
+}
+
+// ---- Registry histograms ----
+
+TEST_F(MetricsRegistryTest, HistogramObservationsLandInPowerOfTwoBuckets) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram h = registry.GetHistogram("test.latency", "side=l");
+  h.Observe(0);   // bucket 0 (v <= 0)
+  h.Observe(1);   // bucket 1 ([1, 1])
+  h.Observe(2);   // bucket 2 ([2, 3])
+  h.Observe(3);   // bucket 2
+  h.Observe(100);  // bucket 7 ([64, 127])
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_EQ(h.Sum(), 106);
+  const std::vector<obs::MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const obs::MetricSample& s = snapshot[0];
+  EXPECT_EQ(s.kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(s.value, 5);  // histogram sample value is the count
+  EXPECT_EQ(s.sum, 106);
+  // Buckets are trimmed after the last nonzero (bucket 7 here).
+  ASSERT_EQ(s.buckets.size(), 8u);
+  EXPECT_EQ(s.buckets[0], 1);
+  EXPECT_EQ(s.buckets[1], 1);
+  EXPECT_EQ(s.buckets[2], 2);
+  EXPECT_EQ(s.buckets[7], 1);
+}
+
+TEST_F(MetricsRegistryTest, HistogramHandlesShareOneCellAndDefaultIsInert) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram a = registry.GetHistogram("test.latency");
+  obs::Histogram b = registry.GetHistogram("test.latency");
+  a.Observe(1);
+  b.Observe(2);
+  EXPECT_EQ(a.Count(), 2);
+  obs::Histogram inert;
+  EXPECT_FALSE(inert.bound());
+  inert.Observe(123);  // must not crash
+  EXPECT_EQ(inert.Count(), 0);
+}
+
+TEST_F(MetricsRegistryTest, ToJsonCarriesHistogramFields) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram h =
+      registry.GetHistogram("test.latency", "", /*unit_scale=*/1e-6);
+  h.Observe(3);
+  h.Observe(4);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.ToJson()).Parse(&root))
+      << registry.ToJson();
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_EQ(metrics->array.size(), 1u);
+  const JsonValue& m = metrics->array[0];
+  EXPECT_EQ(m.Find("kind")->str, "histogram");
+  EXPECT_EQ(m.Find("count")->number, 2.0);
+  EXPECT_EQ(m.Find("sum")->number, 7.0);
+  EXPECT_DOUBLE_EQ(m.Find("unit_scale")->number, 1e-6);
+  const JsonValue* buckets = m.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  // 3 -> bucket 2, 4 -> bucket 3; trimmed to 4 entries.
+  ASSERT_EQ(buckets->array.size(), 4u);
+  EXPECT_EQ(buckets->array[2].number, 1.0);
+  EXPECT_EQ(buckets->array[3].number, 1.0);
+}
+
+// ---- Prometheus text exposition ----
+
+TEST(PromtextTest, GoldenExposition) {
+  std::vector<obs::MetricSample> samples;
+  obs::MetricSample counter;
+  counter.name = "jobs.done";
+  counter.labels = "q=a";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 3;
+  samples.push_back(counter);
+  obs::MetricSample gauge;
+  gauge.name = "depth";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = -2;
+  samples.push_back(gauge);
+  obs::MetricSample hist;
+  hist.name = "lat";
+  hist.labels = "s=0";
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.value = 3;  // count
+  hist.sum = 7;
+  hist.unit_scale = 1.0;
+  hist.buckets = {0, 2, 1};
+  samples.push_back(hist);
+  // Snapshot() order: (name, labels). WritePrometheusText re-sorts by
+  // sanitized name, so feed it sorted input like the real caller does.
+  std::sort(samples.begin(), samples.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  EXPECT_EQ(obs::WritePrometheusText(samples),
+            "# TYPE depth gauge\n"
+            "depth -2\n"
+            "# TYPE jobs_done counter\n"
+            "jobs_done{q=\"a\"} 3\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{s=\"0\",le=\"0\"} 0\n"
+            "lat_bucket{s=\"0\",le=\"1\"} 2\n"
+            "lat_bucket{s=\"0\",le=\"3\"} 3\n"
+            "lat_bucket{s=\"0\",le=\"+Inf\"} 3\n"
+            "lat_sum{s=\"0\"} 7\n"
+            "lat_count{s=\"0\"} 3\n");
+}
+
+TEST(PromtextTest, EscapesLabelValuesAndScalesUnits) {
+  std::vector<obs::MetricSample> samples;
+  obs::MetricSample counter;
+  counter.name = "files.read";
+  counter.labels = "path=a\"b\\c\nd";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 1;
+  samples.push_back(counter);
+  obs::MetricSample hist;
+  hist.name = "io.seconds";
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.value = 4;
+  hist.sum = 3'000'000;  // raw microseconds
+  hist.unit_scale = 1e-6;
+  hist.buckets = {0, 4};
+  samples.push_back(hist);
+  const std::string text = obs::WritePrometheusText(samples);
+  // Exposition escapes: backslash, quote and newline in label values.
+  EXPECT_NE(text.find("files_read{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // Microsecond observations exported under second-valued bounds.
+  EXPECT_NE(text.find("io_seconds_bucket{le=\"1e-06\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("io_seconds_sum 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("io_seconds_count 4\n"), std::string::npos) << text;
+}
+
+TEST_F(MetricsRegistryTest, GlobalPrometheusTextEndToEnd) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetHistogram("pjoin.test.latency.seconds", "shard=0", 1e-6)
+      .Observe(5);
+  registry.GetCounter("pjoin.test.results", "shard=0").Add(2);
+  const std::string text = obs::GlobalPrometheusText();
+  EXPECT_NE(text.find("# TYPE pjoin_test_latency_seconds histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pjoin_test_latency_seconds_count{shard=\"0\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pjoin_test_results{shard=\"0\"} 2"),
+            std::string::npos)
+      << text;
+}
+
+// ---- /statusz rendering ----
+
+TEST(IntrospectionTest, StatusSectionsAppearWhileRegistered) {
+  {
+    obs::ScopedStatusSection section("test section",
+                                     [] { return "k=v\n"; });
+    const std::string statusz = obs::RenderStatusz(/*uptime_us=*/1'500'000);
+    EXPECT_NE(statusz.find("uptime_seconds: 1.5"), std::string::npos)
+        << statusz;
+    EXPECT_NE(statusz.find("== test section =="), std::string::npos);
+    EXPECT_NE(statusz.find("k=v"), std::string::npos);
+    EXPECT_NE(statusz.find("== build =="), std::string::npos);
+  }
+  // RAII unregistration: a finished pipeline stops appearing.
+  EXPECT_EQ(obs::RenderStatusSections().find("test section"),
+            std::string::npos);
 }
 
 // ---- TraceRing ----

@@ -36,6 +36,11 @@ and src/common/status.h actually hold across the tree:
                        read time through the Clock interface / Stopwatch /
                        SteadyDeadlineAfter so virtual-time benches and
                        deterministic tests stay honest.
+  raw-socket           socket(2) / bind(2) / accept(2) calls in src/
+                       outside src/obs/http_server.cc. All network IO goes
+                       through HttpServer so fd lifetimes, timeouts and
+                       shutdown live in one audited place (test clients
+                       under tests/ are unaffected; the rule is src-only).
 
 A line containing NOLINT (optionally NOLINT(<rule>)) is exempt from that
 rule on that line. Fixture files under tools/lint_fixtures/ are excluded
@@ -64,6 +69,9 @@ RAW_CLOCK_EXEMPT = (
     "src/obs/trace.h",
     "src/obs/trace.cc",
 )
+# The only src/ file allowed to make raw socket syscalls (the HTTP server
+# that backs the live introspection endpoints).
+RAW_SOCKET_EXEMPT = ("src/obs/http_server.cc",)
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
@@ -80,6 +88,11 @@ MUTEX_USE_RE = re.compile(r"\b(MutexLock|CondVar)\b|\bMutex\b\s*[&*\w]")
 RAW_CLOCK_RE = re.compile(
     r"std::chrono::(steady_clock|system_clock|high_resolution_clock)"
     r"\s*::\s*now\s*\(")
+# Free calls to socket()/bind()/accept(), optionally ::-qualified. The
+# leading character class rejects `std::bind(`, member calls (`x.bind(`,
+# `x->bind(`) and identifiers that merely end in a syscall name.
+RAW_SOCKET_RE = re.compile(
+    r"(?:^|[^\w:.>])(?:::)?(socket|bind|accept)\s*\(")
 NOLINT_RE = re.compile(r"NOLINT(?:\((?P<rules>[\w,\- ]*)\))?")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -177,6 +190,16 @@ class Linter:
                                 "SteadyDeadlineAfter) so virtual-time "
                                 "benches stay honest")
 
+            if (is_src and RAW_SOCKET_RE.search(code_no_comment)
+                    and rel_path.replace(os.sep, "/") not in
+                    RAW_SOCKET_EXEMPT):
+                if not nolinted(raw, "raw-socket"):
+                    self.report(rel_path, i, "raw-socket",
+                                "raw socket()/bind()/accept() call; network "
+                                "IO is confined to src/obs/http_server.cc "
+                                "(HttpServer) so fd lifetimes and shutdown "
+                                "stay in one audited place")
+
             if VOID_DISCARD_RE.search(code_no_comment):
                 if not nolinted(raw, "void-status-discard"):
                     self.report(rel_path, i, "void-status-discard",
@@ -258,6 +281,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_void_discard.cc": {"void-status-discard"},
     "bad_header_guard.h": {"header-guard"},
     "bad_raw_clock.cc": {"raw-clock"},
+    "bad_raw_socket.cc": {"raw-socket"},
     "clean.h": set(),
 }
 

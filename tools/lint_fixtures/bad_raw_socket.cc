@@ -1,0 +1,22 @@
+// Lint fixture: direct socket syscalls. Must trigger raw-socket — network
+// IO in src/ is confined to src/obs/http_server.cc (HttpServer), which owns
+// fd lifetimes, timeouts and shutdown. Note std::bind and member .bind()
+// below must NOT fire.
+#include <functional>
+
+struct FakeEndpoint {
+  void bind(int) {}
+};
+
+inline int OpenListener(int port) {
+  const int fd = ::socket(2, 1, 0);
+  if (fd < 0) return -1;
+  long addr[4] = {0, 0, 0, static_cast<long>(port)};
+  if (bind(fd, addr, sizeof(addr)) != 0) return -1;
+  const int conn = ::accept(fd, nullptr, nullptr);
+  // Allowed lookalikes: the rule must not fire on any of these.
+  FakeEndpoint ep;
+  ep.bind(port);
+  auto bound = std::bind([](int x) { return x; }, port);
+  return conn >= 0 ? static_cast<int>(bound(0)) : -1;
+}

@@ -8,6 +8,13 @@
 //             [--purge-threshold N] [--memory-threshold N]
 //             [--propagate-count N] [--threads]
 //             [--out OUT.stream] [--stats]
+//             [--serve-port PORT] [--serve-linger-ms MS]
+//
+// --serve-port starts the live introspection HTTP server (0 = ephemeral;
+// the bound port is printed to stderr) exposing /metrics, /statusz and
+// /tracez while the join runs; --serve-linger-ms keeps the process (and
+// the endpoints) alive that long after the join finishes so a scraper can
+// collect the final state, or until GET /quitquitquit.
 //
 // Stream file format (see src/io/text_format.h):
 //   t <arrival_micros> <v1>,<v2>,...
@@ -21,12 +28,17 @@
 //   $ pjoin_cli --left left.stream --left-schema key:int64,qty:int64
 //               --right right.stream --right-schema key:int64,w:float64
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
+#include "common/clock.h"
 #include "io/text_format.h"
+#include "obs/introspection.h"
 #include "join/pjoin.h"
 #include "join/shj.h"
 #include "join/xjoin.h"
@@ -124,6 +136,16 @@ int main(int argc, char** argv) {
         StreamElement::MakePunctuation(p, join->last_arrival(), seq++));
   });
 
+  std::unique_ptr<obs::IntrospectionServer> server;
+  if (args.Has("serve-port")) {
+    server = std::make_unique<obs::IntrospectionServer>();
+    const Status started =
+        server->Start(static_cast<int>(args.GetInt("serve-port", 0)));
+    if (!started.ok()) return Fail(started.ToString());
+    std::fprintf(stderr, "serving introspection on http://127.0.0.1:%d\n",
+                 server->port());
+  }
+
   Status status;
   if (args.Has("threads")) {
     ThreadedJoinPipeline pipeline(join.get());
@@ -155,6 +177,18 @@ int main(int argc, char** argv) {
                  static_cast<long long>(join->total_state_tuples()));
     std::fprintf(stderr, "counters:        %s\n",
                  join->counters().ToString().c_str());
+  }
+
+  if (server != nullptr) {
+    // Keep the endpoints up so a scraper can read the final metrics/state;
+    // GET /quitquitquit ends the linger early.
+    const int64_t linger_ms = args.GetInt("serve-linger-ms", 0);
+    const Stopwatch linger;
+    while (linger.ElapsedMicros() < linger_ms * 1000 &&
+           !server->quit_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    server->Stop();
   }
   return 0;
 }

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format 0.0.4 snapshots.
+
+Used by the CI observability smoke step to check that /metrics output from
+a live pipeline (bench/par_scaling --serve_port) is well-formed, and by
+tests as a grammar oracle for obs/promtext.cc.
+
+Checks:
+  grammar     every non-comment line is `name{labels} value` or
+              `name value`; names match [a-zA-Z_:][a-zA-Z0-9_:]*; label
+              values are double-quoted with only \\" \\\\ \\n escapes;
+              values parse as floats (inf/+Inf/NaN allowed).
+  type-lines  `# TYPE name kind` appears at most once per name, with a
+              known kind, before any sample of that name.
+  histograms  for each histogram family and label set: `le` bounds strictly
+              increase, cumulative bucket counts are non-decreasing, the
+              `+Inf` bucket equals `name_count`, and `name_sum` is present.
+  duplicates  no exact (name, labels) sample appears twice.
+
+--require-histogram NAME may be repeated; each asserts that histogram NAME
+exists with a nonzero _count for at least one label set (i.e. the live
+pipeline actually recorded observations).
+
+--self-test runs the embedded good/bad fixtures through the validator and
+asserts each bad fixture is rejected for the expected reason.
+
+Exit status: 0 valid, 1 findings, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  |  name value   (exposition-format sample line)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$")
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+TYPE_RE = re.compile(
+    r"^#\s*TYPE\s+(?P<name>\S+)\s+(?P<kind>\S+)\s*$")
+KNOWN_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+VALID_ESCAPES = {"\\", '"', "n"}
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, line_no, message):
+        self.items.append((line_no, message))
+
+
+def parse_value(text):
+    """Exposition float: Go ParseFloat syntax plus +Inf/-Inf/NaN."""
+    t = text.lower()
+    if t in ("+inf", "inf"):
+        return math.inf
+    if t == "-inf":
+        return -math.inf
+    if t == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw, line_no, findings):
+    """Returns a sorted (key, value) tuple, or None on grammar errors."""
+    if raw is None or raw == "":
+        return ()
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            findings.add(line_no, f"malformed label at offset {pos}: "
+                         f"{raw[pos:pos + 30]!r}")
+            return None
+        value = m.group("value")
+        for esc in re.finditer(r"\\(.)", value):
+            if esc.group(1) not in VALID_ESCAPES:
+                findings.add(line_no,
+                             f"invalid escape \\{esc.group(1)} in label "
+                             f"value {value!r}")
+                return None
+        pairs.append((m.group("key"), value))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                findings.add(line_no, f"expected ',' between labels at "
+                             f"offset {pos}")
+                return None
+            pos += 1
+    return tuple(sorted(pairs))
+
+
+def base_name(name):
+    """Histogram/summary series name without its _bucket/_sum/_count
+    suffix (unchanged if no suffix applies)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def validate(text):
+    """Validates one exposition snapshot; returns (findings, histograms)
+    where histograms maps name -> {labelset_without_le: count_value}."""
+    findings = Findings()
+    types = {}  # family name -> (kind, line_no)
+    seen_samples = {}  # (name, labels) -> line_no
+    sampled_names = {}  # family name of each sampled series -> first line
+    # histogram family -> labels-without-le -> list of (le, cumulative count)
+    buckets = {}
+    sums = {}  # (family, labels) -> value
+    counts = {}  # (family, labels) -> value
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                name, kind = m.group("name"), m.group("kind")
+                if not NAME_RE.match(name):
+                    findings.add(line_no, f"invalid metric name {name!r} in "
+                                 "TYPE line")
+                if kind not in KNOWN_KINDS:
+                    findings.add(line_no, f"unknown metric kind {kind!r}")
+                if name in types:
+                    findings.add(line_no, f"duplicate TYPE line for {name} "
+                                 f"(first at line {types[name][1]})")
+                elif name in sampled_names:
+                    findings.add(line_no, f"TYPE line for {name} after its "
+                                 f"first sample (line "
+                                 f"{sampled_names[name]})")
+                else:
+                    types[name] = (kind, line_no)
+            # Other comments (# HELP, freeform) are always legal.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            findings.add(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), line_no, findings)
+        if labels is None:
+            continue
+        value = parse_value(m.group("value"))
+        if value is None:
+            findings.add(line_no,
+                         f"unparseable sample value {m.group('value')!r}")
+            continue
+
+        key = (name, labels)
+        if key in seen_samples:
+            findings.add(line_no, f"duplicate sample {name}{{...}} (first "
+                         f"at line {seen_samples[key]})")
+        seen_samples[key] = line_no
+
+        family = base_name(name)
+        family_kind = types.get(family, (None, 0))[0]
+        sampled_names.setdefault(family, line_no)
+        sampled_names.setdefault(name, line_no)
+
+        if family_kind == "histogram":
+            no_le = tuple(kv for kv in labels if kv[0] != "le")
+            if name == family + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    findings.add(line_no, "histogram _bucket sample without "
+                                 "an le label")
+                    continue
+                le_value = parse_value(le)
+                if le_value is None:
+                    findings.add(line_no, f"unparseable le bound {le!r}")
+                    continue
+                buckets.setdefault(family, {}).setdefault(no_le, []).append(
+                    (le_value, value, line_no))
+            elif name == family + "_sum":
+                sums[(family, no_le)] = value
+            elif name == family + "_count":
+                counts[(family, no_le)] = value
+
+    # Histogram family invariants.
+    for family, by_labels in buckets.items():
+        for labels, rows in by_labels.items():
+            label_str = ",".join(f"{k}={v}" for k, v in labels) or "(none)"
+            prev_le, prev_count = -math.inf, -math.inf
+            for le, count, line_no in rows:
+                if le <= prev_le:
+                    findings.add(line_no,
+                                 f"{family}{{{label_str}}}: le bounds not "
+                                 f"strictly increasing ({le} after "
+                                 f"{prev_le})")
+                if count < prev_count:
+                    findings.add(line_no,
+                                 f"{family}{{{label_str}}}: cumulative "
+                                 f"bucket count decreased ({count} after "
+                                 f"{prev_count})")
+                prev_le, prev_count = le, count
+            last_le, last_count, last_line = rows[-1]
+            if not math.isinf(last_le):
+                findings.add(last_line,
+                             f"{family}{{{label_str}}}: missing +Inf bucket")
+            else:
+                total = counts.get((family, labels))
+                if total is None:
+                    findings.add(last_line, f"{family}{{{label_str}}}: no "
+                                 f"{family}_count sample")
+                elif total != last_count:
+                    findings.add(last_line,
+                                 f"{family}{{{label_str}}}: +Inf bucket "
+                                 f"({last_count}) != _count ({total})")
+            if (family, labels) not in sums:
+                findings.add(last_line,
+                             f"{family}{{{label_str}}}: no {family}_sum "
+                             "sample")
+
+    histograms = {
+        family: {labels: counts.get((family, labels), 0.0)
+                 for labels in by_labels}
+        for family, by_labels in buckets.items()
+    }
+    return findings, histograms
+
+
+def check_requirements(histograms, required, findings):
+    for name in required:
+        by_labels = histograms.get(name)
+        if not by_labels:
+            findings.add(0, f"required histogram {name} not found")
+        elif all(count <= 0 for count in by_labels.values()):
+            findings.add(0, f"required histogram {name} has zero _count "
+                         "for every label set (no observations recorded)")
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: (name, text, expected_substring_or_None).
+# None means the fixture must validate cleanly.
+
+GOOD_SNAPSHOT = """\
+# TYPE pjoin_results_total counter
+pjoin_results_total{pipeline="parallel",shard="0"} 1234
+pjoin_results_total{pipeline="parallel",shard="1"} 981
+# TYPE pjoin_shard_queue_depth gauge
+pjoin_shard_queue_depth{pipeline="parallel",shard="0"} 17
+# TYPE pjoin_tuple_latency_seconds histogram
+pjoin_tuple_latency_seconds_bucket{shard="0",le="0"} 0
+pjoin_tuple_latency_seconds_bucket{shard="0",le="1e-06"} 3
+pjoin_tuple_latency_seconds_bucket{shard="0",le="3e-06"} 9
+pjoin_tuple_latency_seconds_bucket{shard="0",le="+Inf"} 12
+pjoin_tuple_latency_seconds_sum{shard="0"} 0.00042
+pjoin_tuple_latency_seconds_count{shard="0"} 12
+# TYPE escapes gauge
+escapes{path="C:\\\\dir\\"x\\n"} 1
+"""
+
+FIXTURES = [
+    ("good", GOOD_SNAPSHOT, None),
+    ("bad-grammar", "what even is this line\n", "unparseable sample line"),
+    ("bad-name", "# TYPE 9bad counter\n", "invalid metric name"),
+    ("bad-kind", "# TYPE x flummox\n", "unknown metric kind"),
+    ("bad-value", "x{a=\"b\"} notanumber\n", "unparseable sample value"),
+    ("bad-label", "x{a=b} 1\n", "malformed label"),
+    ("bad-escape", 'x{a="\\t"} 1\n', "invalid escape"),
+    ("bad-dup", "x 1\nx 1\n", "duplicate sample"),
+    ("bad-type-after-sample",
+     "x 1\n# TYPE x counter\n", "after its first sample"),
+    ("bad-le-order",
+     "# TYPE h histogram\n"
+     'h_bucket{le="2"} 1\nh_bucket{le="1"} 2\nh_bucket{le="+Inf"} 2\n'
+     "h_sum 3\nh_count 2\n", "not strictly increasing"),
+    ("bad-cumulative",
+     "# TYPE h histogram\n"
+     'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+     "h_sum 3\nh_count 5\n", "bucket count decreased"),
+    ("bad-inf-count",
+     "# TYPE h histogram\n"
+     'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\nh_sum 3\nh_count 7\n',
+     "!= _count"),
+    ("bad-no-inf",
+     "# TYPE h histogram\n"
+     'h_bucket{le="1"} 1\nh_sum 3\nh_count 1\n', "missing +Inf bucket"),
+    ("bad-no-sum",
+     "# TYPE h histogram\n"
+     'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 1\nh_count 1\n',
+     "no h_sum sample"),
+]
+
+
+def run_self_test():
+    failures = []
+    for name, text, expected in FIXTURES:
+        findings, _ = validate(text)
+        messages = [msg for _, msg in findings.items]
+        if expected is None:
+            if messages:
+                failures.append(f"{name}: expected clean, got {messages}")
+        elif not any(expected in msg for msg in messages):
+            failures.append(
+                f"{name}: expected a finding containing {expected!r}, "
+                f"got {messages}")
+    # Requirement checks: zero-count and missing histograms must fail.
+    findings, histograms = validate(GOOD_SNAPSHOT)
+    check_requirements(histograms,
+                       ["pjoin_tuple_latency_seconds"], findings)
+    if findings.items:
+        failures.append(f"require(good): unexpected {findings.items}")
+    findings = Findings()
+    check_requirements(histograms, ["absent_histogram"], findings)
+    if not findings.items:
+        failures.append("require(absent): expected a finding")
+    zero = validate("# TYPE h histogram\n"
+                    'h_bucket{le="+Inf"} 0\nh_sum 0\nh_count 0\n')
+    findings = Findings()
+    check_requirements(zero[1], ["h"], findings)
+    if not any("zero _count" in msg for _, msg in findings.items):
+        failures.append("require(zero): expected a zero-count finding")
+    for f in failures:
+        print(f"self-test FAIL: {f}")
+    print(f"promtext self-test: {len(FIXTURES)} fixtures, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", nargs="?",
+                        help="exposition file to validate ('-' = stdin)")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="assert histogram NAME exists with nonzero "
+                        "_count (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the embedded fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+    if args.snapshot is None:
+        parser.error("a snapshot file is required unless --self-test")
+    if args.snapshot == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.snapshot, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+
+    findings, histograms = validate(text)
+    check_requirements(histograms, args.require_histogram, findings)
+    for line_no, message in findings.items:
+        where = f"{args.snapshot}:{line_no}" if line_no else args.snapshot
+        print(f"{where}: {message}")
+    histo_total = sum(len(v) for v in histograms.values())
+    print(f"promtext: {len(text.splitlines())} lines, "
+          f"{len(histograms)} histogram families ({histo_total} series), "
+          f"{len(findings.items)} finding(s)")
+    return 1 if findings.items else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
