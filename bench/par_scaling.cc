@@ -55,10 +55,18 @@ struct Cli {
   int64_t tuples = 40000;
   double punct_rate = 2000.0;  // tuples per punctuation: sparse = probe-heavy
   int64_t window = 16384;      // open keys: wide = large state, few matches
-  // Memory cap (state tuples) for the extra spill configuration; 0 skips it.
-  // The cap is deliberately tight so the run exercises relocation and the
-  // disk join (spill-store page IO shows up in --trace output).
+  // Memory cap (state tuples) for the extra spill configuration; 0 skips it
+  // (and the spill sweep below with it). The cap is deliberately tight so
+  // the run exercises relocation and the disk join (spill-store page IO
+  // shows up in --trace output).
   int64_t memcap = 4096;
+  // Spill sweep: a heavy-zipf punctuated workload run at a descending
+  // ladder of memory caps (memcap/2, /4, /8), once with the adaptive
+  // SpillManager and once in the paper's global-threshold mode, recording
+  // the spill-decision stats ("spill_sweep" in the JSON output).
+  int64_t spill_tuples = 8000;
+  double spill_zipf = 1.2;
+  double spill_punct_rate = 20.0;
   std::vector<int> shards = {1, 2, 4};
   std::string out = "BENCH_par_scaling.json";
   std::string trace;    // empty = tracing not started
@@ -84,6 +92,12 @@ Cli ParseCli(int argc, char** argv) {
       cli.punct_rate = std::atof(v);
     } else if (const char* v = value("--memcap=")) {
       cli.memcap = std::atoll(v);
+    } else if (const char* v = value("--spill_tuples=")) {
+      cli.spill_tuples = std::atoll(v);
+    } else if (const char* v = value("--spill_zipf=")) {
+      cli.spill_zipf = std::atof(v);
+    } else if (const char* v = value("--spill_punct=")) {
+      cli.spill_punct_rate = std::atof(v);
     } else if (const char* v = value("--out=")) {
       cli.out = v;
     } else if (const char* v = value("--trace=")) {
@@ -201,15 +215,112 @@ Measured RunParallel(const GeneratedStreams& streams, int shards,
   return m;
 }
 
+// ---- Spill sweep: adaptive SpillManager vs the paper's global threshold ----
+
+struct SpillMeasured {
+  std::string mode;  // "adaptive" | "global"
+  int64_t memcap = 0;
+  double wall_ms = 0.0;
+  Oracle oracle;
+  SpillDecisionStats stats;
+};
+
+SpillMeasured RunSpillConfig(const GeneratedStreams& streams, SpillMode mode,
+                             int64_t memcap) {
+  SpillMeasured m;
+  m.mode = mode == SpillMode::kAdaptive ? "adaptive" : "global";
+  m.memcap = memcap;
+  JoinOptions opts;
+  opts.num_partitions = 16;
+  opts.runtime.memory_threshold_tuples = memcap;
+  // Lazy purging, never triggered at this workload's punctuation count: all
+  // dead-state reclamation under pressure is the spill path's to claim, so
+  // the two modes differ only in their spill decisions.
+  opts.runtime.purge_threshold = 1 << 20;
+  opts.spill_policy.mode = mode;
+  PJoin join(streams.schema_a, streams.schema_b, opts);
+  join.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
+  JoinPipeline pipeline(&join, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = pipeline.Run(streams.a, streams.b);
+  const auto t1 = std::chrono::steady_clock::now();
+  PJOIN_DCHECK(st.ok());
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1e3;
+  m.stats = join.spill_stats();
+  return m;
+}
+
+/// Heavy-zipf punctuated workload at a descending ladder of memory caps,
+/// each cap once adaptive and once global-threshold. `oracle` receives the
+/// uncapped reference every run must reproduce.
+std::vector<SpillMeasured> RunSpillSweep(const Cli& cli, Oracle* oracle) {
+  DomainSpec domain;  // default window: key lifetime ~ window * punct rate
+  StreamSpec spec;
+  spec.num_tuples = cli.spill_tuples;
+  spec.punct_mean_interarrival_tuples = cli.spill_punct_rate;
+  spec.zipf_s = cli.spill_zipf;
+  const GeneratedStreams streams = GenerateStreams(domain, spec, spec, 2004);
+
+  const SpillMeasured reference =
+      RunSpillConfig(streams, SpillMode::kAdaptive, /*memcap=*/0);
+  *oracle = reference.oracle;
+
+  std::vector<SpillMeasured> runs;
+  for (const int64_t divisor : {2, 4, 8}) {
+    const int64_t cap = cli.memcap / divisor;
+    if (cap <= 0) continue;
+    runs.push_back(RunSpillConfig(streams, SpillMode::kAdaptive, cap));
+    runs.push_back(RunSpillConfig(streams, SpillMode::kGlobalThreshold, cap));
+  }
+  return runs;
+}
+
+void WriteSpillSweepJson(std::ofstream& out, const Cli& cli,
+                         const Oracle& oracle,
+                         const std::vector<SpillMeasured>& runs) {
+  out << "  \"spill_sweep\": {\n";
+  out << "    \"config\": {\"tuples_per_stream\": " << cli.spill_tuples
+      << ", \"zipf_s\": " << cli.spill_zipf
+      << ", \"punct_mean_interarrival_tuples\": " << cli.spill_punct_rate
+      << "},\n";
+  out << "    \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SpillMeasured& m = runs[i];
+    const SpillDecisionStats& s = m.stats;
+    out << "      {\"mode\": \"" << m.mode << "\", \"memcap\": " << m.memcap
+        << ", \"wall_ms\": " << m.wall_ms
+        << ", \"oracle_pass\": " << (m.oracle == oracle ? "true" : "false")
+        << ", \"spills\": " << s.spills
+        << ", \"tuples_spilled\": " << s.tuples_spilled
+        << ", \"bytes_spilled\": " << s.bytes_spilled
+        << ", \"early_purge_runs\": " << s.early_purge_runs
+        << ", \"tuples_early_purged\": " << s.tuples_early_purged
+        << ", \"bytes_early_purged\": " << s.bytes_early_purged
+        << ", \"repartitions\": " << s.repartitions
+        << ", \"spill_failures\": " << s.spill_failures
+        << ", \"budget_overruns\": " << s.budget_overruns
+        << ", \"degraded\": " << (s.degraded ? "true" : "false") << "}"
+        << (i + 1 == runs.size() ? "" : ",") << "\n";
+  }
+  out << "    ]\n  },\n";
+}
+
 void WriteJson(const std::string& path, const Cli& cli,
                const Measured& baseline, const Measured& indexed,
-               const std::vector<Measured>& parallel) {
+               const std::vector<Measured>& parallel,
+               const Oracle& spill_oracle,
+               const std::vector<SpillMeasured>& spill_runs) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"bench\": \"par_scaling\",\n";
   out << "  \"config\": {\"tuples_per_stream\": " << cli.tuples
       << ", \"punct_mean_interarrival_tuples\": " << cli.punct_rate
       << ", \"num_partitions\": 16},\n";
+  if (!spill_runs.empty()) {
+    WriteSpillSweepJson(out, cli, spill_oracle, spill_runs);
+  }
   auto emit_run = [&out](const Measured& m, const Measured& base,
                          bool last) {
     out << "    {\"name\": \"" << m.name << "\", \"shards\": " << m.shards
@@ -277,6 +388,15 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);  // scrape scripts poll for this line
   }
 
+  // Spill sweep first: its counters populate the pjoin_spill_* metrics
+  // early, so live scrapers attaching any time after the server banner see
+  // nonzero spill cells.
+  Oracle spill_oracle;
+  std::vector<SpillMeasured> spill_runs;
+  if (cli.memcap > 0) {
+    spill_runs = RunSpillSweep(cli, &spill_oracle);
+  }
+
   const Measured baseline = RunSingle("scan_1thread", streams, false);
   const Measured indexed = RunSingle("indexed_1thread", streams, true);
   std::vector<Measured> parallel;
@@ -307,7 +427,25 @@ int Main(int argc, char** argv) {
     report(m);
   }
 
-  WriteJson(cli.out, cli, baseline, indexed, parallel);
+  if (!spill_runs.empty()) {
+    std::printf("  spill sweep (zipf %.2f, %lld tuples/stream):\n",
+                cli.spill_zipf, static_cast<long long>(cli.spill_tuples));
+    std::printf("  %-10s %8s %12s %14s %8s %8s\n", "mode", "memcap",
+                "bytes_spill", "bytes_epurged", "repart", "oracle");
+    for (const SpillMeasured& m : spill_runs) {
+      const bool pass = m.oracle == spill_oracle;
+      all_pass = all_pass && pass;
+      std::printf("  %-10s %8lld %12lld %14lld %8lld %8s\n", m.mode.c_str(),
+                  static_cast<long long>(m.memcap),
+                  static_cast<long long>(m.stats.bytes_spilled),
+                  static_cast<long long>(m.stats.bytes_early_purged),
+                  static_cast<long long>(m.stats.repartitions),
+                  pass ? "PASS" : "FAIL");
+    }
+  }
+
+  WriteJson(cli.out, cli, baseline, indexed, parallel, spill_oracle,
+            spill_runs);
   std::printf("  wrote %s\n", cli.out.c_str());
 
   if (server != nullptr && cli.serve_linger_ms > 0) {

@@ -11,7 +11,12 @@ std::string IoFaultSpec::ToString() const {
      << " short_w=" << short_write_rate << " spike=" << latency_spike_rate
      << "x" << latency_spike_micros
      << "us perm_w@" << permanent_write_failure_after
-     << " perm_r@" << permanent_read_failure_after << "}";
+     << " perm_r@" << permanent_read_failure_after;
+  if (target_partition >= 0) {
+    os << " part" << target_partition << "{w=" << partition_write_error_rate
+       << " r=" << partition_read_error_rate << "}";
+  }
+  os << " repart_err=" << repartition_error_rate << "}";
   return os.str();
 }
 

@@ -49,12 +49,27 @@ struct IoFaultSpec {
   /// -1 disables. Note: permanent read failure means data behind it is
   /// unrecoverable; RecoveringSpillStore will surface the loss.
   int64_t permanent_read_failure_after = -1;
+  /// Partition targeted by the partition_* rates below (-1 targets none):
+  /// per-partition faults exercise the SpillManager's quarantine/degrade
+  /// ladder, which global rates cannot isolate.
+  int target_partition = -1;
+  /// Probability that a write touching `target_partition` fails.
+  double partition_write_error_rate = 0.0;
+  /// Probability that a read of `target_partition` fails.
+  double partition_read_error_rate = 0.0;
+  /// Probability that an operation issued while a spilled partition is
+  /// being split (SpillPhase::kRepartition, any partition) fails —
+  /// exercises SplitSpilledPartition's all-or-nothing recovery.
+  double repartition_error_rate = 0.0;
 
   bool enabled() const {
     return transient_write_error_rate > 0 || transient_read_error_rate > 0 ||
            short_write_rate > 0 || latency_spike_rate > 0 ||
            permanent_write_failure_after >= 0 ||
-           permanent_read_failure_after >= 0;
+           permanent_read_failure_after >= 0 ||
+           (target_partition >= 0 && (partition_write_error_rate > 0 ||
+                                      partition_read_error_rate > 0)) ||
+           repartition_error_rate > 0;
   }
 
   std::string ToString() const;

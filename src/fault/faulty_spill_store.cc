@@ -1,6 +1,7 @@
 #include "fault/faulty_spill_store.h"
 
 #include "common/macros.h"
+#include "storage/spill_manager.h"
 
 namespace pjoin {
 
@@ -42,6 +43,17 @@ Status FaultySpillStore::AppendBatch(int partition,
                            "/" + std::to_string(records.size()) +
                            " records persisted)");
   }
+  if (partition == spec_.target_partition &&
+      injector_->Roll(spec_.partition_write_error_rate)) {
+    injector_->Count("io_partition_write");
+    return Status::IOError("injected write failure on partition " +
+                           std::to_string(partition));
+  }
+  if (CurrentSpillPhase() == SpillPhase::kRepartition &&
+      injector_->Roll(spec_.repartition_error_rate)) {
+    injector_->Count("io_repartition_write");
+    return Status::IOError("injected write failure during repartitioning");
+  }
   if (injector_->Roll(spec_.transient_write_error_rate)) {
     injector_->Count("io_transient_write");
     return Status::IOError("injected transient write error");
@@ -58,6 +70,17 @@ Result<std::vector<std::string>> FaultySpillStore::ReadPartition(
     if (reads_done_ >= 0) injector_->Count("io_permanent_read");
     reads_done_ = -1;
     return Status::IOError("injected permanent read failure");
+  }
+  if (partition == spec_.target_partition &&
+      injector_->Roll(spec_.partition_read_error_rate)) {
+    injector_->Count("io_partition_read");
+    return Status::IOError("injected read failure on partition " +
+                           std::to_string(partition));
+  }
+  if (CurrentSpillPhase() == SpillPhase::kRepartition &&
+      injector_->Roll(spec_.repartition_error_rate)) {
+    injector_->Count("io_repartition_read");
+    return Status::IOError("injected read failure during repartitioning");
   }
   if (injector_->Roll(spec_.transient_read_error_rate)) {
     injector_->Count("io_transient_read");

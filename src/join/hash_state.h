@@ -25,11 +25,12 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "join/tuple_entry.h"
+#include "storage/spill_manager.h"
 #include "storage/spill_store.h"
 
 namespace pjoin {
 
-class HashState {
+class HashState : public SpillableState {
  public:
   /// `key_index` is the join attribute within `schema`. The state takes
   /// ownership of its spill store. With `indexed` false the memory portion
@@ -110,7 +111,9 @@ class HashState {
         mem.begin(), mem.end(),
         [&pred](const TupleEntry& e) { return !pred(e); });
     for (auto it = keep_end; it != mem.end(); ++it) {
-      memory_bytes_ -= static_cast<int64_t>(it->tuple.ByteSize());
+      const int64_t bytes = static_cast<int64_t>(it->tuple.ByteSize());
+      memory_bytes_ -= bytes;
+      part.memory_bytes -= bytes;
       extracted.push_back(std::move(*it));
     }
     mem.erase(keep_end, mem.end());
@@ -128,14 +131,42 @@ class HashState {
   /// Partition with the largest memory portion, or -1 if all are empty.
   int LargestMemoryPartition() const;
 
+  /// Records a probe of partition `p`'s memory portion at `tick` (insert
+  /// recency is tracked automatically); feeds the SpillManager's coldness
+  /// scoring.
+  void NotePartitionProbed(int p, int64_t tick);
+
+  // ---- SpillableState (per-partition view for the SpillManager) ----
+
+  int num_spill_partitions() const override { return num_partitions(); }
+  int64_t TotalMemoryTuples() const override { return memory_tuples_; }
+  int64_t TotalMemoryBytes() const override { return memory_bytes_; }
+  int64_t PartitionMemoryTuples(int p) const override;
+  int64_t PartitionMemoryBytes(int p) const override;
+  int64_t PartitionLastAccessTick(int p) const override;
+  [[nodiscard]] Status SpillPartition(int p, int64_t dts_tick) override {
+    return FlushPartitionToDisk(p, dts_tick);
+  }
+  int64_t LargestSpillUnitRecords(int p) const override;
+  /// Splits the largest on-disk unit of `p` into up to `fanout`
+  /// sub-partitions keyed by further hash bits (hybrid-hash recursive
+  /// partitioning). New units are written to fresh spill-store ids before
+  /// the old unit is released, so a failure at any point leaves the mapping
+  /// either fully old or fully new — never both (no loss, no duplicates).
+  [[nodiscard]] Status SplitSpilledPartition(int p, int fanout,
+                                             int max_depth) override;
+
   // ---- Disk portion ----
 
   /// Moves the entire memory portion of partition `p` to disk, stamping the
-  /// entries' dts with `dts_tick` (state relocation, §3.3).
+  /// entries' dts with `dts_tick` (state relocation, §3.3). On failure the
+  /// durable prefix of the batch (if any) is moved to the disk-portion
+  /// accounting and only the unpersisted suffix stays resident and alive,
+  /// so neither a retry nor an abort can lose or duplicate entries.
   Status FlushPartitionToDisk(int p, int64_t dts_tick);
 
-  /// Reads back (deserializes) the disk portion of partition `p`, with
-  /// key hashes recomputed.
+  /// Reads back (deserializes) the disk portion of partition `p` — its base
+  /// unit plus any split sub-units — with key hashes recomputed.
   [[nodiscard]] Result<std::vector<TupleEntry>> ReadDiskPartition(int p);
 
   /// Replaces the disk portion of partition `p` with `survivors` (used by
@@ -202,6 +233,19 @@ class HashState {
     std::vector<TupleEntry> purge_buffer;
     std::vector<int64_t> probe_times;
     int64_t disk_count = 0;
+    /// Payload bytes of `memory` (the per-partition slice of memory_bytes_).
+    int64_t memory_bytes = 0;
+    /// Tick of the most recent insert into / probe of the memory portion.
+    int64_t last_access_tick = 0;
+    /// Sub-partitions created by SplitSpilledPartition. The base unit (spill
+    /// id == the partition number, depth 0) always exists implicitly and
+    /// receives all new flushes; a unit at depth d groups records by bit
+    /// slice [d-1] of the post-partition hash.
+    struct SpillUnit {
+      int id = 0;
+      int depth = 0;
+    };
+    std::vector<SpillUnit> spill_units;
   };
 
   /// Fibonacci (multiplicative) bucket map. The low bits of the key hash
@@ -224,6 +268,9 @@ class HashState {
   std::unique_ptr<SpillStore> spill_;
   std::vector<Partition> partitions_;
   bool indexed_;
+  /// Next fresh spill-store id for split sub-units (ids below
+  /// num_partitions are the base units).
+  int next_spill_unit_id_;
   int64_t memory_tuples_ = 0;
   int64_t memory_bytes_ = 0;
   int64_t disk_tuples_ = 0;

@@ -21,6 +21,12 @@ JoinOperator::JoinOperator(SchemaPtr left_schema, SchemaPtr right_schema,
       "right", std::move(right_schema), options_.right_key,
       options_.num_partitions, options_.spill_factory(),
       options_.indexed_probe);
+  spill_manager_ = std::make_unique<SpillManager>(
+      options_.spill_policy, states_[0].get(), states_[1].get());
+  spill_manager_->set_event_sink([this](const Event& event) {
+    counters_.Add("spill_degraded_events");
+    if (options_.spill_event_sink) options_.spill_event_sink(event);
+  });
 }
 
 const HashState& JoinOperator::state(int side) const {
@@ -82,6 +88,7 @@ int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
   const Value& key = own.KeyOf(tuple);
   const uint64_t key_hash = key.Hash();
   const int p = opp.PartitionOfHash(key_hash);
+  opp.NotePartitionProbed(p, current_tick());
   int64_t emitted = 0;
   const int64_t compared =
       opp.ForEachMemoryMatch(p, key, key_hash, [&](const TupleEntry& entry) {
@@ -104,30 +111,27 @@ void JoinOperator::InsertTuple(int side, const Tuple& tuple, int64_t tick) {
 }
 
 Status JoinOperator::RelocateUntilBelowThreshold() {
-  const int64_t threshold = options_.runtime.memory_threshold_tuples;
-  const int64_t byte_threshold = options_.runtime.memory_threshold_bytes;
-  while (memory_state_tuples() >= threshold ||
-         (byte_threshold > 0 && memory_state_bytes() >= byte_threshold)) {
-    // Flush the largest memory partition across both states.
-    int victim_side = -1;
-    int victim_partition = -1;
-    size_t victim_size = 0;
-    for (int side = 0; side < 2; ++side) {
-      const int p = states_[side]->LargestMemoryPartition();
-      if (p < 0) continue;
-      const size_t size = states_[side]->memory(p).size();
-      if (size > victim_size) {
-        victim_size = size;
-        victim_side = side;
-        victim_partition = p;
-      }
-    }
-    if (victim_side < 0) break;  // nothing left to flush
-    TRACE_SPAN("join", "relocate_flush");
-    PJOIN_RETURN_NOT_OK(states_[victim_side]->FlushPartitionToDisk(
-        victim_partition, NextTick()));
-    counters_.Add("relocations");
-    counters_.Add("flushed_tuples", static_cast<int64_t>(victim_size));
+  TRACE_SPAN("join", "relocate");
+  const SpillDecisionStats before = spill_manager_->stats();
+  PJOIN_RETURN_NOT_OK(spill_manager_->EnsureWithinBudget(
+      options_.runtime.memory_threshold_tuples,
+      options_.runtime.memory_threshold_bytes, current_tick(),
+      [this] { return NextTick(); }));
+  const SpillDecisionStats& after = spill_manager_->stats();
+  // Guarded adds keep counter dumps free of zero-valued entries on runs
+  // that never hit memory pressure.
+  if (after.spills > before.spills) {
+    counters_.Add("relocations", after.spills - before.spills);
+    counters_.Add("flushed_tuples",
+                  after.tuples_spilled - before.tuples_spilled);
+  }
+  if (after.tuples_early_purged > before.tuples_early_purged) {
+    counters_.Add("early_purged_tuples",
+                  after.tuples_early_purged - before.tuples_early_purged);
+  }
+  if (after.repartitions > before.repartitions) {
+    counters_.Add("spill_repartitions",
+                  after.repartitions - before.repartitions);
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@
 #include "join/hash_state.h"
 #include "obs/metrics_registry.h"
 #include "stream/element.h"
+#include "storage/spill_manager.h"
 #include "storage/spill_store.h"
 
 namespace pjoin {
@@ -89,6 +90,14 @@ struct JoinOptions {
   /// Spill-store factory, one call per input state. Defaults to
   /// SimulatedDisk.
   std::function<std::unique_ptr<SpillStore>()> spill_factory;
+  /// Per-partition spill decisions under memory pressure (victim selection,
+  /// early purge, sub-partitioning, degradation ladder); see
+  /// storage/spill_manager.h and docs/ROBUSTNESS.md. SpillMode::
+  /// kGlobalThreshold restores the paper's flush-the-largest behavior.
+  SpillPolicy spill_policy;
+  /// Observer for SpillManager events (currently kDegradedMode when the
+  /// manager falls back to global-threshold mode).
+  std::function<void(const Event&)> spill_event_sink;
   /// Record the join-state size every this many microseconds of stream
   /// (virtual) time; 0 disables recording.
   TimeMicros state_sample_interval = 0;
@@ -125,6 +134,11 @@ class JoinOperator {
   int64_t puncts_emitted() const { return puncts_emitted_; }
 
   const HashState& state(int side) const;
+  /// Spill-decision counters of this operator's SpillManager (spills,
+  /// bytes spilled / early-purged, repartitions, failures, degradation).
+  const SpillDecisionStats& spill_stats() const {
+    return spill_manager_->stats();
+  }
   /// Tuples retained across both states (memory + disk + purge buffers).
   int64_t total_state_tuples() const;
   /// In-memory tuples across both states.
@@ -189,9 +203,14 @@ class JoinOperator {
   /// Inserts `tuple` into side's state with ats = `tick`.
   void InsertTuple(int side, const Tuple& tuple, int64_t tick);
 
-  /// Flushes the largest memory partition(s) until the in-memory total drops
-  /// below the memory threshold (state relocation, §3.3).
+  /// Brings the in-memory total below the memory threshold via the
+  /// SpillManager (adaptive per-partition decisions by default; the paper's
+  /// flush-the-largest relocation of §3.3 in global-threshold mode).
   Status RelocateUntilBelowThreshold();
+
+  /// The operator's spill manager (subclasses wire hooks: PJoin installs
+  /// the punctuation-aware early purger).
+  SpillManager& spill_manager() { return *spill_manager_; }
 
   /// Emits one join result (left must be a left-stream tuple).
   void EmitResult(const Tuple& left, const Tuple& right);
@@ -213,6 +232,7 @@ class JoinOperator {
   JoinOptions options_;
   SchemaPtr output_schema_;
   std::unique_ptr<HashState> states_[2];
+  std::unique_ptr<SpillManager> spill_manager_;
   ResultCallback on_result_;
   PunctCallback on_punct_;
   CounterSet counters_;

@@ -74,6 +74,12 @@ class PJoin : public JoinOperator {
   Status RunPurge();
   Status PurgeState(int side);
 
+  /// SpillManager early-purge hook: removes tuples of `side`'s partition
+  /// `p` covered by the opposite punctuation set, in place, before the
+  /// partition is spilled (PurgeState's disposal rule, one partition, no
+  /// disk IO). Returns what was freed.
+  EarlyPurgeOutcome EarlyPurgePartition(int side, int p);
+
   /// Disk join (§3.2): one full pass over all partitions with disk-resident
   /// or purge-buffered data.
   Status RunDiskJoin();

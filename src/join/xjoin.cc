@@ -13,6 +13,9 @@ Status XJoin::OnTuple(int side, const Tuple& tuple) {
   const int64_t tick = NextTick();
   ProbeOppositeMemory(side, tuple);
   InsertTuple(side, tuple, tick);
+  // Memory pressure is resolved by the shared SpillManager (coldness-scored
+  // victims, recursive sub-partitioning); XJoin has no punctuations, so the
+  // manager's early-purge rung is a no-op here (no purger is wired).
   return RelocateUntilBelowThreshold();
 }
 

@@ -72,7 +72,11 @@ Status FileSpillStore::WritePage(const std::string& page,
   if (file_ == nullptr) {
     return Status::FailedPrecondition("spill file already closed");
   }
-  const int64_t index = next_page_index_;
+  // Reuse a reclaimed page slot before extending the file, so clear/spill
+  // cycles (disk-join compaction, fully-purged partitions) keep the file
+  // size bounded by the live page count.
+  const bool reused = !free_pages_.empty();
+  const int64_t index = reused ? free_pages_.back() : next_page_index_;
   if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) !=
       0) {
     return Status::IOError("seek failed");
@@ -87,7 +91,13 @@ Status FileSpillStore::WritePage(const std::string& page,
     return Status::IOError("flush of spill file failed: " +
                            std::string(std::strerror(errno)));
   }
-  ++next_page_index_;
+  // Claim the slot only once the page is durable: a failed write leaves a
+  // reused slot on the free list (its content is garbage either way).
+  if (reused) {
+    free_pages_.pop_back();
+  } else {
+    ++next_page_index_;
+  }
   ++stats_.pages_written;
   pages_written_metric_.Add();
   *page_index = index;
@@ -167,8 +177,14 @@ Result<std::vector<std::string>> FileSpillStore::ReadPartition(int partition) {
 }
 
 Status FileSpillStore::ClearPartition(int partition) {
-  // Pages are not reclaimed (append-only file); the partition is forgotten.
-  partitions_.erase(partition);
+  // Release the partition's pages for reuse immediately instead of letting
+  // them persist until Close: a fully-purged partition no longer pins file
+  // space.
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return Status::OK();
+  free_pages_.insert(free_pages_.end(), it->second.page_indexes.begin(),
+                     it->second.page_indexes.end());
+  partitions_.erase(it);
   return Status::OK();
 }
 

@@ -41,6 +41,13 @@ class FileSpillStore : public SpillStore {
   std::vector<int> NonEmptyPartitions() const override;
   const IoStats& io_stats() const override { return stats_; }
 
+  /// Pages the backing file has ever grown by (high-water mark). A cleared
+  /// partition's pages return to the free list and are reused before the
+  /// file is extended, so repeated spill/clear cycles keep this bounded.
+  int64_t allocated_pages() const { return next_page_index_; }
+  /// Reclaimed pages currently awaiting reuse.
+  int64_t free_pages() const { return static_cast<int64_t>(free_pages_.size()); }
+
  private:
   FileSpillStore(std::FILE* file, std::string path, size_t page_size);
 
@@ -55,6 +62,8 @@ class FileSpillStore : public SpillStore {
   std::string path_;
   size_t page_size_;
   int64_t next_page_index_ = 0;
+  /// Page slots released by ClearPartition, reused LIFO by WritePage.
+  std::vector<int64_t> free_pages_;
   std::map<int, Partition> partitions_;
   IoStats stats_;
   // Process-wide page-IO tally across all file stores

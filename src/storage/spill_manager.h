@@ -1,0 +1,218 @@
+// SpillManager: skew-robust, per-partition spill decisions replacing the
+// paper's global-threshold whole-portion relocation (§3.3 / XJoin).
+//
+// The paper flushes the single largest memory partition whenever the global
+// memory threshold is crossed. That collapses under key skew: one hot
+// partition keeps blowing the budget while cold partitions are spilled and
+// re-read for nothing ("Design Trade-offs for a Robust Dynamic Hybrid Hash
+// Join", PAPERS.md). The manager instead:
+//
+//   1. *Early purge before the write* (PJoin only): consults the opposite
+//      stream's punctuation set and drops dead tuples of the victim
+//      partition in place — state that never has to touch disk at all.
+//   2. Scores partitions by resident bytes weighted by probe coldness and
+//      spills the coldest/largest first, so hot build sides stay resident.
+//   3. Recursively splits spilled partitions whose largest on-disk unit
+//      exceeds a record bound (hybrid-hash style sub-partitioning keyed by
+//      further hash bits), bounding later disk-join passes under skew.
+//
+// Robustness ladder (docs/ROBUSTNESS.md): a partition whose spill fails is
+// quarantined for a cooldown and the next-best victim is tried; repeated
+// failures flip the manager into the paper's global-threshold mode for the
+// rest of the run (a DegradedMode event is emitted); when nothing at all can
+// be spilled the memory cap degrades to best-effort (budget_overruns) rather
+// than failing the join. IO errors surfaced by the underlying store remain
+// recoverable via RecoveringSpillStore exactly as before — the manager only
+// decides *what* to spill, never bypasses the store stack.
+
+#ifndef PJOIN_STORAGE_SPILL_MANAGER_H_
+#define PJOIN_STORAGE_SPILL_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/event.h"
+#include "obs/metrics_registry.h"
+
+namespace pjoin {
+
+/// Victim-selection policy of the SpillManager.
+enum class SpillMode {
+  /// Per-partition decisions: early purge, coldness-weighted victims,
+  /// recursive sub-partitioning (the default).
+  kAdaptive,
+  /// The paper's behavior: flush the largest memory partition, nothing else.
+  /// Also the fallback the manager degrades into after repeated failures.
+  kGlobalThreshold,
+};
+
+/// Knobs of one SpillManager. Defaults match production; tests shrink the
+/// bounds to force every path.
+struct SpillPolicy {
+  SpillMode mode = SpillMode::kAdaptive;
+  /// Purge punctuation-dead tuples of the victim partition in place before
+  /// paying the disk write (PJoin wires the purger; XJoin has none).
+  bool early_purge = true;
+  /// Weight of probe coldness in victim scoring: score = bytes * (1 +
+  /// weight * ticks-since-last-access). 0 reduces scoring to largest-first.
+  double coldness_weight = 1.0;
+  /// Split a spilled partition when its largest on-disk unit exceeds this
+  /// many records; 0 disables sub-partitioning.
+  int64_t repartition_record_bound = 8192;
+  /// Fan-out of one split (further hash bits per level).
+  int repartition_fanout = 4;
+  /// Maximum split depth per partition (guards single-hot-key skew where
+  /// deeper bits cannot separate records).
+  int max_repartition_depth = 3;
+  /// Cumulative spill/repartition failures before falling back to
+  /// kGlobalThreshold mode for the rest of the run.
+  int degrade_failure_threshold = 3;
+  /// EnsureWithinBudget calls a failed partition sits out before it becomes
+  /// a spill candidate again.
+  int quarantine_cooldown = 8;
+  /// Hysteresis: once over budget, spill down to this fraction of the
+  /// threshold instead of stopping just barely under it. Fine-grained
+  /// per-partition victims can otherwise free so little that the very next
+  /// arrival re-crosses the threshold before the Monitor observes a
+  /// below-threshold sample, so its kStateFull latch never re-arms.
+  double low_water_fraction = 0.875;
+};
+
+/// Decision counters of one manager (mirrored into the process-wide metrics
+/// registry; see docs/OBSERVABILITY.md).
+struct SpillDecisionStats {
+  int64_t spills = 0;
+  int64_t tuples_spilled = 0;
+  int64_t bytes_spilled = 0;
+  int64_t early_purge_runs = 0;
+  int64_t tuples_early_purged = 0;
+  int64_t bytes_early_purged = 0;
+  int64_t repartitions = 0;
+  int64_t spill_failures = 0;
+  int64_t repartition_failures = 0;
+  /// EnsureWithinBudget calls that returned while still over budget because
+  /// every candidate was quarantined or empty (best-effort cap).
+  int64_t budget_overruns = 0;
+  /// True once the manager fell back to global-threshold mode.
+  bool degraded = false;
+};
+
+/// What the manager needs from one join state (HashState implements this;
+/// the indirection keeps storage/ independent of join/).
+class SpillableState {
+ public:
+  virtual ~SpillableState() = default;
+
+  virtual int num_spill_partitions() const = 0;
+  virtual int64_t TotalMemoryTuples() const = 0;
+  virtual int64_t TotalMemoryBytes() const = 0;
+  virtual int64_t PartitionMemoryTuples(int p) const = 0;
+  virtual int64_t PartitionMemoryBytes(int p) const = 0;
+  /// Tick of the partition's most recent insert or probe (0 = never).
+  virtual int64_t PartitionLastAccessTick(int p) const = 0;
+
+  /// Moves the memory portion of `p` to disk, stamping dts = `dts_tick`.
+  [[nodiscard]] virtual Status SpillPartition(int p, int64_t dts_tick) = 0;
+
+  /// Records in the largest single on-disk unit of `p` (the base portion or
+  /// one sub-partition).
+  virtual int64_t LargestSpillUnitRecords(int p) const = 0;
+  /// Splits the largest on-disk unit of `p` into `fanout` sub-partitions
+  /// keyed by further hash bits. Returns FailedPrecondition when no further
+  /// split can make progress (depth exhausted or all records share a hash);
+  /// any other error is a storage failure.
+  [[nodiscard]] virtual Status SplitSpilledPartition(int p, int fanout,
+                                                     int max_depth) = 0;
+};
+
+/// Outcome of one early-purge pass over a partition.
+struct EarlyPurgeOutcome {
+  int64_t tuples = 0;
+  int64_t bytes = 0;
+};
+
+class SpillManager {
+ public:
+  using EventSink = std::function<void(const Event&)>;
+  /// Purges punctuation-dead tuples of state `side`'s partition `p` in
+  /// place and reports what was freed. Must not touch disk.
+  using EarlyPurger = std::function<EarlyPurgeOutcome(int side, int p)>;
+
+  /// `left` / `right` must outlive the manager.
+  SpillManager(SpillPolicy policy, SpillableState* left,
+               SpillableState* right);
+
+  void set_early_purger(EarlyPurger purger) { purger_ = std::move(purger); }
+  void set_event_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  /// Spills (after early purge, in adaptive mode) until the combined
+  /// in-memory state drops below both thresholds, consuming dts ticks from
+  /// `next_tick`. `now_tick` is the current event tick, used for coldness
+  /// scoring. Returns OK even when the budget cannot be met (see
+  /// SpillDecisionStats::budget_overruns); non-OK only for unrecoverable
+  /// storage errors outside the manager's own retry ladder.
+  [[nodiscard]] Status EnsureWithinBudget(
+      int64_t threshold_tuples, int64_t threshold_bytes, int64_t now_tick,
+      const std::function<int64_t()>& next_tick);
+
+  const SpillDecisionStats& stats() const { return stats_; }
+  const SpillPolicy& policy() const { return policy_; }
+  bool degraded() const { return stats_.degraded; }
+  /// kGlobalThreshold when configured so *or* after degradation.
+  SpillMode effective_mode() const {
+    return stats_.degraded ? SpillMode::kGlobalThreshold : policy_.mode;
+  }
+
+ private:
+  struct Candidate {
+    int side = -1;
+    int partition = -1;
+    int64_t tuples = 0;
+  };
+
+  bool OverBudget(int64_t threshold_tuples, int64_t threshold_bytes) const;
+  Candidate PickVictim(int64_t now_tick) const;
+  bool Quarantined(int side, int p) const;
+  void Quarantine(int side, int p);
+  void DecayQuarantine();
+  void RecordFailure();
+
+  SpillPolicy policy_;
+  SpillableState* states_[2];
+  EarlyPurger purger_;
+  EventSink sink_;
+  SpillDecisionStats stats_;
+  int failures_ = 0;
+  /// Remaining cooldown per (side, partition); index = side * P + p.
+  std::vector<int> cooldown_;
+  /// Partitions where splitting can no longer make progress.
+  std::vector<bool> split_exhausted_;
+
+  // Process-wide exposition (shared cells across managers; see /metrics).
+  obs::Counter bytes_spilled_counter_;
+  obs::Counter bytes_early_purged_counter_;
+  obs::Histogram resident_bytes_hist_;
+};
+
+/// Marks operations issued while a spilled partition is being split, so
+/// fault injection (FaultySpillStore) can target the repartition path
+/// specifically. Thread-local; nesting keeps the innermost phase.
+enum class SpillPhase { kNormal, kRepartition };
+
+class SpillPhaseScope {
+ public:
+  explicit SpillPhaseScope(SpillPhase phase);
+  ~SpillPhaseScope();
+  PJOIN_DISALLOW_COPY_AND_MOVE(SpillPhaseScope);
+
+ private:
+  SpillPhase previous_;
+};
+
+SpillPhase CurrentSpillPhase();
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_SPILL_MANAGER_H_

@@ -191,6 +191,15 @@ FaultPlan RandomPlan(uint64_t seed) {
     plan.io.permanent_write_failure_after =
         3 + static_cast<int64_t>(rng.NextBounded(20));
   }
+  // Partition-targeted and repartition-phase faults exercise the
+  // SpillManager's quarantine/degrade ladder, which the global rates above
+  // cannot isolate to a single partition or to the split path.
+  if (rng.NextBool(0.5)) {
+    plan.io.target_partition = static_cast<int>(rng.NextBounded(16));
+    plan.io.partition_write_error_rate = MaybeRate(rng, 0.3);
+    plan.io.partition_read_error_rate = MaybeRate(rng, 0.3);
+  }
+  plan.io.repartition_error_rate = MaybeRate(rng, 0.3);
   return plan;
 }
 
@@ -235,6 +244,15 @@ TEST_P(ChaosFuzz, DropPolicyMatchesSanitizedReference) {
       cfg_rng.NextBool(0.5) ? 1 + static_cast<int64_t>(cfg_rng.NextBounded(6))
                             : 0;
   opts.eager_index_build = cfg_rng.NextBool(0.5);
+  // Tight split bound so recursive repartitioning triggers under the small
+  // memory caps above (and meets the repartition-phase faults injected by
+  // the plan).
+  opts.spill_policy.repartition_record_bound =
+      8 + static_cast<int64_t>(cfg_rng.NextBounded(24));
+  int64_t spill_degraded_events = 0;
+  opts.spill_event_sink = [&](const Event& e) {
+    if (e.type == EventType::kDegradedMode) ++spill_degraded_events;
+  };
   opts.spill_factory = [&]() -> std::unique_ptr<SpillStore> {
     auto faulty = std::make_unique<FaultySpillStore>(
         std::make_unique<SimulatedDisk>(), plan.io, injector);
@@ -300,6 +318,8 @@ TEST_P(ChaosFuzz, DropPolicyMatchesSanitizedReference) {
   if (!any_degraded) {
     EXPECT_EQ(degraded_events, 0);
   }
+  // The spill manager's fallback is observable iff it reported degradation.
+  EXPECT_EQ(spill_degraded_events > 0, join.spill_stats().degraded);
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, ChaosFuzz,

@@ -178,6 +178,35 @@ TEST(FileSpillStoreTest, FailedAppendDoesNotInflateRecordCount) {
   EXPECT_EQ((*store)->TotalRecordCount(), 3);
 }
 
+// Regression: ClearPartition used to leak the partition's pages — the file
+// only ever grew, so a long-running join cycling spill → purge → spill
+// (exactly what the SpillManager's early purge produces) ballooned the temp
+// file without bound. Cleared pages must return to a free list and be
+// reused before the file is extended.
+TEST(FileSpillStoreTest, ClearReleasesPagesForReuse) {
+  auto store = FileSpillStore::Open("/tmp/pjoin_spill_page_reuse_test.bin",
+                                    /*page_size=*/128);
+  ASSERT_TRUE(store.ok());
+  std::vector<std::string> records;
+  for (int i = 0; i < 32; ++i) records.push_back("record-" + std::to_string(i));
+
+  ASSERT_TRUE((*store)->AppendBatch(0, records).ok());
+  const int64_t high_water = (*store)->allocated_pages();
+  ASSERT_GT(high_water, 1);
+
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE((*store)->ClearPartition(0).ok());
+    EXPECT_EQ((*store)->free_pages(), high_water);
+    ASSERT_TRUE((*store)->AppendBatch(0, records).ok());
+    // Every cycle reuses the reclaimed slots; the file never grows.
+    EXPECT_EQ((*store)->allocated_pages(), high_water);
+    EXPECT_EQ((*store)->free_pages(), 0);
+  }
+  auto out = (*store)->ReadPartition(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, records);
+}
+
 // Regression: ReadPartition after Close used to dereference the null FILE*
 // (a crash); it must return FailedPrecondition instead.
 TEST(FileSpillStoreTest, ReadAfterCloseFailsCleanly) {

@@ -55,12 +55,79 @@ def runs_by_name(doc):
     return {r["name"]: r for r in doc.get("runs", [])}
 
 
+def spill_efficiency(runs):
+    """Spill-efficiency ratio: bytes spilled per byte purged early across
+    the sweep's adaptive runs. Lower is better (more dead state reclaimed
+    for free instead of written to disk)."""
+    spilled = sum(r["bytes_spilled"] for r in runs if r["mode"] == "adaptive")
+    purged = sum(r["bytes_early_purged"] for r in runs
+                 if r["mode"] == "adaptive")
+    return spilled / purged if purged > 0 else float("inf")
+
+
+def compare_spill_sweep(baseline, fresh, tolerance):
+    findings = []
+    base_sweep = baseline.get("spill_sweep", {}).get("runs", [])
+    fresh_sweep = fresh.get("spill_sweep", {}).get("runs", [])
+    if not base_sweep and not fresh_sweep:
+        return findings
+    if base_sweep and not fresh_sweep:
+        return fail("baseline has a spill_sweep section but fresh does not "
+                    "(sweep disabled or bench regressed?)")
+
+    for run in fresh_sweep:
+        if not run.get("oracle_pass", False):
+            findings += fail(
+                f"spill_sweep {run['mode']}@{run['memcap']}: oracle failed")
+
+    by_cap = {}
+    for run in fresh_sweep:
+        by_cap.setdefault(run["memcap"], {})[run["mode"]] = run
+    for cap, modes in sorted(by_cap.items()):
+        if "adaptive" not in modes or "global" not in modes:
+            findings += fail(f"spill_sweep memcap {cap}: missing a mode "
+                             f"(have {sorted(modes)})")
+            continue
+        adaptive, glob = modes["adaptive"], modes["global"]
+        verdict = ("OK" if adaptive["bytes_spilled"] < glob["bytes_spilled"]
+                   else "REGRESSION")
+        print(f"  spill_sweep@{cap}: adaptive spilled "
+              f"{adaptive['bytes_spilled']} bytes vs global "
+              f"{glob['bytes_spilled']} (early-purged "
+              f"{adaptive['bytes_early_purged']}) {verdict}")
+        if adaptive["bytes_spilled"] >= glob["bytes_spilled"]:
+            findings += fail(
+                f"spill_sweep memcap {cap}: adaptive mode no longer spills "
+                f"strictly fewer bytes than global-threshold "
+                f"({adaptive['bytes_spilled']} >= {glob['bytes_spilled']})")
+        if adaptive["bytes_early_purged"] <= 0:
+            findings += fail(
+                f"spill_sweep memcap {cap}: adaptive mode purged nothing "
+                "early (punctuation-aware purge rung is dead)")
+
+    if base_sweep:
+        base_ratio = spill_efficiency(base_sweep)
+        fresh_ratio = spill_efficiency(fresh_sweep)
+        ceiling = base_ratio * (1.0 + tolerance)
+        verdict = "OK" if fresh_ratio <= ceiling else "REGRESSION"
+        print(f"  spill efficiency (bytes spilled / bytes early-purged): "
+              f"{fresh_ratio:.3f} (baseline {base_ratio:.3f}, ceiling "
+              f"{ceiling:.3f}) {verdict}")
+        if fresh_ratio > ceiling:
+            findings += fail(
+                f"spill-efficiency ratio regressed >{tolerance:.0%}: "
+                f"{fresh_ratio:.3f} > ceiling {ceiling:.3f} "
+                f"(baseline {base_ratio:.3f})")
+    return findings
+
+
 def compare_par_scaling(baseline, fresh, tolerance, shards):
     findings = []
     base_runs = runs_by_name(baseline)
     fresh_runs = runs_by_name(fresh)
     if not fresh_runs:
         return fail("fresh par_scaling file has no runs")
+    findings += compare_spill_sweep(baseline, fresh, tolerance)
 
     for name, run in sorted(fresh_runs.items()):
         if not run.get("oracle_pass", False):

@@ -21,6 +21,10 @@ Checks:
 exists with a nonzero _count for at least one label set (i.e. the live
 pipeline actually recorded observations).
 
+--require-nonzero NAME may be repeated; each asserts that counter/gauge NAME
+exists with a nonzero value for at least one label set (used by CI to prove
+e.g. the spill path actually ran during the live scrape).
+
 --self-test runs the embedded good/bad fixtures through the validator and
 asserts each bad fixture is rejected for the expected reason.
 
@@ -110,8 +114,10 @@ def base_name(name):
 
 
 def validate(text):
-    """Validates one exposition snapshot; returns (findings, histograms)
-    where histograms maps name -> {labelset_without_le: count_value}."""
+    """Validates one exposition snapshot; returns (findings, histograms,
+    scalars) where histograms maps name -> {labelset_without_le:
+    count_value} and scalars maps each non-histogram sample name ->
+    {labelset: value}."""
     findings = Findings()
     types = {}  # family name -> (kind, line_no)
     seen_samples = {}  # (name, labels) -> line_no
@@ -120,6 +126,7 @@ def validate(text):
     buckets = {}
     sums = {}  # (family, labels) -> value
     counts = {}  # (family, labels) -> value
+    scalars = {}  # sample name -> labels -> value (counters/gauges)
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.rstrip("\n")
@@ -189,6 +196,8 @@ def validate(text):
                 sums[(family, no_le)] = value
             elif name == family + "_count":
                 counts[(family, no_le)] = value
+        else:
+            scalars.setdefault(name, {})[labels] = value
 
     # Histogram family invariants.
     for family, by_labels in buckets.items():
@@ -230,7 +239,7 @@ def validate(text):
                  for labels in by_labels}
         for family, by_labels in buckets.items()
     }
-    return findings, histograms
+    return findings, histograms, scalars
 
 
 def check_requirements(histograms, required, findings):
@@ -241,6 +250,16 @@ def check_requirements(histograms, required, findings):
         elif all(count <= 0 for count in by_labels.values()):
             findings.add(0, f"required histogram {name} has zero _count "
                          "for every label set (no observations recorded)")
+
+
+def check_nonzero(scalars, required, findings):
+    for name in required:
+        by_labels = scalars.get(name)
+        if not by_labels:
+            findings.add(0, f"required sample {name} not found")
+        elif all(value == 0 for value in by_labels.values()):
+            findings.add(0, f"required sample {name} is zero for every "
+                         "label set (the instrumented path never ran)")
 
 
 # ---------------------------------------------------------------------------
@@ -300,7 +319,7 @@ FIXTURES = [
 def run_self_test():
     failures = []
     for name, text, expected in FIXTURES:
-        findings, _ = validate(text)
+        findings, _, _ = validate(text)
         messages = [msg for _, msg in findings.items]
         if expected is None:
             if messages:
@@ -310,9 +329,10 @@ def run_self_test():
                 f"{name}: expected a finding containing {expected!r}, "
                 f"got {messages}")
     # Requirement checks: zero-count and missing histograms must fail.
-    findings, histograms = validate(GOOD_SNAPSHOT)
+    findings, histograms, scalars = validate(GOOD_SNAPSHOT)
     check_requirements(histograms,
                        ["pjoin_tuple_latency_seconds"], findings)
+    check_nonzero(scalars, ["pjoin_results_total"], findings)
     if findings.items:
         failures.append(f"require(good): unexpected {findings.items}")
     findings = Findings()
@@ -325,6 +345,16 @@ def run_self_test():
     check_requirements(zero[1], ["h"], findings)
     if not any("zero _count" in msg for _, msg in findings.items):
         failures.append("require(zero): expected a zero-count finding")
+    # Nonzero-sample checks: absent and all-zero counters must fail.
+    findings = Findings()
+    check_nonzero(scalars, ["absent_counter"], findings)
+    if not any("not found" in msg for _, msg in findings.items):
+        failures.append("nonzero(absent): expected a not-found finding")
+    zero_counter = validate("# TYPE c counter\nc{shard=\"0\"} 0\nc 0\n")
+    findings = Findings()
+    check_nonzero(zero_counter[2], ["c"], findings)
+    if not any("zero for every" in msg for _, msg in findings.items):
+        failures.append("nonzero(zero): expected an all-zero finding")
     for f in failures:
         print(f"self-test FAIL: {f}")
     print(f"promtext self-test: {len(FIXTURES)} fixtures, "
@@ -340,6 +370,10 @@ def main():
                         metavar="NAME",
                         help="assert histogram NAME exists with nonzero "
                         "_count (repeatable)")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="assert counter/gauge NAME exists with a "
+                        "nonzero value for some label set (repeatable)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate the embedded fixtures")
     args = parser.parse_args()
@@ -358,8 +392,9 @@ def main():
             print(f"error: {e}", file=sys.stderr)
             return 2
 
-    findings, histograms = validate(text)
+    findings, histograms, scalars = validate(text)
     check_requirements(histograms, args.require_histogram, findings)
+    check_nonzero(scalars, args.require_nonzero, findings)
     for line_no, message in findings.items:
         where = f"{args.snapshot}:{line_no}" if line_no else args.snapshot
         print(f"{where}: {message}")
