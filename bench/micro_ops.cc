@@ -1,10 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot operations: pattern
 // matching, punctuation-set probing, memory-join probing, purge scanning,
-// index building, and tuple-entry serialization.
+// index building, tuple-entry serialization, the SPSC ring transport, and
+// batched vs per-element join dispatch.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "gen/stream_generator.h"
 #include "join/hash_state.h"
+#include "join/pjoin.h"
 #include "join/punct_index.h"
 #include "punct/punctuation_set.h"
 #include "storage/simulated_disk.h"
@@ -204,6 +211,128 @@ void BM_TupleEntryDeserialize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TupleEntryDeserialize);
+
+// ---- SPSC ring transport (common/spsc_ring.h) ----
+//
+// The parallel pipeline moves every element over these rings, so the
+// per-slot cost bounds the dataflow spine's overhead. Single-threaded
+// push/pop is the right microcosting: it isolates the ring's own atomics
+// and cache traffic from scheduler noise (the 1-vCPU CI runner cannot
+// time genuine cross-core handoff anyway).
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<int64_t> ring(static_cast<size_t>(state.range(0)));
+  int64_t out = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.TryPush(int64_t{42}));
+    benchmark::DoNotOptimize(ring.TryPop(&out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop)->Arg(64)->Arg(4096);
+
+void BM_SpscRingBurst(benchmark::State& state) {
+  // Fill-then-drain at capacity: the worst-case working set (every slot
+  // touched) instead of BM_SpscRingPushPop's single hot slot.
+  const auto burst = static_cast<size_t>(state.range(0));
+  SpscRing<int64_t> ring(burst);
+  int64_t out = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < burst; ++i) {
+      benchmark::DoNotOptimize(ring.TryPush(static_cast<int64_t>(i)));
+    }
+    for (size_t i = 0; i < burst; ++i) {
+      benchmark::DoNotOptimize(ring.TryPop(&out));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(burst));
+}
+BENCHMARK(BM_SpscRingBurst)->Arg(64)->Arg(4096);
+
+// ---- Batched vs per-element join dispatch (join_base.h ProcessBatch) ----
+//
+// The same generated element sequence through one PJoin, fed either one
+// OnElement at a time or as a single columnar ElementBatch with
+// pre-computed key hashes — the two shard dispatch modes of
+// ops/parallel_pipeline.h (options.batched_probe). The batch path's win is
+// hashing each key once and flushing hot counters per batch.
+
+struct DispatchFixture {
+  GeneratedStreams streams;
+  std::vector<const StreamElement*> elements;
+  std::vector<int8_t> sides;
+  std::vector<uint64_t> hashes;
+
+  explicit DispatchFixture(int64_t tuples) {
+    DomainSpec domain;
+    domain.window_size = 8192;
+    StreamSpec spec;
+    spec.num_tuples = tuples;
+    spec.punct_mean_interarrival_tuples = 50.0;
+    spec.flush_punctuations_at_end = false;
+    streams = GenerateStreams(domain, spec, spec, 4242);
+    // Interleave the two sides by arrival, as the router would, hashing
+    // each tuple's join key once (the batch contract).
+    const auto probe = MakeJoin();
+    const size_t key_index[2] = {probe->state(0).key_index(),
+                                 probe->state(1).key_index()};
+    size_t ia = 0, ib = 0;
+    while (ia < streams.a.size() || ib < streams.b.size()) {
+      const bool take_a =
+          ib >= streams.b.size() ||
+          (ia < streams.a.size() &&
+           streams.a[ia].arrival() <= streams.b[ib].arrival());
+      const StreamElement& e = take_a ? streams.a[ia++] : streams.b[ib++];
+      const int side = take_a ? 0 : 1;
+      elements.push_back(&e);
+      sides.push_back(static_cast<int8_t>(side));
+      hashes.push_back(
+          e.is_tuple() ? e.tuple().field(key_index[side]).Hash() : 0);
+    }
+  }
+
+  std::unique_ptr<PJoin> MakeJoin() const {
+    JoinOptions opts;
+    opts.num_partitions = 16;
+    auto join =
+        std::make_unique<PJoin>(streams.schema_a, streams.schema_b, opts);
+    join->set_result_callback([](const Tuple&) {});
+    return join;
+  }
+};
+
+void BM_DispatchPerElement(benchmark::State& state) {
+  const DispatchFixture fx(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto join = fx.MakeJoin();
+    state.ResumeTiming();
+    for (size_t i = 0; i < fx.elements.size(); ++i) {
+      const Status st = join->OnElement(fx.sides[i], *fx.elements[i]);
+      PJOIN_DCHECK(st.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.elements.size()));
+}
+BENCHMARK(BM_DispatchPerElement)->Arg(2000);
+
+void BM_DispatchBatched(benchmark::State& state) {
+  const DispatchFixture fx(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto join = fx.MakeJoin();
+    state.ResumeTiming();
+    const Status st = join->ProcessBatch(ElementBatch{
+        fx.elements.data(), fx.sides.data(), fx.hashes.data(),
+        fx.elements.size()});
+    PJOIN_DCHECK(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.elements.size()));
+}
+BENCHMARK(BM_DispatchBatched)->Arg(2000);
 
 void BM_SpillRoundtrip(benchmark::State& state) {
   SchemaPtr schema = KP();

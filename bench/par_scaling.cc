@@ -13,9 +13,22 @@
 // BENCH_par_scaling.json.
 //
 // Usage: par_scaling [--tuples=N] [--shards=a,b,c] [--punct=T] [--out=FILE]
-//                    [--check] [--trace=FILE] [--metrics=FILE]
-//                    [--serve_port=P] [--serve_linger_ms=N]
+//                    [--reps=N] [--ring=N] [--check] [--trace=FILE]
+//                    [--metrics=FILE] [--serve_port=P] [--serve_linger_ms=N]
 //   --check    exit non-zero if any oracle fails (CI perf-smoke mode).
+//   --reps     wall-clock repetitions per configuration (default 3); the
+//              best run is reported, de-noising the perf gate's ratios.
+//   --ring     capacity of every pipeline ring (input and shard) in
+//              elements; 0 = library defaults. CI's live-scrape smoke
+//              shrinks the rings so backpressure and spin-park paths
+//              demonstrably fire even on a small workload.
+//   --punct_barrier  dispatch broadcast punctuations behind an epoch
+//              barrier (router waits for all shards to drain). Fully
+//              synchronizing, results identical; shards that drain first
+//              go dry, so the smoke can assert pjoin_shard_spin_parks > 0.
+//   --stall_polls=N  empty polls before a shard runs stall work and parks
+//              (default: library's). The smoke sets 1 so every dry moment
+//              takes the spin-then-park slow path and its counter moves.
 //   --trace    record operator tracing for the whole sweep and write a
 //              Chrome trace_event JSON (Perfetto-loadable); needs a build
 //              with PJOIN_TRACING=ON to contain events.
@@ -68,6 +81,18 @@ struct Cli {
   double spill_zipf = 1.2;
   double spill_punct_rate = 20.0;
   std::vector<int> shards = {1, 2, 4};
+  // Wall-clock repetitions per measured configuration; the best run is
+  // reported. Single-shot numbers on shared runners carry 15-20% scheduler
+  // noise — the minimum over a few runs is the standard low-variance
+  // estimator, and it is applied to every configuration alike, so the
+  // cross-run ratios the perf gate compares stay fair.
+  int reps = 3;
+  // Ring capacity override (elements) for every SPSC edge; 0 keeps the
+  // ParallelPipelineOptions defaults. Small values force the backpressure
+  // and park paths, which CI's live scrape asserts via their counters.
+  int64_t ring = 0;
+  bool punct_barrier = false;
+  int64_t stall_polls = 0;  // 0 = ParallelPipelineOptions default
   std::string out = "BENCH_par_scaling.json";
   std::string trace;    // empty = tracing not started
   std::string metrics;  // empty = no metrics dump
@@ -98,6 +123,15 @@ Cli ParseCli(int argc, char** argv) {
       cli.spill_zipf = std::atof(v);
     } else if (const char* v = value("--spill_punct=")) {
       cli.spill_punct_rate = std::atof(v);
+    } else if (const char* v = value("--reps=")) {
+      cli.reps = std::atoi(v);
+      if (cli.reps < 1) cli.reps = 1;
+    } else if (const char* v = value("--ring=")) {
+      cli.ring = std::atoll(v);
+    } else if (arg == "--punct_barrier") {
+      cli.punct_barrier = true;
+    } else if (const char* v = value("--stall_polls=")) {
+      cli.stall_polls = std::atoll(v);
     } else if (const char* v = value("--out=")) {
       cli.out = v;
     } else if (const char* v = value("--trace=")) {
@@ -156,6 +190,7 @@ JoinOptions BenchJoinOptions(bool indexed_probe, int64_t memcap = 0) {
 struct Measured {
   std::string name;
   int shards = 0;  // 0 = single-threaded
+  bool indexed = false;
   double wall_ms = 0.0;
   Oracle oracle;
   int64_t state_tuples = 0;
@@ -171,6 +206,7 @@ Measured RunSingle(const std::string& name, const GeneratedStreams& streams,
                    bool indexed_probe) {
   Measured m;
   m.name = name;
+  m.indexed = indexed_probe;
   PJoin join(streams.schema_a, streams.schema_b,
              BenchJoinOptions(indexed_probe));
   join.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
@@ -186,20 +222,33 @@ Measured RunSingle(const std::string& name, const GeneratedStreams& streams,
   return m;
 }
 
+// Run names spell out the probe mode: the parallel pipeline composes with
+// either per-shard probe (`_indexed` / `_scan`); the `_spill` run is the
+// memory-capped indexed configuration.
 Measured RunParallel(const GeneratedStreams& streams, int shards,
-                     int64_t memcap = 0) {
+                     bool indexed_probe, int64_t memcap = 0,
+                     int64_t ring_capacity = 0, bool punct_barrier = false,
+                     int64_t stall_polls = 0) {
   Measured m;
-  m.name = "parallel_x" + std::to_string(shards) + (memcap > 0 ? "_spill" : "");
+  m.name = "parallel_x" + std::to_string(shards) +
+           (memcap > 0 ? "_spill" : (indexed_probe ? "_indexed" : "_scan"));
   m.shards = shards;
+  m.indexed = indexed_probe;
   ParallelPipelineOptions popts;
   popts.num_shards = shards;
+  if (ring_capacity > 0) {
+    popts.input_buffer_capacity = static_cast<size_t>(ring_capacity);
+    popts.shard_queue_capacity = static_cast<size_t>(ring_capacity);
+  }
+  popts.punct_barrier = punct_barrier;
+  if (stall_polls > 0) popts.stall_polls = stall_polls;
   ParallelJoinPipeline pipeline(
-      [&streams, memcap, shards](int) {
+      [&streams, indexed_probe, memcap, shards](int) {
         // The cap is per shard: split the total budget so the aggregate
         // in-memory state matches the single-cap intent.
         return std::make_unique<PJoin>(
             streams.schema_a, streams.schema_b,
-            BenchJoinOptions(true, memcap > 0 ? memcap / shards : 0));
+            BenchJoinOptions(indexed_probe, memcap > 0 ? memcap / shards : 0));
       },
       popts);
   pipeline.set_result_callback([&m](const Tuple& t) { m.oracle.Add(t); });
@@ -317,13 +366,14 @@ void WriteJson(const std::string& path, const Cli& cli,
   out << "  \"bench\": \"par_scaling\",\n";
   out << "  \"config\": {\"tuples_per_stream\": " << cli.tuples
       << ", \"punct_mean_interarrival_tuples\": " << cli.punct_rate
-      << ", \"num_partitions\": 16},\n";
+      << ", \"num_partitions\": 16, \"reps\": " << cli.reps << "},\n";
   if (!spill_runs.empty()) {
     WriteSpillSweepJson(out, cli, spill_oracle, spill_runs);
   }
   auto emit_run = [&out](const Measured& m, const Measured& base,
                          bool last) {
     out << "    {\"name\": \"" << m.name << "\", \"shards\": " << m.shards
+        << ", \"indexed\": " << (m.indexed ? "true" : "false")
         << ", \"wall_ms\": " << m.wall_ms
         << ", \"results\": " << m.oracle.count
         << ", \"throughput_results_per_sec\": " << m.throughput()
@@ -397,18 +447,58 @@ int Main(int argc, char** argv) {
     spill_runs = RunSpillSweep(cli, &spill_oracle);
   }
 
-  const Measured baseline = RunSingle("scan_1thread", streams, false);
-  const Measured indexed = RunSingle("indexed_1thread", streams, true);
-  std::vector<Measured> parallel;
+  // The configuration sweep, measured best-of-N wall clock. Repetitions are
+  // interleaved round-robin (rep 0 of every configuration, then rep 1 of
+  // every configuration, ...) rather than back-to-back, so a noisy
+  // scheduler window on a shared runner degrades every configuration's
+  // sample alike instead of condemning whichever one it landed on — the
+  // perf gate compares cross-run ratios, which interleaving keeps fair.
+  // The result oracle must agree across repetitions of a configuration.
+  std::vector<std::function<Measured()>> configs;
+  configs.push_back([&] { return RunSingle("scan_1thread", streams, false); });
+  configs.push_back([&] { return RunSingle("indexed_1thread", streams, true); });
   for (const int shards : cli.shards) {
-    parallel.push_back(RunParallel(streams, shards));
+    configs.push_back(
+        [&, shards] { return RunParallel(streams, shards,
+                                         /*indexed_probe=*/true,
+                                         /*memcap=*/0, cli.ring,
+                                         cli.punct_barrier,
+                                         cli.stall_polls); });
+  }
+  if (!cli.shards.empty()) {
+    // The widest shard count with the seed's scan probe: isolates how much
+    // of the parallel_x*_indexed speedup is the pipeline vs the index.
+    configs.push_back([&] {
+      return RunParallel(streams, cli.shards.back(), /*indexed_probe=*/false,
+                         /*memcap=*/0, cli.ring, cli.punct_barrier,
+                         cli.stall_polls);
+    });
   }
   if (cli.memcap > 0 && !cli.shards.empty()) {
     // One memory-capped configuration at the widest shard count: state
     // relocation and the disk join run under pressure, so the spill path
     // is measured (and traced) alongside the in-memory sweep.
-    parallel.push_back(RunParallel(streams, cli.shards.back(), cli.memcap));
+    configs.push_back([&] {
+      return RunParallel(streams, cli.shards.back(), /*indexed_probe=*/true,
+                         cli.memcap, cli.ring, cli.punct_barrier,
+                         cli.stall_polls);
+    });
   }
+  std::vector<Measured> measured(configs.size());
+  for (int rep = 0; rep < cli.reps; ++rep) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      Measured m = configs[i]();
+      if (rep == 0) {
+        measured[i] = std::move(m);
+        continue;
+      }
+      PJOIN_DCHECK(m.oracle == measured[i].oracle);
+      if (m.wall_ms < measured[i].wall_ms) measured[i] = std::move(m);
+    }
+  }
+  const Measured& baseline = measured[0];
+  const Measured& indexed = measured[1];
+  std::vector<Measured> parallel(measured.begin() + 2, measured.end());
 
   bool all_pass = indexed.oracle == baseline.oracle;
   std::printf("  %-18s %10s %12s %10s %8s\n", "run", "wall_ms",
@@ -459,7 +549,11 @@ int Main(int argc, char** argv) {
            !server->quit_requested()) {
       // Keep a pipeline running so scrapes catch live /statusz sections and
       // moving queue-depth gauges, not just end-of-run values.
-      const Measured again = RunParallel(streams, widest);
+      const Measured again = RunParallel(streams, widest,
+                                         /*indexed_probe=*/true,
+                                         /*memcap=*/0, cli.ring,
+                                         cli.punct_barrier,
+                                         cli.stall_polls);
       all_pass = all_pass && again.oracle == baseline.oracle;
     }
   }

@@ -119,6 +119,9 @@ class SharedCounterSet {
   [[nodiscard]] CounterSet Snapshot() const EXCLUDES(mu_);
 
  private:
+  // tests/thread_safety_negative.cc probes the GUARDED_BY annotations.
+  friend class ThreadSafetyNegativeProbe;
+
   mutable Mutex mu_;
   CounterSet counters_ GUARDED_BY(mu_);
 };

@@ -64,7 +64,10 @@ void HashState::RebuildIndex(Partition* part) {
 
 void HashState::InsertMemory(TupleEntry entry) {
   PJOIN_DCHECK(entry.InMemory());
-  entry.RecomputeKeyHash(key_index_);
+  // A caller that already knows the key hash (the batched probe path, disk
+  // read-back) seeds entry.key_hash; 0 means "not computed" (tuple_entry.h)
+  // and recomputing is always safe, so a zero-hash key just loses caching.
+  if (entry.key_hash == 0) entry.RecomputeKeyHash(key_index_);
   const int p = PartitionOfHash(entry.key_hash);
   const int64_t bytes = static_cast<int64_t>(entry.tuple.ByteSize());
   memory_bytes_ += bytes;

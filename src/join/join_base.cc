@@ -75,22 +75,70 @@ Status JoinOperator::OnElement(int side, const StreamElement& element) {
       break;
     }
   }
+  FlushBatchCounters();
   SampleState();
+  return Status::OK();
+}
+
+Status JoinOperator::ProcessBatch(const ElementBatch& batch) {
+  // Per-element state sampling needs a sample after every element; only the
+  // element path provides that granularity.
+  if (options_.state_sample_interval > 0) {
+    for (size_t i = 0; i < batch.size; ++i) {
+      PJOIN_RETURN_NOT_OK(OnElement(batch.sides[i], *batch.elements[i]));
+    }
+    return Status::OK();
+  }
+  size_t i = 0;
+  while (i < batch.size) {
+    if (batch.elements[i]->kind() != ElementKind::kTuple) {
+      // Punctuations and end-of-stream are rare; the element path handles
+      // their bookkeeping (eos/Finish, counters) unchanged.
+      PJOIN_RETURN_NOT_OK(OnElement(batch.sides[i], *batch.elements[i]));
+      ++i;
+      continue;
+    }
+    // A run of consecutive tuples: one "tuples_in" add and one tally flush
+    // per run instead of per tuple.
+    PJOIN_DCHECK(!finished_);
+    const size_t run_start = i;
+    do {
+      const StreamElement& e = *batch.elements[i];
+      last_arrival_ = std::max(last_arrival_, e.arrival());
+      PJOIN_RETURN_NOT_OK(
+          OnTupleHashed(batch.sides[i], e.tuple(), batch.key_hashes[i]));
+      ++i;
+    } while (i < batch.size &&
+             batch.elements[i]->kind() == ElementKind::kTuple);
+    counters_.Add("tuples_in", static_cast<int64_t>(i - run_start));
+    FlushBatchCounters();
+  }
   return Status::OK();
 }
 
 Status JoinOperator::OnStreamsStalled() { return Status::OK(); }
 
+Status JoinOperator::OnTupleHashed(int side, const Tuple& tuple,
+                                   uint64_t key_hash) {
+  (void)key_hash;
+  return OnTuple(side, tuple);
+}
+
 int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
+  return ProbeOppositeMemory(side, tuple,
+                             states_[side]->KeyOf(tuple).Hash());
+}
+
+int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple,
+                                          uint64_t key_hash) {
   TRACE_SPAN("join", "probe");
   HashState& own = *states_[side];
   HashState& opp = *states_[1 - side];
   const Value& key = own.KeyOf(tuple);
-  const uint64_t key_hash = key.Hash();
   const int p = opp.PartitionOfHash(key_hash);
   opp.NotePartitionProbed(p, current_tick());
   int64_t emitted = 0;
-  const int64_t compared =
+  pending_probe_comparisons_ +=
       opp.ForEachMemoryMatch(p, key, key_hash, [&](const TupleEntry& entry) {
         if (side == 0) {
           EmitResult(tuple, entry.tuple);
@@ -99,14 +147,29 @@ int64_t JoinOperator::ProbeOppositeMemory(int side, const Tuple& tuple) {
         }
         ++emitted;
       });
-  counters_.Add("probe_comparisons", compared);
   return emitted;
+}
+
+void JoinOperator::FlushBatchCounters() {
+  if (pending_probe_comparisons_ != 0) {
+    counters_.Add("probe_comparisons", pending_probe_comparisons_);
+    pending_probe_comparisons_ = 0;
+  }
 }
 
 void JoinOperator::InsertTuple(int side, const Tuple& tuple, int64_t tick) {
   TupleEntry entry;
   entry.tuple = tuple;
   entry.ats = tick;
+  states_[side]->InsertMemory(std::move(entry));
+}
+
+void JoinOperator::InsertTuple(int side, const Tuple& tuple, int64_t tick,
+                               uint64_t key_hash) {
+  TupleEntry entry;
+  entry.tuple = tuple;
+  entry.ats = tick;
+  entry.key_hash = key_hash;
   states_[side]->InsertMemory(std::move(entry));
 }
 
@@ -141,7 +204,9 @@ void JoinOperator::EmitResult(const Tuple& left, const Tuple& right) {
   if (tuple_latency_hist_.bound() && ingress_us_ > 0) {
     tuple_latency_hist_.Observe(obs::TraceNowMicros() - ingress_us_);
   }
-  if (on_result_) {
+  if (on_result_move_) {
+    on_result_move_(Tuple::Concat(left, right, output_schema_));
+  } else if (on_result_) {
     on_result_(Tuple::Concat(left, right, output_schema_));
   }
 }

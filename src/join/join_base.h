@@ -103,9 +103,23 @@ struct JoinOptions {
   TimeMicros state_sample_interval = 0;
 };
 
+/// A router-prepared batch of stream elements as parallel arrays: borrowed
+/// element pointers (the elements outlive the batch), their input sides,
+/// and — for tuples — the join-key hash, computed once upstream and reused
+/// by the shard's partition selection, index probe and insert instead of
+/// rehashing (ops/parallel_pipeline.h builds these).
+struct ElementBatch {
+  const StreamElement* const* elements = nullptr;
+  const int8_t* sides = nullptr;
+  /// Key hash per element; meaningful only where the element is a tuple.
+  const uint64_t* key_hashes = nullptr;
+  size_t size = 0;
+};
+
 class JoinOperator {
  public:
   using ResultCallback = std::function<void(const Tuple&)>;
+  using ResultMoveCallback = std::function<void(Tuple&&)>;
   using PunctCallback = std::function<void(const Punctuation&)>;
 
   JoinOperator(SchemaPtr left_schema, SchemaPtr right_schema,
@@ -117,11 +131,26 @@ class JoinOperator {
   const SchemaPtr& output_schema() const { return output_schema_; }
 
   void set_result_callback(ResultCallback cb) { on_result_ = std::move(cb); }
+  /// Move-aware result sink: receives the freshly concatenated result tuple
+  /// by rvalue, so a consumer that stores results (the parallel pipeline's
+  /// shard staging) takes ownership without a deep copy. Takes precedence
+  /// over set_result_callback when both are set.
+  void set_result_move_callback(ResultMoveCallback cb) {
+    on_result_move_ = std::move(cb);
+  }
   void set_punct_callback(PunctCallback cb) { on_punct_ = std::move(cb); }
 
   /// Feeds one element of input `side` (0 = left, 1 = right). When both
   /// sides have delivered end-of-stream, Finish() runs automatically.
   Status OnElement(int side, const StreamElement& element);
+
+  /// Feeds a whole routed batch, equivalent to OnElement over each entry in
+  /// order but with the per-element costs amortized: tuple runs dispatch
+  /// through OnTupleHashed (reusing the batch's precomputed key hashes, so
+  /// the key hashes exactly once end to end) and the hot counters flush
+  /// once per run instead of once per tuple. Falls back to the element path
+  /// when per-element state sampling is on.
+  Status ProcessBatch(const ElementBatch& batch);
 
   /// Hook for the driver when both inputs are stalled (network lull): XJoin
   /// runs its reactive stage, PJoin its disk join. Default: no-op.
@@ -181,6 +210,12 @@ class JoinOperator {
  protected:
   // ---- Subclass interface ----
   virtual Status OnTuple(int side, const Tuple& tuple) = 0;
+  /// Tuple arrival with the join-key hash already computed (the batch
+  /// path). Default ignores the hash and calls OnTuple; operators with a
+  /// hash-threaded hot path (PJoin) override this and implement OnTuple as
+  /// a hash-then-delegate wrapper, so both paths share one body.
+  virtual Status OnTupleHashed(int side, const Tuple& tuple,
+                               uint64_t key_hash);
   virtual Status OnPunctuation(int side, const Punctuation& punct) = 0;
   /// Runs once after both inputs reached end-of-stream.
   virtual Status Finish() = 0;
@@ -199,9 +234,23 @@ class JoinOperator {
   /// Probes the memory portion of the state opposite to `side` with `tuple`
   /// and emits all matches. Returns the number of results emitted.
   int64_t ProbeOppositeMemory(int side, const Tuple& tuple);
+  /// Same, with the tuple's join-key hash already computed. Probe
+  /// comparisons accumulate locally and flush to the "probe_comparisons"
+  /// counter at the next element/batch boundary (FlushBatchCounters).
+  int64_t ProbeOppositeMemory(int side, const Tuple& tuple,
+                              uint64_t key_hash);
 
   /// Inserts `tuple` into side's state with ats = `tick`.
   void InsertTuple(int side, const Tuple& tuple, int64_t tick);
+  /// Same, seeding the entry's cached key hash so the state skips the
+  /// rehash at insert.
+  void InsertTuple(int side, const Tuple& tuple, int64_t tick,
+                   uint64_t key_hash);
+
+  /// Flushes the locally accumulated hot-path tallies into counters().
+  /// Called automatically at the end of OnElement and of each ProcessBatch
+  /// tuple run.
+  void FlushBatchCounters();
 
   /// Brings the in-memory total below the memory threshold via the
   /// SpillManager (adaptive per-partition decisions by default; the paper's
@@ -234,10 +283,15 @@ class JoinOperator {
   std::unique_ptr<HashState> states_[2];
   std::unique_ptr<SpillManager> spill_manager_;
   ResultCallback on_result_;
+  ResultMoveCallback on_result_move_;
   PunctCallback on_punct_;
   CounterSet counters_;
   TimeSeries state_series_;
   int64_t tick_ = 0;
+  /// Probe comparisons since the last FlushBatchCounters (hot-path tally;
+  /// the CounterSet map lookup happens once per element/batch, not per
+  /// probe).
+  int64_t pending_probe_comparisons_ = 0;
   int64_t results_emitted_ = 0;
   int64_t puncts_emitted_ = 0;
   TimeMicros last_arrival_ = 0;

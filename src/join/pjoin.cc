@@ -133,6 +133,11 @@ Status PJoin::OnContractViolation(int side, std::string_view kind,
 }
 
 Status PJoin::OnTuple(int side, const Tuple& tuple) {
+  return OnTupleHashed(side, tuple, state(side).KeyOf(tuple).Hash());
+}
+
+Status PJoin::OnTupleHashed(int side, const Tuple& tuple,
+                            uint64_t key_hash) {
   // Contract check: this stream promised — via one of its own earlier
   // punctuations — never to send a tuple with this key again. Processing a
   // late tuple would corrupt purge decisions (its matches may already be
@@ -145,26 +150,27 @@ Status PJoin::OnTuple(int side, const Tuple& tuple) {
   const int64_t tick = NextTick();
   HashState& own = mutable_state(side);
   HashState& opp = mutable_state(1 - side);
-  ProbeOppositeMemory(side, tuple);
+  ProbeOppositeMemory(side, tuple, key_hash);
 
   // On-the-fly drop (§4.3): a tuple already covered by the opposite
   // stream's punctuations can never join future opposite tuples; it only
   // still owes joins against the opposite disk portion, if any.
   if (options().drop_on_the_fly &&
       punct_sets_[1 - side]->SetMatchKey(own.KeyOf(tuple))) {
-    const int p = own.PartitionOf(own.KeyOf(tuple));
+    const int p = own.PartitionOfHash(key_hash);
     if (opp.disk_tuples(p) > 0) {
       TupleEntry entry;
       entry.tuple = tuple;
       entry.ats = tick;
       entry.dts = tick + 1;  // present only during its own arrival tick
+      entry.key_hash = key_hash;
       own.AddToPurgeBuffer(p, std::move(entry));
       counters().Add("otf_to_purge_buffer");
     } else {
       counters().Add("otf_drops");
     }
   } else {
-    InsertTuple(side, tuple, tick);
+    InsertTuple(side, tuple, tick, key_hash);
   }
 
   PJOIN_RETURN_NOT_OK(monitor_->OnStateSizeChanged(memory_state_tuples(),

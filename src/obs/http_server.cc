@@ -131,7 +131,7 @@ Status HttpServer::Start(int port) {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
-  stopping_.store(false, std::memory_order_release);
+  stopping_.store(false);
 
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   const int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
@@ -147,10 +147,10 @@ void HttpServer::Stop() {
     // Flipping the flag under mu_ closes the lost-wakeup window against a
     // worker that has checked its predicate but not yet blocked.
     MutexLock lock(mu_);
-    if (stopping_.load(std::memory_order_acquire) && listen_fd_ == -1) {
+    if (stopping_.load() && listen_fd_ == -1) {
       return;  // never started, or already stopped
     }
-    stopping_.store(true, std::memory_order_release);
+    stopping_.store(true);
   }
   queue_cv_.NotifyAll();
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -166,7 +166,7 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load()) {
     pollfd pfd;
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
@@ -188,7 +188,7 @@ void HttpServer::AcceptLoop() {
     {
       MutexLock lock(mu_);
       if (pending_.size() < options_.max_pending &&
-          !stopping_.load(std::memory_order_acquire)) {
+          !stopping_.load()) {
         pending_.push_back(conn);
         enqueued = true;
       }
@@ -208,7 +208,7 @@ void HttpServer::WorkerLoop() {
     {
       MutexLock lock(mu_);
       while (pending_.empty() &&
-             !stopping_.load(std::memory_order_acquire)) {
+             !stopping_.load()) {
         queue_cv_.Wait(mu_);
       }
       if (pending_.empty()) return;  // stopping, queue drained

@@ -206,7 +206,7 @@ IntrospectionServer::IntrospectionServer(HttpServerOptions options)
     return TextResponse(RenderTracez());
   });
   server_.AddHandler("/quitquitquit", [this](const HttpRequest&) {
-    quit_.store(true, std::memory_order_release);
+    quit_.store(true);
     return TextResponse("quitting\n");
   });
   server_.AddHandler("/", [](const HttpRequest&) {

@@ -71,7 +71,7 @@ class IntrospectionServer {
 
   /// True once a scraper has hit /quitquitquit.
   [[nodiscard]] bool quit_requested() const {
-    return quit_.load(std::memory_order_acquire);
+    return quit_.load();
   }
 
  private:

@@ -114,19 +114,19 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
       s.unit_scale = cell->unit_scale;
       if (cell->kind == MetricKind::kHistogram) {
         const HistogramData& h = *cell->hist;
-        s.value = h.count.load(std::memory_order_relaxed);
-        s.sum = h.sum.load(std::memory_order_relaxed);
+        s.value = h.count.load();
+        s.sum = h.sum.load();
         int last = HistogramData::kNumBuckets - 1;
         while (last >= 0 &&
-               h.buckets[last].load(std::memory_order_relaxed) == 0) {
+               h.buckets[last].load() == 0) {
           --last;
         }
         s.buckets.reserve(last + 1);
         for (int b = 0; b <= last; ++b) {
-          s.buckets.push_back(h.buckets[b].load(std::memory_order_relaxed));
+          s.buckets.push_back(h.buckets[b].load());
         }
       } else {
-        s.value = cell->value.load(std::memory_order_relaxed);
+        s.value = cell->value.load();
       }
       samples.push_back(std::move(s));
     }

@@ -88,11 +88,11 @@ class Counter {
 
   void Add(int64_t delta = 1) {
     if (cell_ != nullptr) {
-      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+      cell_->value.fetch_add(delta);
     }
   }
   [[nodiscard]] int64_t Get() const {
-    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+    return cell_ == nullptr ? 0 : cell_->value.load();
   }
   [[nodiscard]] bool bound() const { return cell_ != nullptr; }
 
@@ -110,16 +110,16 @@ class Gauge {
 
   void Set(int64_t value) {
     if (cell_ != nullptr) {
-      cell_->value.store(value, std::memory_order_relaxed);
+      cell_->value.store(value);
     }
   }
   void Add(int64_t delta) {
     if (cell_ != nullptr) {
-      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+      cell_->value.fetch_add(delta);
     }
   }
   [[nodiscard]] int64_t Get() const {
-    return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+    return cell_ == nullptr ? 0 : cell_->value.load();
   }
   [[nodiscard]] bool bound() const { return cell_ != nullptr; }
 
@@ -140,19 +140,19 @@ class Histogram {
     if (cell_ == nullptr) return;
     HistogramData& h = *cell_->hist;
     h.buckets[HistogramData::BucketFor(value)].fetch_add(
-        1, std::memory_order_relaxed);
-    h.sum.fetch_add(value, std::memory_order_relaxed);
-    h.count.fetch_add(1, std::memory_order_relaxed);
+        1);
+    h.sum.fetch_add(value);
+    h.count.fetch_add(1);
   }
   [[nodiscard]] int64_t Count() const {
     return cell_ == nullptr
                ? 0
-               : cell_->hist->count.load(std::memory_order_relaxed);
+               : cell_->hist->count.load();
   }
   [[nodiscard]] int64_t Sum() const {
     return cell_ == nullptr
                ? 0
-               : cell_->hist->sum.load(std::memory_order_relaxed);
+               : cell_->hist->sum.load();
   }
   [[nodiscard]] bool bound() const { return cell_ != nullptr; }
 

@@ -1,15 +1,12 @@
 #include "ops/parallel_pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
-#include "common/clock.h"
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
 #include "obs/introspection.h"
-#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace pjoin {
@@ -24,6 +21,23 @@ int ShardOfHash(uint64_t key_hash, int num_shards) {
   return static_cast<int>(mixed % static_cast<uint64_t>(num_shards));
 }
 
+// Ring capacities are configured in elements but the rings carry batches;
+// 0 means "effectively unbounded" (a large default).
+size_t RingBatches(size_t capacity_elements, size_t batch_size) {
+  if (capacity_elements == 0) capacity_elements = 65536;
+  const size_t batches = capacity_elements / batch_size;
+  return batches < 2 ? 2 : batches;
+}
+
+// Per-thread CPU time for the PJOIN_PAR_DEBUG breakdown: on few-core hosts
+// wall-clock spans include preemption, so only the CPU clock attributes cost
+// to the thread that actually spent it.
+int64_t ThreadCpuMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1000000 + ts.tv_nsec / 1000;
+}
+
 }  // namespace
 
 std::string ShardStats::ToString() const {
@@ -36,106 +50,37 @@ std::string ShardStats::ToString() const {
          " state_tuples=" + std::to_string(state_tuples);
 }
 
-// A bounded queue of routed elements between the router (sole producer) and
-// one shard worker (sole consumer), with batched push/pop.
-class ParallelJoinPipeline::ShardQueue {
- public:
-  explicit ShardQueue(size_t capacity) : capacity_(capacity) {}
-
-  /// Moves the whole batch in, blocking while the queue is at capacity.
-  void PushBatch(std::vector<Routed>* batch) EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    size_t pushed = 0;
-    while (pushed < batch->size()) {
-      if (!HasSpaceLocked()) WaitForSpaceLocked();
-      size_t room = batch->size() - pushed;
-      if (capacity_ > 0) {
-        room = std::min<size_t>(room, capacity_ - queue_.size());
-      }
-      for (size_t i = 0; i < room; ++i) {
-        queue_.push_back(std::move((*batch)[pushed++]));
-      }
-      data_.NotifyOne();
-    }
-    batch->clear();
-  }
-
-  /// Appends up to `max` elements to `out`, waiting up to `wait` for data.
-  void PopBatch(size_t max, std::chrono::microseconds wait,
-                std::vector<Routed>* out) EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    if (queue_.empty() && !closed_) {
-      const auto deadline = SteadyDeadlineAfter(wait);
-      while (queue_.empty() && !closed_) {
-        if (data_.WaitUntil(mu_, deadline)) break;
-      }
-    }
-    const size_t n = std::min(max, queue_.size());
-    for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    if (n > 0 && capacity_ > 0) space_.NotifyAll();
-  }
-
-  void Close() EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    closed_ = true;
-    data_.NotifyAll();
-  }
-
-  bool exhausted() const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return closed_ && queue_.empty();
-  }
-
-  int64_t backpressure_waits() const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return backpressure_waits_;
-  }
-
-  /// Current depth; safe from any thread (the /statusz handler reads it
-  /// while the router and worker are live).
-  size_t size() const EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return queue_.size();
-  }
-
- private:
-  bool HasSpaceLocked() const REQUIRES(mu_) {
-    return capacity_ == 0 || queue_.size() < capacity_;
-  }
-  void WaitForSpaceLocked() REQUIRES(mu_) {
-    ++backpressure_waits_;
-    while (!HasSpaceLocked()) space_.Wait(mu_);
-  }
-
-  mutable Mutex mu_;
-  CondVar data_;
-  CondVar space_;
-  std::deque<Routed> queue_ GUARDED_BY(mu_);
-  const size_t capacity_;
-  bool closed_ GUARDED_BY(mu_) = false;
-  int64_t backpressure_waits_ GUARDED_BY(mu_) = 0;
-};
-
 struct ParallelJoinPipeline::Shard {
-  Shard(int id_in, size_t queue_capacity) : id(id_in), queue(queue_capacity) {}
+  Shard(int id_in, size_t queue_batches, size_t out_batches)
+      : id(id_in), queue(queue_batches), out(out_batches) {}
 
   const int id;
   JoinOperator* join = nullptr;
-  ShardQueue queue;
+  /// Router → worker: routed batches (router is the sole producer, the
+  /// worker the sole consumer).
+  SpscRing<RoutedBatch> queue;
+  /// Worker → merger: result/release batches (worker produces, the
+  /// router/caller thread consumes).
+  SpscRing<OutBatch> out;
   /// Elements the worker has fully processed; the router's epoch barrier
   /// compares this against its enqueued count.
   std::atomic<int64_t> processed{0};
   /// Elements the router has pushed (written by the router only; atomic so
   /// the /statusz section can read it live).
   std::atomic<int64_t> enqueued{0};
-  /// Live queue depth, published by the worker once per batch.
+  /// Live routed-element backlog (enqueued - processed), published by the
+  /// worker once per batch.
   obs::Gauge depth_gauge;
-  /// Worker-local result staging, flushed into the shared output queue in
-  /// batches (and always before a punctuation release is recorded).
+  /// Live ring occupancies in batches (pjoin_ring_occupancy).
+  obs::Gauge queue_occupancy_gauge;
+  obs::Gauge out_occupancy_gauge;
+  /// Times the worker entered the spin-then-park slow path on an empty
+  /// routed ring (pjoin_shard_spin_parks).
+  obs::Counter spin_parks_counter;
+  /// Worker-local staging, moved into `out` as one OutBatch. Results always
+  /// precede the releases recorded after them (the §3.3 ordering).
   std::vector<Tuple> local_results;
+  std::vector<Punctuation> local_releases;
   ShardStats stats;
   Status status;
 };
@@ -146,17 +91,24 @@ ParallelJoinPipeline::ParallelJoinPipeline(JoinFactory factory,
   PJOIN_DCHECK(factory != nullptr);
   PJOIN_DCHECK(options_.num_shards > 0);
   PJOIN_DCHECK(options_.batch_size > 0);
+  const size_t queue_batches =
+      RingBatches(options_.shard_queue_capacity, options_.batch_size);
   joins_.reserve(static_cast<size_t>(options_.num_shards));
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   staged_.resize(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     joins_.push_back(factory(s));
     PJOIN_DCHECK(joins_.back() != nullptr);
-    auto shard = std::make_unique<Shard>(s, options_.shard_queue_capacity);
+    auto shard = std::make_unique<Shard>(s, queue_batches, /*out_batches=*/64);
     shard->join = joins_.back().get();
     shard->stats.shard = s;
     shards_.push_back(std::move(shard));
   }
+  // Output-schema positions of the two join keys, for the merger's
+  // routed-vs-broadcast release inference (ReleaseExpectedShards).
+  release_key_pos_[0] = joins_[0]->state(0).key_index();
+  release_key_pos_[1] = joins_[0]->state(0).schema()->num_fields() +
+                        joins_[0]->state(1).key_index();
 }
 
 ParallelJoinPipeline::~ParallelJoinPipeline() = default;
@@ -167,70 +119,118 @@ CounterSet ParallelJoinPipeline::MergedCounters() const {
   return merged;
 }
 
-int64_t ParallelJoinPipeline::router_backpressure_waits() const {
-  int64_t total = 0;
-  for (const auto& shard : shards_) total += shard->queue.backpressure_waits();
-  return total;
-}
-
-void ParallelJoinPipeline::FlushShardResultsLocked(Shard* shard) {
-  for (Tuple& t : shard->local_results) {
-    output_results_.push_back(std::move(t));
+void ParallelJoinPipeline::FlushShardOut(Shard* shard, bool force) {
+  if (shard->local_results.empty() && shard->local_releases.empty()) return;
+  // Releases always flush promptly (the merger's board is waiting on them);
+  // bare results batch up to result_flush.
+  if (!force && shard->local_releases.empty() &&
+      shard->local_results.size() < options_.result_flush) {
+    return;
   }
+  OutBatch out;
+  out.results = std::move(shard->local_results);
+  out.releases = std::move(shard->local_releases);
   shard->local_results.clear();
+  shard->local_releases.clear();
+  // The moved-from vector restarts at zero capacity; reserving the flush
+  // threshold up front spares the next batch the doubling re-allocations
+  // (each of which would move every staged Tuple again).
+  shard->local_results.reserve(options_.result_flush);
+  // Safe to park here: the merger (router/caller thread) drains these rings
+  // whenever it waits on anything.
+  shard->out.PushBlocking(std::move(out));
+  // Wake a merger parked on the activity eventcount (push first, then bump:
+  // a merger that re-drained after loading the count cannot miss the batch).
+  out_activity_.fetch_add(1);
+  out_activity_.notify_all();
 }
 
-void ParallelJoinPipeline::PublishShardOutputs(Shard* shard) {
-  if (shard->local_results.empty()) return;
-  MutexLock lock(output_mu_);
-  FlushShardResultsLocked(shard);
-}
-
-void ParallelJoinPipeline::ReleasePunct(Shard* shard, const Punctuation& p) {
-  TRACE_INSTANT("par", "punct_release");
-  MutexLock lock(output_mu_);
-  FlushShardResultsLocked(shard);
-  PunctCell& cell = punct_board_[p.ToString()];
-  if (!cell.punct.has_value()) cell.punct = p;
-  if (++cell.releases % num_shards() == 0) {
-    output_puncts_.push_back(*cell.punct);
+int ParallelJoinPipeline::ReleaseExpectedShards(const Punctuation& p) const {
+  // Mirrors the router's dispatch rule from the release side: a punctuation
+  // whose join-key pattern is a constant was routed to the key's owning
+  // shard alone, so exactly one release completes it; anything else was
+  // broadcast and needs a release from every shard. The join releases
+  // punctuations over its *output* schema with the key pattern transferred
+  // to both key positions (the equi-join predicate), so a constant at
+  // either key position identifies a routed punctuation regardless of the
+  // input side it arrived on.
+  for (const size_t pos : release_key_pos_) {
+    if (pos < p.num_patterns() && p.pattern(pos).IsConstant()) return 1;
   }
+  return num_shards();
 }
 
-void ParallelJoinPipeline::DrainOutputs() {
-  std::deque<Tuple> results;
-  std::deque<Punctuation> puncts;
-  {
-    MutexLock lock(output_mu_);
-    results.swap(output_results_);
-    puncts.swap(output_puncts_);
-  }
-  if (results.empty() && puncts.empty()) return;
+void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
   TRACE_SPAN("par", "merge_drain");
-  for (const Tuple& t : results) {
+  for (Tuple& t : out.results) {
     ++results_emitted_;
     if (on_result_) on_result_(t);
   }
-  for (const Punctuation& p : puncts) {
-    ++puncts_emitted_;
-    if (on_punct_) on_punct_(p);
+  for (Punctuation& p : out.releases) {
+    TRACE_INSTANT("par", "punct_release");
+    // Emitted once per full round of releases from the shards the router
+    // dispatched it to. The count (rather than erase-at-full-round)
+    // tolerates a punctuation string recurring.
+    if (++punct_board_[p.ToString()] % ReleaseExpectedShards(p) == 0) {
+      ++puncts_emitted_;
+      if (on_punct_) on_punct_(p);
+    }
   }
 }
 
-void ParallelJoinPipeline::Stage(int shard, int8_t side, StreamElement e,
+size_t ParallelJoinPipeline::DrainOutputs() {
+  size_t merged = 0;
+  for (auto& shard : shards_) {
+    OutBatch out;
+    while (shard->out.TryPop(&out)) {
+      MergeOutBatch(std::move(out));
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+void ParallelJoinPipeline::Stage(int shard, int8_t side,
+                                 const StreamElement* e, uint64_t key_hash,
                                  TimeMicros ingress_us) {
-  auto& pending = staged_[static_cast<size_t>(shard)];
-  pending.push_back(Routed{side, std::move(e), ingress_us});
-  if (pending.size() >= options_.batch_size) FlushStaged(shard);
+  RoutedBatch& pending = staged_[static_cast<size_t>(shard)];
+  if (pending.elements.empty()) pending.ingress_us = ingress_us;
+  pending.elements.push_back(e);
+  pending.sides.push_back(side);
+  pending.key_hashes.push_back(key_hash);
+  if (e->is_tuple()) ++pending.tuple_count;
+  if (pending.elements.size() >= options_.batch_size) FlushStaged(shard);
 }
 
 void ParallelJoinPipeline::FlushStaged(int shard) {
-  auto& pending = staged_[static_cast<size_t>(shard)];
-  if (pending.empty()) return;
+  RoutedBatch& pending = staged_[static_cast<size_t>(shard)];
+  if (pending.elements.empty()) return;
   Shard& s = *shards_[static_cast<size_t>(shard)];
-  s.enqueued.fetch_add(static_cast<int64_t>(pending.size()),
-                       std::memory_order_relaxed);
-  s.queue.PushBatch(&pending);
+  s.enqueued.fetch_add(static_cast<int64_t>(pending.elements.size()));
+  RoutedBatch batch = std::move(pending);
+  pending = RoutedBatch{};
+  pending.elements.reserve(options_.batch_size);
+  pending.sides.reserve(options_.batch_size);
+  pending.key_hashes.reserve(options_.batch_size);
+  if (s.queue.TryPush(std::move(batch))) return;
+  // Full shard ring. The router must NOT park indefinitely (it is also the
+  // merger): drain the output rings — which is usually exactly what
+  // unblocks the slow shard — and retry. When a retry round makes no merge
+  // progress either, nap briefly instead of yield-spinning: the shard owns
+  // a full ring of work, so on few-core hosts giving the core away beats
+  // burning it, and the nap bounds added latency to microseconds. TryPush
+  // leaves `batch` intact on failure.
+  router_backpressure_waits_.fetch_add(1);
+  backpressure_counter_.Add(1);
+  while (true) {
+    const size_t merged = DrainOutputs();
+    if (s.queue.TryPush(std::move(batch))) return;
+    if (merged == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ParallelJoinPipeline::EpochBarrier() {
@@ -239,8 +239,7 @@ void ParallelJoinPipeline::EpochBarrier() {
   while (true) {
     bool drained = true;
     for (const auto& shard : shards_) {
-      if (shard->processed.load(std::memory_order_acquire) <
-          shard->enqueued.load(std::memory_order_relaxed)) {
+      if (shard->processed.load() < shard->enqueued.load()) {
         drained = false;
         break;
       }
@@ -254,23 +253,24 @@ void ParallelJoinPipeline::EpochBarrier() {
 void ParallelJoinPipeline::ShardLoop(Shard* shard) {
   TRACE_SET_THREAD_NAME("shard-" + std::to_string(shard->id));
   JoinOperator* join = shard->join;
-  std::vector<Routed> batch;
-  batch.reserve(options_.batch_size);
+  RoutedBatch batch;
   int64_t dry = 0;
   bool failed = false;
   int64_t busy_us = 0;
   Stopwatch batch_timer;
   const bool debug = std::getenv("PJOIN_PAR_DEBUG") != nullptr;
   while (true) {
-    batch.clear();
-    shard->queue.PopBatch(options_.batch_size,
-                          std::chrono::microseconds(500), &batch);
-    if (batch.empty()) {
+    if (!shard->queue.TryPop(&batch)) {
       if (shard->queue.exhausted()) break;
-      // This shard is momentarily dry: use the lull for background work
-      // (PJoin's disk join, XJoin's reactive stage) on shard-local state.
-      if (!failed && ++dry >= options_.stall_polls) {
-        dry = 0;
+      if (++dry < options_.stall_polls) {
+        std::this_thread::yield();
+        continue;
+      }
+      dry = 0;
+      // This shard is dry: use the lull for background work (PJoin's disk
+      // join, XJoin's reactive stage) on shard-local state, then park until
+      // the router pushes or closes.
+      if (!failed) {
         ++shard->stats.stalls;
         // Emissions out of the stall work (disk-join results, deferred
         // propagation) attribute latency to the stall start.
@@ -281,58 +281,84 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
           failed = true;
         }
         join->PublishStateGauges();
-        PublishShardOutputs(shard);
+        FlushShardOut(shard, /*force=*/true);
       }
+      shard->spin_parks_counter.Add(1);
+      shard_spin_parks_.fetch_add(1);
+      shard->queue.WaitForData();
       continue;
     }
     dry = 0;
+    const size_t n = batch.elements.size();
     batch_timer.Restart();
     {
       TRACE_SPAN("par", "shard_batch");
-      for (Routed& r : batch) {
-        if (!failed) {
-          ++shard->stats.elements;
-          if (r.element.is_tuple()) ++shard->stats.tuples;
-          join->set_element_ingress_micros(r.ingress_us);
-          const Status st = join->OnElement(r.side, r.element);
-          if (!st.ok()) {
-            shard->status = st;
-            // Keep draining (and discarding) so the router never blocks on
-            // this shard's queue; the error is surfaced after the run.
-            failed = true;
+      if (!failed) {
+        shard->stats.elements += static_cast<int64_t>(n);
+        shard->stats.tuples += batch.tuple_count;
+        join->set_element_ingress_micros(batch.ingress_us);
+        Status st;
+        if (options_.batched_probe) {
+          st = join->ProcessBatch(ElementBatch{batch.elements.data(),
+                                              batch.sides.data(),
+                                              batch.key_hashes.data(), n});
+        } else {
+          for (size_t i = 0; i < n && st.ok(); ++i) {
+            st = join->OnElement(batch.sides[i], *batch.elements[i]);
           }
         }
-        shard->processed.fetch_add(1, std::memory_order_release);
+        if (!st.ok()) {
+          shard->status = st;
+          // Keep draining (and discarding) so the router never wedges on
+          // this shard's ring; the error is surfaced after the run.
+          failed = true;
+        }
       }
+      shard->processed.fetch_add(static_cast<int64_t>(n));
     }
     busy_us += batch_timer.ElapsedMicros();
-    // Once-per-batch live publication: queue depth plus the join's state
-    // gauges (the worker owns the join, so the HashState reads are safe).
-    shard->depth_gauge.Set(static_cast<int64_t>(shard->queue.size()));
+    // Once-per-batch live publication: backlog, ring occupancies, and the
+    // join's state gauges (the worker owns the join, so the HashState reads
+    // are safe).
+    shard->depth_gauge.Set(shard->enqueued.load() - shard->processed.load());
+    shard->queue_occupancy_gauge.Set(
+        static_cast<int64_t>(shard->queue.size()));
     join->PublishStateGauges();
-    if (shard->local_results.size() >= options_.result_flush) {
-      PublishShardOutputs(shard);
-    }
+    FlushShardOut(shard, /*force=*/false);
+    shard->out_occupancy_gauge.Set(static_cast<int64_t>(shard->out.size()));
   }
   shard->depth_gauge.Set(0);
+  shard->queue_occupancy_gauge.Set(0);
   join->PublishStateGauges();
-  PublishShardOutputs(shard);
+  FlushShardOut(shard, /*force=*/true);
+  shard->out_occupancy_gauge.Set(0);
+  shard->out.Close();
+  workers_done_.fetch_add(1);
+  out_activity_.fetch_add(1);
+  out_activity_.notify_all();
   if (debug) {
-    std::fprintf(stderr, "[par debug] shard=%d busy=%lldms stalls=%lld\n",
+    std::fprintf(stderr,
+                 "[par debug] shard=%d busy=%lldms cpu=%lldms stalls=%lld\n",
                  shard->id, (long long)(busy_us / 1000),
+                 (long long)(ThreadCpuMicros() / 1000),
                  (long long)shard->stats.stalls);
   }
 }
 
-void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
-                                      StreamBuffer* in_right) {
+void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
+                                      SpscRing<InputSpan>* in_right) {
   TRACE_SET_THREAD_NAME("router");
   TRACE_SPAN("par", "router");
-  StreamBuffer* in[2] = {in_left, in_right};
-  std::deque<StreamElement> head[2];
+  SpscRing<InputSpan>* in[2] = {in_left, in_right};
+  InputSpan span[2];
+  size_t pos[2] = {0, 0};
   bool eos_sent[2] = {false, false};
   const size_t key_index[2] = {joins_[0]->state(0).key_index(),
                                joins_[0]->state(1).key_index()};
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Gauge in_occupancy[2] = {
+      registry.GetGauge("pjoin_ring_occupancy", "edge=input_l"),
+      registry.GetGauge("pjoin_ring_occupancy", "edge=input_r")};
   int64_t since_drain = 0;
   // Ingress timestamps for latency attribution, refreshed every few
   // dispatches so the clock read amortizes off the routing hot path. The
@@ -341,31 +367,32 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
   TimeMicros now_us = obs::TraceNowMicros();
   int now_refresh = 0;
 
-  auto refill = [&](int side) {
-    if (!head[side].empty() || eos_sent[side]) return;
-    for (StreamElement& e :
-         in[side]->PopBatch(options_.batch_size)) {
-      head[side].push_back(std::move(e));
+  // The head of a side is the next element of its current span, refilled
+  // from the input ring when the span is drained (zero copy throughout:
+  // spans point straight into the caller's vectors).
+  auto head = [&](int side) -> const StreamElement* {
+    if (pos[side] >= span[side].size) {
+      if (!in[side]->TryPop(&span[side])) return nullptr;
+      pos[side] = 0;
     }
+    return span[side].data + pos[side];
   };
 
   while (!(eos_sent[0] && eos_sent[1])) {
-    refill(0);
-    refill(1);
-    const bool have0 = !head[0].empty();
-    const bool have1 = !head[1].empty();
+    const StreamElement* h0 = eos_sent[0] ? nullptr : head(0);
+    const StreamElement* h1 = eos_sent[1] ? nullptr : head(1);
     // Merge in global arrival order: only consume a side when the other has
     // a head to compare against or can never produce an earlier element.
-    const bool done1 = eos_sent[1] || in[1]->exhausted();
     const bool done0 = eos_sent[0] || in[0]->exhausted();
+    const bool done1 = eos_sent[1] || in[1]->exhausted();
     int side = -1;
-    if (have0 &&
-        (have1 ? head[0].front().arrival() <= head[1].front().arrival()
-               : done1)) {
+    if (h0 != nullptr && (h1 != nullptr
+                              ? h0->arrival() <= h1->arrival()
+                              : done1)) {
       side = 0;
-    } else if (have1 &&
-               (have0 ? head[1].front().arrival() < head[0].front().arrival()
-                      : done0)) {
+    } else if (h1 != nullptr && (h0 != nullptr
+                                     ? h1->arrival() < h0->arrival()
+                                     : done0)) {
       side = 1;
     }
     if (side < 0) {
@@ -373,28 +400,46 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
       std::this_thread::yield();
       continue;
     }
-    StreamElement e = std::move(head[side].front());
-    head[side].pop_front();
+    const StreamElement* e = span[side].data + pos[side];
+    ++pos[side];
     if (now_refresh-- <= 0) {
       now_us = obs::TraceNowMicros();
       now_refresh = 63;
     }
 
-    switch (e.kind()) {
+    switch (e->kind()) {
       case ElementKind::kTuple: {
-        const uint64_t h = e.tuple().field(key_index[side]).Hash();
-        Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side),
-              std::move(e), now_us);
+        // The single hash of this tuple's key for the whole pipeline: shard
+        // selection here, partition selection / index probe / index insert
+        // in the shard (via RoutedBatch::key_hashes).
+        const uint64_t h = e->tuple().field(key_index[side]).Hash();
+        Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side), e, h,
+              now_us);
         break;
       }
       case ElementKind::kPunctuation: {
-        // Broadcast. Staged order keeps the punctuation behind every tuple
+        // A constant-key punctuation concerns exactly one shard: every
+        // tuple it covers (and every future tuple it promises away)
+        // carries that key, and keys route by hash — so it goes to the
+        // owning shard alone, like a tuple. This is what lets purge and
+        // punctuation-set work scale *down* with the shard count:
+        // broadcasting would make every shard scan its state for a key
+        // that cannot be there. Non-constant patterns (range flush
+        // markers, wildcards) can cover keys of every shard and still
+        // broadcast (shared pointer — the element is borrowed either
+        // way). Staged order keeps the punctuation behind every tuple
         // dispatched before it, per shard.
-        for (int s = 0; s + 1 < num_shards(); ++s) {
-          Stage(s, static_cast<int8_t>(side), e, now_us);
+        const Pattern& key_pattern =
+            e->punctuation().pattern(key_index[side]);
+        if (key_pattern.IsConstant()) {
+          const uint64_t h = key_pattern.constant().Hash();
+          Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side), e,
+                /*key_hash=*/0, now_us);
+        } else {
+          for (int s = 0; s < num_shards(); ++s) {
+            Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0, now_us);
+          }
         }
-        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e),
-              now_us);
         if (options_.punct_barrier) {
           for (int s = 0; s < num_shards(); ++s) FlushStaged(s);
           EpochBarrier();
@@ -402,11 +447,9 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
         break;
       }
       case ElementKind::kEndOfStream: {
-        for (int s = 0; s + 1 < num_shards(); ++s) {
-          Stage(s, static_cast<int8_t>(side), e, now_us);
+        for (int s = 0; s < num_shards(); ++s) {
+          Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0, now_us);
         }
-        Stage(num_shards() - 1, static_cast<int8_t>(side), std::move(e),
-              now_us);
         eos_sent[side] = true;
         break;
       }
@@ -414,12 +457,16 @@ void ParallelJoinPipeline::RouterLoop(StreamBuffer* in_left,
     if (++since_drain >= static_cast<int64_t>(options_.batch_size)) {
       since_drain = 0;
       DrainOutputs();
+      in_occupancy[0].Set(static_cast<int64_t>(in[0]->size()));
+      in_occupancy[1].Set(static_cast<int64_t>(in[1]->size()));
     }
   }
   for (int s = 0; s < num_shards(); ++s) {
     FlushStaged(s);
     shards_[static_cast<size_t>(s)]->queue.Close();
   }
+  in_occupancy[0].Set(0);
+  in_occupancy[1].Set(0);
 }
 
 Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
@@ -427,68 +474,85 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
   PJOIN_DCHECK(!ran_);
   ran_ = true;
 
-  // Wire per-shard output callbacks: results stage locally; a punctuation
-  // release first publishes the shard's staged results, then marks the
-  // board — so by the time the last shard completes a punctuation, every
-  // covered result is already in the output queue ahead of it.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  backpressure_counter_ = registry.GetCounter("pjoin_router_backpressure_waits",
+                                              "pipeline=parallel");
+  // Wire per-shard output staging: results queue up locally; a punctuation
+  // release is recorded behind them, and FlushShardOut moves both into the
+  // shard's output ring with that order intact — so by the time the merger
+  // counts the last shard's release, every covered result has already been
+  // emitted ahead of it.
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    shard->join->set_result_callback(
-        [shard](const Tuple& t) { shard->local_results.push_back(t); });
-    shard->join->set_punct_callback([this, shard](const Punctuation& p) {
-      ReleasePunct(shard, p);
+    shard->local_results.reserve(options_.result_flush);
+    shard->join->set_result_move_callback([shard](Tuple&& t) {
+      shard->local_results.push_back(std::move(t));
+    });
+    shard->join->set_punct_callback([shard](const Punctuation& p) {
+      shard->local_releases.push_back(p);
     });
     const std::string labels =
         "pipeline=parallel,shard=" + std::to_string(shard->id);
     shard->join->BindLatencyMetrics(labels);
     shard->join->BindStateGauges(labels);
-    shard->depth_gauge = obs::MetricsRegistry::Global().GetGauge(
-        "pjoin_shard_queue_depth", labels);
+    shard->depth_gauge =
+        registry.GetGauge("pjoin_shard_queue_depth", labels);
+    shard->queue_occupancy_gauge = registry.GetGauge(
+        "pjoin_ring_occupancy", "edge=shard_" + std::to_string(shard->id));
+    shard->out_occupancy_gauge = registry.GetGauge(
+        "pjoin_ring_occupancy", "edge=out_" + std::to_string(shard->id));
+    shard->spin_parks_counter =
+        registry.GetCounter("pjoin_shard_spin_parks", labels);
   }
 
-  // Live /statusz contribution for the duration of the run: per-shard
-  // queue depths and router/worker progress, all read through locks or
-  // atomics so the server's handler threads can call this any time.
+  // Live /statusz contribution for the duration of the run: per-shard ring
+  // occupancy and router/worker progress, all read through atomics so the
+  // server's handler threads can call this any time.
   obs::ScopedStatusSection statusz_section(
       "parallel pipeline", [this]() {
         std::string out;
         for (const auto& shard : shards_) {
           out.append("shard ");
           out.append(std::to_string(shard->id));
-          out.append(": queue_depth=");
+          out.append(": queue_batches=");
           out.append(std::to_string(shard->queue.size()));
+          out.append(" depth=");
+          out.append(std::to_string(shard->enqueued.load() -
+                                    shard->processed.load()));
           out.append(" enqueued=");
-          out.append(std::to_string(
-              shard->enqueued.load(std::memory_order_relaxed)));
+          out.append(std::to_string(shard->enqueued.load()));
           out.append(" processed=");
-          out.append(std::to_string(
-              shard->processed.load(std::memory_order_acquire)));
-          out.append(" backpressure_waits=");
-          out.append(std::to_string(shard->queue.backpressure_waits()));
+          out.append(std::to_string(shard->processed.load()));
           out.push_back('\n');
         }
+        out.append("router: backpressure_waits=");
+        out.append(std::to_string(router_backpressure_waits_.load()));
+        out.append(" shard_spin_parks=");
+        out.append(std::to_string(shard_spin_parks_.load()));
+        out.push_back('\n');
         return out;
       });
 
-  StreamBuffer input[2] = {StreamBuffer(options_.input_buffer_capacity),
-                           StreamBuffer(options_.input_buffer_capacity)};
-  input[0].BindMetrics("input_l");
-  input[1].BindMetrics("input_r");
+  const size_t input_batches =
+      RingBatches(options_.input_buffer_capacity, options_.batch_size);
+  SpscRing<InputSpan> in_left(input_batches);
+  SpscRing<InputSpan> in_right(input_batches);
+  // Producers publish read-only spans of the caller's vectors — the
+  // elements themselves are never copied (Run borrows the vectors for the
+  // whole call, so the spans stay valid).
   auto produce = [this](const std::vector<StreamElement>& src,
-                        StreamBuffer* buffer,
+                        SpscRing<InputSpan>* ring,
                         [[maybe_unused]] const char* name) {
     TRACE_SET_THREAD_NAME(name);
     for (size_t i = 0; i < src.size(); i += options_.batch_size) {
-      const size_t end = std::min(src.size(), i + options_.batch_size);
-      std::vector<StreamElement> chunk(src.begin() + static_cast<long>(i),
-                                       src.begin() + static_cast<long>(end));
-      if (buffer->PushBatch(std::move(chunk)) < end - i) break;
+      const size_t n = std::min(options_.batch_size, src.size() - i);
+      ring->PushBlocking(InputSpan{src.data() + i, n});
     }
-    buffer->Close();
+    ring->Close();
   };
 
-  std::thread producer_l(produce, std::cref(left), &input[0], "producer-l");
-  std::thread producer_r(produce, std::cref(right), &input[1], "producer-r");
+  std::thread producer_l(produce, std::cref(left), &in_left, "producer-l");
+  std::thread producer_r(produce, std::cref(right), &in_right, "producer-r");
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
   for (auto& shard : shards_) {
@@ -496,19 +560,33 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
   }
 
   Stopwatch phase_timer;
-  RouterLoop(&input[0], &input[1]);
+  RouterLoop(&in_left, &in_right);
   const TimeMicros router_us = phase_timer.ElapsedMicros();
 
+  // Keep merging while the workers finish their tails (a worker could
+  // otherwise park forever on a full output ring) — parked on the activity
+  // eventcount between drains so this thread's cycles go to the workers.
+  while (true) {
+    const uint32_t seq = out_activity_.load();
+    const bool done = workers_done_.load() >= num_shards();
+    if (DrainOutputs() == 0) {
+      if (done) break;
+      out_activity_.wait(seq);
+    }
+  }
   producer_l.join();
   producer_r.join();
   for (std::thread& w : workers) w.join();
+  DrainOutputs();
   const TimeMicros total_us = phase_timer.ElapsedMicros();
   if (std::getenv("PJOIN_PAR_DEBUG") != nullptr) {
-    std::fprintf(stderr, "[par debug] router=%lldms drain_workers=%lldms\n",
+    std::fprintf(stderr,
+                 "[par debug] router=%lldms drain_workers=%lldms "
+                 "caller_cpu=%lldms\n",
                  (long long)(router_us / 1000),
-                 (long long)((total_us - router_us) / 1000));
+                 (long long)((total_us - router_us) / 1000),
+                 (long long)(ThreadCpuMicros() / 1000));
   }
-  DrainOutputs();
 
   Status status;
   shard_stats_.clear();

@@ -1,86 +1,114 @@
 // ParallelJoinPipeline: partition-parallel execution of a symmetric stream
-// join (PJoin / XJoin / SHJ).
+// join (PJoin / XJoin / SHJ) over a lock-free dataflow spine.
 //
 // Topology (docs/PERFORMANCE.md):
 //
-//   producer L ─┐                 ┌─> shard 0 (own JoinOperator) ─┐
-//               ├─> router thread ┼─> shard 1                     ├─> output
-//   producer R ─┘                 └─> shard N-1                  ─┘   merge
+//   producer L ─(ring)─┐           ┌─(ring)─> shard 0 ─(ring)─┐
+//                      ├─> router ─┼─(ring)─> shard 1 ─(ring)─┼─> merger
+//   producer R ─(ring)─┘           └─(ring)─> shard N-1 ──────┘  (caller)
 //
-// Two producer threads feed the input element vectors into bounded
-// StreamBuffers in batches (PushBatch). The router merges the two inputs in
-// global arrival order, hashes each tuple's join key, and dispatches tuple
-// batches to the shard whose key subset the hash selects. Because an
-// equi-join only ever pairs tuples of equal keys, and all tuples of one key
-// hash to the same shard, every shard runs the complete single-threaded
-// join algorithm over a disjoint key subset: memory portion, disk portion,
-// purge buffer, and purge/disk-join work all stay shard-local.
+// Every edge is a bounded SpscRing (common/spsc_ring.h) of batches; no
+// mutex is taken anywhere on the data path. Two producer threads publish
+// read-only spans of the caller's input vectors (zero copy — elements are
+// never duplicated; shards borrow `const StreamElement*`s that outlive the
+// run). The router merges the two inputs in global arrival order, hashes
+// each tuple's join key once, and stages it — pointer, side, key hash — in
+// a columnar RoutedBatch for the shard the mixed hash selects. Shards feed
+// whole batches to JoinOperator::ProcessBatch, which reuses the router's
+// key hashes for partition selection, index probe and insert, and
+// amortizes the per-tuple counter bookkeeping across each batch.
 //
-// Punctuations and end-of-stream markers are broadcast to every shard
-// (each shard's punctuation set sees the full punctuation stream, so purge
-// and contract-validation decisions are identical to the single-threaded
-// run restricted to the shard's keys). Per-shard FIFO delivery preserves
-// the relative order of a punctuation and the tuples it covers; optionally
-// an epoch barrier additionally drains all shards before dispatch resumes,
-// making every punctuation a global synchronization point. Stalls are
+// Because an equi-join only ever pairs tuples of equal keys, and all
+// tuples of one key hash to the same shard, every shard runs the complete
+// single-threaded join algorithm over a disjoint key subset: memory
+// portion, disk portion, purge buffer, and purge/disk-join work all stay
+// shard-local.
+//
+// Punctuations route like tuples when they can: a constant-key
+// punctuation covers tuples of exactly one key, so only that key's owning
+// shard receives it — its purge, punctuation-set and propagation work
+// scales down with the shard count instead of multiplying (a broadcast
+// would make every shard scan its state for a key that cannot be there).
+// Punctuations with non-constant patterns (ranges, wildcards) and
+// end-of-stream markers are broadcast to every shard; every shard's purge
+// and contract-validation decisions match the single-threaded run
+// restricted to the shard's keys, because a shard holds a tuple iff it
+// owns the tuple's key, and every punctuation reaches the shards owning
+// the keys it covers. Per-shard FIFO delivery preserves the relative
+// order of a punctuation and the tuples it covers; optionally an epoch
+// barrier additionally drains all shards before dispatch resumes, making
+// every punctuation a global synchronization point. Stalls are
 // detected per shard (a dry shard runs its disk join / reactive stage,
-// exactly as the single-threaded consumer would).
+// exactly as the single-threaded consumer would, then parks until data or
+// close).
 //
-// Results are merged through a concurrent output queue (shard-local
-// buffers, flushed in batches); an output punctuation is released only
-// after *all* shards have propagated it, which preserves the invariant
-// that a punctuation follows every result it covers. The user callbacks
-// run on the caller's thread.
+// Output runs through per-shard result rings of OutBatches — each carries
+// the shard's staged results followed by its punctuation releases — merged
+// on the caller's thread, which also keeps the release board (a plain map:
+// the merger is single-threaded, so no lock). A punctuation is emitted
+// only once every shard it was dispatched to has released it (one shard
+// for key-routed punctuations, all of them for broadcasts), and every
+// shard records a release only after the results it covers, so a released
+// punctuation never overtakes a result it covers (the §3.3 invariant).
+//
+// Blocking policy (deadlock-freedom on bounded rings): producers and
+// shards may park (their consumers always drain eventually); the
+// router/merger thread NEVER parks — when a shard ring is full it drains
+// the output rings and yields, so the merge edge can always free the
+// dispatch edge.
 //
 // Correctness oracle: for any input, the emitted result multiset equals the
 // single-threaded reference (tests/parallel_pipeline_test.cc asserts this
-// per seed; bench/par_scaling.cc re-checks it for every benchmarked
-// configuration).
+// per seed, for both the batched and the element dispatch path;
+// bench/par_scaling.cc re-checks it for every benchmarked configuration).
 
 #ifndef PJOIN_OPS_PARALLEL_PIPELINE_H_
 #define PJOIN_OPS_PARALLEL_PIPELINE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
+#include "common/spsc_ring.h"
 #include "exec/registry.h"
 #include "join/join_base.h"
-#include "stream/stream_buffer.h"
+#include "obs/metrics_registry.h"
 
 namespace pjoin {
 
 struct ParallelPipelineOptions {
   /// Number of shard workers; 1 degenerates to router + one worker.
   int num_shards = 4;
-  /// Capacity of each input StreamBuffer (elements); producers block on a
-  /// full buffer. 0 = unbounded.
+  /// Capacity of each input ring in elements (rounded to whole spans of
+  /// `batch_size`); producers park on a full ring. 0 = a large default.
   size_t input_buffer_capacity = 8192;
-  /// Capacity of each shard's routed queue (elements); the router blocks on
-  /// a full shard queue. 0 = unbounded.
+  /// Capacity of each shard's routed ring in elements (rounded to whole
+  /// batches); the router backpressures — drains outputs and yields,
+  /// never parks — on a full ring. 0 = a large default.
   size_t shard_queue_capacity = 8192;
-  /// Batch size for producer pushes, router pops, and shard dispatch.
+  /// Elements per RoutedBatch (router dispatch granularity).
   size_t batch_size = 256;
-  /// Flush a shard's local result buffer into the shared output queue after
-  /// this many results.
+  /// Flush a shard's staged results into its output ring after this many
+  /// results (releases always flush with the batch they end).
   size_t result_flush = 256;
   /// Broadcast punctuations behind an epoch barrier: the router waits until
-  /// every shard has drained its queue before dispatching anything newer.
+  /// every shard has drained its ring before dispatching anything newer.
   /// FIFO delivery already preserves per-key punctuation order; the barrier
   /// additionally makes punctuations global synchronization points.
   bool punct_barrier = false;
   /// A dry shard reports a stall to its join (disk join / reactive stage)
-  /// after this many consecutive empty polls.
+  /// after this many consecutive empty polls, then parks until data/close.
   int64_t stall_polls = 4;
+  /// Dispatch whole batches through JoinOperator::ProcessBatch (hash reuse
+  /// + amortized bookkeeping). False replays the per-element OnElement
+  /// path — same results, used by the equivalence tests and the
+  /// parallel_x*_scan bench baseline's cost model.
+  bool batched_probe = true;
   /// Optional registry receiving one kShardStats event per shard when the
   /// run completes (event.stream = shard id).
   EventRegistry* stats_registry = nullptr;
@@ -120,7 +148,9 @@ class ParallelJoinPipeline {
   void set_punct_callback(PunctCallback cb) { on_punct_ = std::move(cb); }
 
   /// Runs producers, router and shard workers until both inputs are
-  /// exhausted and all shards have finished. Single-shot.
+  /// exhausted and all shards have finished. Single-shot. The input
+  /// vectors are borrowed for the whole run (zero-copy transport) — they
+  /// must outlive the call, which the reference parameters guarantee.
   Status Run(const std::vector<StreamElement>& left,
              const std::vector<StreamElement>& right);
 
@@ -133,83 +163,108 @@ class ParallelJoinPipeline {
   int64_t results_emitted() const { return results_emitted_; }
   int64_t puncts_emitted() const { return puncts_emitted_; }
   int64_t stalls_reported() const { return stalls_reported_; }
-  /// Times the router blocked on a full shard queue.
-  int64_t router_backpressure_waits() const;
+  /// Times the router hit a full shard ring and fell back to
+  /// drain-outputs-and-yield (also counter pjoin_router_backpressure_waits).
+  int64_t router_backpressure_waits() const {
+    return router_backpressure_waits_.load();
+  }
+  /// Times a shard worker parked after spinning on an empty routed ring
+  /// (also counter pjoin_shard_spin_parks).
+  int64_t shard_spin_parks() const { return shard_spin_parks_.load(); }
   /// Punctuation epoch barriers the router executed.
   int64_t epoch_barriers() const { return epoch_barriers_; }
 
  private:
-  // Negative-compile probe for the thread-safety CI job; see
-  // tests/thread_safety_negative.cc.
-  friend class ThreadSafetyNegativeProbe;
+  /// A contiguous read-only chunk of one caller input vector — the unit of
+  /// the producer→router rings.
+  struct InputSpan {
+    const StreamElement* data = nullptr;
+    size_t size = 0;
+  };
 
-  // An element tagged with its input side, as queued to a shard.
-  struct Routed {
-    int8_t side;
-    StreamElement element;
-    /// Wall-clock (TraceNowMicros) router dispatch time; the shard worker
-    /// hands it to the join so result/punctuation emits can observe
-    /// end-to-end latency. Coarse (refreshed every few router iterations).
+  /// Columnar routed batch — the unit of the router→shard rings. Parallel
+  /// flat arrays (borrowed element pointers, input sides, router-computed
+  /// key hashes) keep the shard's probe loop walking plain memory, and the
+  /// hashes are computed exactly once per tuple for the whole pipeline.
+  struct RoutedBatch {
+    std::vector<const StreamElement*> elements;
+    std::vector<int8_t> sides;
+    /// Join-key hash per element; 0 (unused) for punctuations and EOS.
+    std::vector<uint64_t> key_hashes;
+    int64_t tuple_count = 0;
+    /// Wall-clock (TraceNowMicros) router dispatch time of the batch; the
+    /// shard hands it to the join so emits can observe end-to-end latency.
+    /// Coarse (refreshed every few router iterations).
     TimeMicros ingress_us = 0;
   };
 
-  // A bounded MPSC-ish queue of routed elements (single router producer,
-  // single shard consumer) with batched push/pop and a drain signal for the
-  // epoch barrier.
-  class ShardQueue;
+  /// The unit of the shard→merger rings: staged results followed by the
+  /// punctuation releases recorded after them. The merger emits the
+  /// results first, so a release never overtakes a result it covers.
+  struct OutBatch {
+    std::vector<Tuple> results;
+    std::vector<Punctuation> releases;
+  };
 
-  // Per-shard context: the queue, the worker's result staging buffer, and
-  // counters shared with the router.
+  // Per-shard context: the two rings, progress counters, staging buffers.
   struct Shard;
 
-  void RouterLoop(StreamBuffer* in_left, StreamBuffer* in_right);
+  void RouterLoop(SpscRing<InputSpan>* in_left, SpscRing<InputSpan>* in_right);
   void ShardLoop(Shard* shard);
-  /// Appends `e` of `side` to `shard`'s pending batch, flushing when full.
-  /// Takes ownership — routed tuples move all the way into the shard queue
-  /// without copying (broadcasts copy once per extra shard).
-  void Stage(int shard, int8_t side, StreamElement e, TimeMicros ingress_us);
+  /// Appends element `e` (borrowed) to `shard`'s pending batch, flushing
+  /// when full.
+  void Stage(int shard, int8_t side, const StreamElement* e,
+             uint64_t key_hash, TimeMicros ingress_us);
   void FlushStaged(int shard);
-  /// Waits until every shard has processed everything dispatched so far.
+  /// Waits until every shard has processed everything dispatched so far
+  /// (router thread; drains outputs while waiting).
   void EpochBarrier();
-  /// Drains the shared output queue into the user callbacks (router/caller
-  /// thread only).
-  void DrainOutputs() EXCLUDES(output_mu_);
-  /// Shard-side: flush `shard`'s local results into the output queue, then
-  /// record punctuation releases on the merge board.
-  void PublishShardOutputs(Shard* shard) EXCLUDES(output_mu_);
-  /// Shard-side: publish `shard`'s staged results, then record its release
-  /// of punctuation `p` on the board; the punctuation moves to the output
-  /// queue once every shard has released it (§3.3 invariant: a punctuation
-  /// only ever trails the results it covers).
-  void ReleasePunct(Shard* shard, const Punctuation& p) EXCLUDES(output_mu_);
-  /// Moves `shard`'s staged results into the shared output queue.
-  void FlushShardResultsLocked(Shard* shard) REQUIRES(output_mu_);
+  /// Drains all shard output rings into the user callbacks and the release
+  /// board (router/caller thread only). Returns the number of OutBatches
+  /// merged, so callers waiting on output can park when a sweep comes back
+  /// empty.
+  size_t DrainOutputs();
+  /// How many shard releases complete one emission of `p`: 1 for a
+  /// constant-key punctuation (the router sent it to the key's owning shard
+  /// alone), num_shards() for a broadcast pattern.
+  int ReleaseExpectedShards(const Punctuation& p) const;
+  void MergeOutBatch(OutBatch out);
+  /// Shard-side: pushes staged results/releases into the shard's output
+  /// ring when due (`force`, a pending release, or result_flush reached).
+  void FlushShardOut(Shard* shard, bool force);
 
   ParallelPipelineOptions options_;
   std::vector<std::unique_ptr<JoinOperator>> joins_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::vector<Routed>> staged_;  // router-local pending batches
+  std::vector<RoutedBatch> staged_;  // router-local pending batches
   ResultCallback on_result_;
   PunctCallback on_punct_;
 
-  // Output merge: results + released punctuations, drained on the caller's
-  // thread. The board counts shard releases per punctuation; a punctuation
-  // moves to output_puncts_ each time all shards have released it (so a
-  // punctuation only ever trails the results it covers).
-  struct PunctCell {
-    int releases = 0;
-    std::optional<Punctuation> punct;
-  };
-  Mutex output_mu_;
-  std::deque<Tuple> output_results_ GUARDED_BY(output_mu_);
-  std::deque<Punctuation> output_puncts_ GUARDED_BY(output_mu_);
-  std::map<std::string, PunctCell> punct_board_ GUARDED_BY(output_mu_);
+  /// Punctuation release board — router/caller thread only (the merger is
+  /// single-threaded, which is what lets the old mutex-guarded board go):
+  /// shard release counts per punctuation string; a punctuation is emitted
+  /// each time its count reaches a multiple of ReleaseExpectedShards().
+  std::map<std::string, int> punct_board_;
+  /// Output-schema positions of the left/right join keys (constructor-set),
+  /// used to recognize key-routed punctuations among the releases.
+  size_t release_key_pos_[2] = {0, 0};
 
   std::vector<ShardStats> shard_stats_;
   int64_t results_emitted_ = 0;
   int64_t puncts_emitted_ = 0;
   int64_t stalls_reported_ = 0;
   int64_t epoch_barriers_ = 0;
+  /// Atomics (default ordering — plain counters, no publication protocol)
+  /// so the live /statusz section can read them mid-run.
+  std::atomic<int64_t> router_backpressure_waits_{0};
+  std::atomic<int64_t> shard_spin_parks_{0};
+  std::atomic<int64_t> workers_done_{0};
+  /// Output-activity eventcount: shards bump it after pushing an OutBatch
+  /// (and once on exit), so the merger can park between drains instead of
+  /// spin-yielding — on few-core hosts a spinning merger steals exactly the
+  /// cycles the shard workers need to produce the output it waits for.
+  std::atomic<uint32_t> out_activity_{0};
+  obs::Counter backpressure_counter_;
   bool ran_ = false;
 };
 

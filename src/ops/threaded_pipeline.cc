@@ -21,7 +21,7 @@ Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
   obs::ScopedStatusSection statusz_section("threaded pipeline", [this]() {
     return "elements_processed=" +
            std::to_string(
-               elements_processed_.load(std::memory_order_relaxed)) +
+               elements_processed_.load()) +
            "\n";
   });
   StreamBuffer buffers[2] = {StreamBuffer(options_.buffer_capacity),
@@ -90,7 +90,7 @@ Status ThreadedJoinPipeline::Run(const std::vector<StreamElement>& left,
     }
     join_->set_element_ingress_micros(now_us);
     status = join_->OnElement(side, *element);
-    elements_processed_.fetch_add(1, std::memory_order_relaxed);
+    elements_processed_.fetch_add(1);
   }
 
   t0.join();

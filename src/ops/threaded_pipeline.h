@@ -41,7 +41,7 @@ class ThreadedJoinPipeline {
 
   int64_t stalls_reported() const { return stalls_reported_; }
   int64_t elements_processed() const {
-    return elements_processed_.load(std::memory_order_relaxed);
+    return elements_processed_.load();
   }
   /// Times a producer blocked on a full buffer (bounded buffers only).
   int64_t backpressure_waits() const { return backpressure_waits_; }

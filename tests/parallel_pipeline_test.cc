@@ -181,6 +181,33 @@ TEST_P(ParallelEquivalenceTest, ScanAndIndexedProbeAgree) {
   EXPECT_EQ(with_index.results, with_scan.results);
 }
 
+TEST_P(ParallelEquivalenceTest, BatchedAndElementDispatchAgree) {
+  // ProcessBatch (columnar dispatch with pre-hashed keys) against the
+  // per-element OnElement replay: same shards, same streams, the result
+  // multiset and the released punctuations must be identical.
+  const Operator op = GetParam();
+  Workload w = MakeWorkload("dispatch-mode", /*seed=*/77, /*punct_rate=*/12.0,
+                            /*zipf_s=*/0.8);
+  const JoinOptions jopts = SmallStateOptions();
+  for (const int shards : {1, 4}) {
+    ParallelPipelineOptions batched;
+    batched.num_shards = shards;
+    batched.batched_probe = true;
+    ParallelPipelineOptions element;
+    element.num_shards = shards;
+    element.batched_probe = false;
+    const RunResult via_batch =
+        RunParallel(op, w.streams.schema_a, w.streams.schema_b, jopts,
+                    w.streams.a, w.streams.b, batched);
+    const RunResult via_element =
+        RunParallel(op, w.streams.schema_a, w.streams.schema_b, jopts,
+                    w.streams.a, w.streams.b, element);
+    EXPECT_EQ(via_batch.results, via_element.results) << "shards=" << shards;
+    EXPECT_EQ(SortedPunctStrings(via_batch), SortedPunctStrings(via_element))
+        << "shards=" << shards;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Operators, ParallelEquivalenceTest,
                          ::testing::Values(Operator::kPJoin, Operator::kXJoin),
                          [](const ::testing::TestParamInfo<Operator>& info) {
@@ -261,17 +288,30 @@ TEST(ParallelPJoinTest, ShardStatsCoverAllRoutedElements) {
       RunParallel(Operator::kPJoin, w.streams.schema_a, w.streams.schema_b,
                   jopts, w.streams.a, w.streams.b, popts, &pipeline);
   (void)got;
-  // Punctuations and the two end-of-stream markers are broadcast to every
-  // shard; data tuples are routed to exactly one.
-  const int64_t broadcasts = w.streams.NumPunctuations(w.streams.a) +
-                             w.streams.NumPunctuations(w.streams.b) + 2;
+  // Data tuples and constant-key punctuations are routed to exactly one
+  // shard; non-constant punctuations and the two end-of-stream markers are
+  // broadcast to every shard.
+  int64_t expected_elements = 2 * popts.num_shards;  // the EOS broadcasts
+  for (const auto* stream : {&w.streams.a, &w.streams.b}) {
+    for (const StreamElement& e : *stream) {
+      if (e.is_tuple()) {
+        ++expected_elements;
+      } else if (e.is_punctuation()) {
+        expected_elements += e.punctuation().pattern(0).IsConstant()
+                                 ? 1
+                                 : popts.num_shards;
+      }
+    }
+  }
+  int64_t elements = 0;
   int64_t tuples = 0;
   int64_t results = 0;
   for (const ShardStats& s : pipeline->shard_stats()) {
+    elements += s.elements;
     tuples += s.tuples;
     results += s.results;
-    EXPECT_EQ(s.elements, s.tuples + broadcasts) << "shard=" << s.shard;
   }
+  EXPECT_EQ(elements, expected_elements);
   EXPECT_EQ(tuples, w.streams.NumTuples(w.streams.a) +
                         w.streams.NumTuples(w.streams.b));
   // The merged output saw every shard-emitted result exactly once.

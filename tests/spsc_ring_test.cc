@@ -1,0 +1,209 @@
+// SpscRing: wraparound and close semantics single-threaded, then real
+// producer/consumer races. The cross-thread cases are the ones the TSan CI
+// job exists for — they hammer the acquire/release publication protocol and
+// the eventcount park paths with far more items than the ring holds.
+
+#include "common/spsc_ring.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pjoin {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingTest, PushPopFifoAcrossWraparound) {
+  SpscRing<int> ring(4);
+  // Many times the capacity, so the indices wrap repeatedly. Skipping every
+  // third pop varies the occupancy; a full ring is drained by one first.
+  int next_out = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (ring.size() == ring.capacity()) {
+      int v = -1;
+      ASSERT_TRUE(ring.TryPop(&v));
+      EXPECT_EQ(v, next_out++);
+    }
+    ASSERT_TRUE(ring.TryPush(int(i)));
+    if (i % 3 == 0) continue;
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, next_out++);
+  }
+  int v = -1;
+  while (ring.TryPop(&v)) EXPECT_EQ(v, next_out++);
+  EXPECT_EQ(next_out, 1000);
+}
+
+TEST(SpscRingTest, TryPushFailsWhenFullAndKeepsItem) {
+  SpscRing<std::string> ring(2);
+  ASSERT_TRUE(ring.TryPush("a"));
+  ASSERT_TRUE(ring.TryPush("b"));
+  std::string c = "c";
+  EXPECT_FALSE(ring.TryPush(std::move(c)));
+  // A failed push must leave the argument usable for the retry.
+  EXPECT_EQ(c, "c");
+  EXPECT_EQ(ring.size(), 2u);
+  std::string out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(ring.TryPush(std::move(c)));
+}
+
+TEST(SpscRingTest, TryPopFailsWhenEmpty) {
+  SpscRing<int> ring(4);
+  int v = 42;
+  EXPECT_FALSE(ring.TryPop(&v));
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRingTest, CloseMakesConsumerExhaustedAfterDrain) {
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.TryPush(1));
+  ring.Close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.exhausted());  // still one item to drain
+  int v = 0;
+  EXPECT_TRUE(ring.PopBlocking(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.exhausted());
+  EXPECT_FALSE(ring.PopBlocking(&v));  // exhausted, no block
+}
+
+TEST(SpscRingTest, PopBlockingWakesOnPush) {
+  SpscRing<int> ring(4);
+  int got = 0;
+  std::thread consumer([&] {
+    int v = 0;
+    ASSERT_TRUE(ring.PopBlocking(&v));
+    got = v;
+  });
+  // Let the consumer reach (or pass) the park path, then publish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(ring.TryPush(7));
+  consumer.join();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(SpscRingTest, PopBlockingWakesOnClose) {
+  SpscRing<int> ring(4);
+  bool exhausted = false;
+  std::thread consumer([&] {
+    int v = 0;
+    exhausted = !ring.PopBlocking(&v);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.Close();
+  consumer.join();
+  EXPECT_TRUE(exhausted);
+}
+
+TEST(SpscRingTest, PushBlockingWakesOnPop) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.TryPush(0));
+  ASSERT_TRUE(ring.TryPush(1));
+  std::thread producer([&] { ring.PushBlocking(2); });
+  // The producer is parked on the full ring; one pop must release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int v = -1;
+  ASSERT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 0);
+  producer.join();
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+// The TSan workhorse: one producer races one consumer through a ring far
+// smaller than the item count, forcing constant wraparound and both park
+// paths. Values must arrive exactly once, in order.
+TEST(SpscRingTest, ConcurrentStressPreservesFifo) {
+  constexpr int64_t kItems = 100000;
+  SpscRing<int64_t> ring(8);
+  int64_t received = 0;
+  int64_t sum = 0;
+  bool in_order = true;
+  std::thread producer([&] {
+    for (int64_t i = 0; i < kItems; ++i) ring.PushBlocking(int64_t(i));
+    ring.Close();
+  });
+  std::thread consumer([&] {
+    int64_t v = 0;
+    int64_t expect = 0;
+    while (ring.PopBlocking(&v)) {
+      if (v != expect++) in_order = false;
+      ++received;
+      sum += v;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_TRUE(ring.exhausted());
+}
+
+// Move-only payloads survive the transport (the pipeline ships batches of
+// vectors this way).
+TEST(SpscRingTest, ConcurrentStressMoveOnlyPayload) {
+  constexpr int kBatches = 5000;
+  SpscRing<std::vector<int>> ring(4);
+  int64_t total = 0;
+  std::thread producer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      ring.PushBlocking(std::vector<int>(3, i));
+    }
+    ring.Close();
+  });
+  std::vector<int> batch;
+  while (ring.PopBlocking(&batch)) {
+    ASSERT_EQ(batch.size(), 3u);
+    total += batch[0];
+  }
+  producer.join();
+  EXPECT_EQ(total, int64_t(kBatches) * (kBatches - 1) / 2);
+}
+
+TEST(SpscRingTest, ParkCountersCountSlowPathEntries) {
+  {
+    // Uncontended single-threaded traffic never parks.
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 100; ++i) {
+      ring.PushBlocking(int(i));
+      int v = 0;
+      ASSERT_TRUE(ring.TryPop(&v));
+    }
+    EXPECT_EQ(ring.producer_parks(), 0);
+    EXPECT_EQ(ring.consumer_parks(), 0);
+  }
+  {
+    // A consumer that outpaces a slow producer parks at least once.
+    SpscRing<int> ring(4);
+    std::thread producer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ring.PushBlocking(1);
+      ring.Close();
+    });
+    int v = 0;
+    EXPECT_TRUE(ring.PopBlocking(&v));
+    producer.join();
+    EXPECT_GE(ring.consumer_parks(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

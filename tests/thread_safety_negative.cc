@@ -6,10 +6,15 @@
 // (Clang only). Case 0 is the positive control: correctly-locked access
 // must compile cleanly. Every other case commits a locking mistake that
 // the analysis must reject, and its ctest entry is marked WILL_FAIL —
-// so removing a GUARDED_BY/REQUIRES annotation from StreamBuffer or the
-// pipeline's release board makes the corresponding probe compile, which
-// fails the suite. That is the point: the annotations themselves are
-// under test.
+// so removing a GUARDED_BY/REQUIRES annotation from StreamBuffer or
+// SharedCounterSet makes the corresponding probe compile, which fails
+// the suite. That is the point: the annotations themselves are under
+// test.
+//
+// (The parallel pipeline used to be probed here too; its locked output
+// board is gone — the dataflow spine is lock-free SPSC rings, see
+// docs/PERFORMANCE.md — so the shared-state probes moved to
+// SharedCounterSet, the remaining cross-thread mutex user.)
 //
 // ThreadSafetyNegativeProbe is a friend of the probed classes so the
 // probes can name private guarded members directly; friendship does not
@@ -19,7 +24,7 @@
 #error "compile with -DPROBE_CASE=<n>"
 #endif
 
-#include "ops/parallel_pipeline.h"
+#include "common/metrics.h"
 #include "stream/stream_buffer.h"
 
 namespace pjoin {
@@ -27,7 +32,7 @@ namespace pjoin {
 class ThreadSafetyNegativeProbe {
  public:
   static void ProbeBuffer(StreamBuffer& buffer);
-  static void ProbePipeline(ParallelJoinPipeline& pipeline);
+  static void ProbeCounters(SharedCounterSet& counters);
 };
 
 void ThreadSafetyNegativeProbe::ProbeBuffer(StreamBuffer& buffer) {
@@ -48,18 +53,17 @@ void ThreadSafetyNegativeProbe::ProbeBuffer(StreamBuffer& buffer) {
 #endif
 }
 
-void ThreadSafetyNegativeProbe::ProbePipeline(ParallelJoinPipeline& pipeline) {
+void ThreadSafetyNegativeProbe::ProbeCounters(SharedCounterSet& counters) {
 #if PROBE_CASE == 0
-  // Positive control: the release board is touched under output_mu_.
-  MutexLock lock(pipeline.output_mu_);
-  pipeline.punct_board_.clear();
-  pipeline.output_results_.clear();
+  // Positive control: the shared set is touched under mu_.
+  MutexLock lock(counters.mu_);
+  counters.counters_.Add("probe");
 #elif PROBE_CASE == 4
-  // Unguarded access to the punctuation release board.
-  pipeline.punct_board_.clear();
+  // Unguarded mutation of the guarded counter set.
+  counters.counters_.Add("probe");
 #elif PROBE_CASE == 5
-  // Unguarded access to the shared output queue.
-  pipeline.output_results_.clear();
+  // Unguarded read of the guarded counter set.
+  [[maybe_unused]] const int64_t v = counters.counters_.Get("probe");
 #endif
 }
 

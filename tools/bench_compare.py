@@ -9,18 +9,24 @@ of the ratio and the gate only fires on a genuine relative regression.
 
 Kinds:
   par_scaling  BENCH_par_scaling.json (bench/par_scaling --out=...).
-               Gate: speedup_vs_scan_baseline of the parallel run at
-               --shards shards must be within --tolerance of the baseline's,
-               and every fresh run's oracle must pass. With identical
-               configs the deterministic result counts must match exactly.
+               Gates: (a) speedup_vs_scan_baseline of the parallel run at
+               --shards shards must be within --tolerance of the baseline's;
+               (b) the compound gate: within the fresh file,
+               parallel_x{shards}_indexed must strictly beat BOTH
+               indexed_1thread and parallel_x{shards}_scan — parallelism
+               and the indexed probe must compound, not trade off; (c)
+               every fresh run's oracle must pass. With identical configs
+               the deterministic result counts must match exactly.
   micro_ops    google-benchmark JSON (bench/micro_ops --benchmark_out=...).
                Gate: the scan/indexed probe time ratio per bucket size must
                be within --tolerance of the baseline's ratio.
 
 --self-test checks the gate against itself: the checked-in baselines must
-pass against themselves, and the doctored fixture under
-tools/bench_fixtures/ (a ~20% throughput regression at 4 shards) plus a
-synthetically slowed micro run must fail.
+pass against themselves, and the doctored fixtures under
+tools/bench_fixtures/ (a ~25% throughput regression at 4 shards, and a
+compound-only fixture whose parallel_x4_indexed run stays above the
+throughput floor yet no longer beats indexed_1thread) plus a synthetically
+slowed micro run must fail.
 
 Exit status: 0 pass, 1 regression or malformed input, 2 usage error.
 """
@@ -121,6 +127,61 @@ def compare_spill_sweep(baseline, fresh, tolerance):
     return findings
 
 
+def gated_run_name(runs, shards):
+    """Resolve the gated parallel run, tolerating the pre-spine naming.
+
+    Newer files name the indexed parallel run parallel_x{N}_indexed and its
+    scan-probe control parallel_x{N}_scan; older files had a single
+    parallel_x{N} (which was the indexed one)."""
+    for name in (f"parallel_x{shards}_indexed", f"parallel_x{shards}"):
+        if name in runs:
+            return name
+    return None
+
+
+def compare_compound(base_runs, fresh_runs, shards):
+    """The compound gate: parallelism x indexed probe must multiply.
+
+    Within the FRESH file alone (so machine speed cancels), the widest
+    indexed parallel run must strictly beat both single-threaded indexed
+    (parallelism adds something on top of the index) and the scan-probe
+    parallel run (the index adds something on top of parallelism). Applies
+    only when the baseline itself carries the parallel_x{N}_indexed run, so
+    the gate never fires on pre-spine baselines."""
+    findings = []
+    indexed_name = f"parallel_x{shards}_indexed"
+    if indexed_name not in base_runs:
+        return findings
+    if indexed_name not in fresh_runs:
+        return fail(f"fresh file has no run '{indexed_name}' but the "
+                    "baseline does (compound gate cannot be skipped)")
+
+    comparators = {}
+    if "indexed_1thread" in fresh_runs:
+        comparators["indexed_1thread"] = float(
+            fresh_runs["indexed_1thread"]["speedup_vs_scan_baseline"])
+    for scan_name in (f"parallel_x{shards}_scan", f"parallel_x{shards}"):
+        if scan_name in fresh_runs:
+            comparators[scan_name] = float(
+                fresh_runs[scan_name]["speedup_vs_scan_baseline"])
+            break
+    if not comparators:
+        return fail("compound gate has nothing to compare against "
+                    f"(no indexed_1thread or parallel_x{shards}_scan run)")
+
+    compound = float(fresh_runs[indexed_name]["speedup_vs_scan_baseline"])
+    bar_name, bar = max(comparators.items(), key=lambda kv: kv[1])
+    verdict = "OK" if compound > bar else "REGRESSION"
+    print(f"  compound: {indexed_name} {compound:.2f}x vs best "
+          f"single-trick {bar_name} {bar:.2f}x {verdict}")
+    if compound <= bar:
+        findings += fail(
+            f"compound gate: {indexed_name} ({compound:.2f}x) no longer "
+            f"beats {bar_name} ({bar:.2f}x) — parallel and indexed have "
+            "stopped compounding")
+    return findings
+
+
 def compare_par_scaling(baseline, fresh, tolerance, shards):
     findings = []
     base_runs = runs_by_name(baseline)
@@ -133,13 +194,18 @@ def compare_par_scaling(baseline, fresh, tolerance, shards):
         if not run.get("oracle_pass", False):
             findings += fail(f"run '{name}': oracle failed (wrong results)")
 
-    gate_name = f"parallel_x{shards}"
-    if gate_name not in fresh_runs:
-        return findings + fail(f"fresh file has no run '{gate_name}'")
-    if gate_name not in base_runs:
-        return findings + fail(f"baseline has no run '{gate_name}'")
+    gate_name = gated_run_name(fresh_runs, shards)
+    if gate_name is None:
+        return findings + fail(
+            f"fresh file has no run 'parallel_x{shards}_indexed' "
+            f"(nor legacy 'parallel_x{shards}')")
+    base_gate_name = gated_run_name(base_runs, shards)
+    if base_gate_name is None:
+        return findings + fail(
+            f"baseline has no run 'parallel_x{shards}_indexed' "
+            f"(nor legacy 'parallel_x{shards}')")
 
-    base_speedup = float(base_runs[gate_name]["speedup_vs_scan_baseline"])
+    base_speedup = float(base_runs[base_gate_name]["speedup_vs_scan_baseline"])
     fresh_speedup = float(fresh_runs[gate_name]["speedup_vs_scan_baseline"])
     floor = base_speedup * (1.0 - tolerance)
     verdict = "OK" if fresh_speedup >= floor else "REGRESSION"
@@ -150,6 +216,8 @@ def compare_par_scaling(baseline, fresh, tolerance, shards):
             f"{gate_name} throughput regressed >"
             f"{tolerance:.0%}: speedup {fresh_speedup:.2f}x < floor "
             f"{floor:.2f}x (baseline {base_speedup:.2f}x)")
+
+    findings += compare_compound(base_runs, fresh_runs, shards)
 
     # Same seeded config => the result multiset is deterministic.
     if baseline.get("config") == fresh.get("config"):
@@ -236,6 +304,8 @@ def self_test(root, tolerance, shards):
     par_path = os.path.join(root, PAR_BASELINE)
     micro_path = os.path.join(root, MICRO_BASELINE)
     fixture_path = os.path.join(root, FIXTURE_DIR, "par_scaling_regressed.json")
+    compound_path = os.path.join(root, FIXTURE_DIR,
+                                 "par_scaling_compound_regressed.json")
 
     expect("par_scaling baseline passes against itself",
            run_compare("par_scaling", par_path, par_path, tolerance, shards),
@@ -246,6 +316,20 @@ def self_test(root, tolerance, shards):
     expect("regressed par_scaling fixture fails the gate",
            run_compare("par_scaling", par_path, fixture_path, tolerance,
                        shards), 1)
+    expect("compound-regressed par_scaling fixture fails the gate",
+           run_compare("par_scaling", par_path, compound_path, tolerance,
+                       shards), 1)
+
+    # The compound fixture must fail for the right reason: its gated run
+    # stays above the plain throughput floor, so only the compound check
+    # can reject it.
+    base_runs = runs_by_name(load(par_path))
+    comp_runs = runs_by_name(load(compound_path))
+    gate = f"parallel_x{shards}_indexed"
+    floor = (float(base_runs[gate]["speedup_vs_scan_baseline"])
+             * (1.0 - tolerance))
+    expect("compound fixture stays above the plain throughput floor",
+           float(comp_runs[gate]["speedup_vs_scan_baseline"]) >= floor, True)
 
     # Synthetic micro regression: slow the indexed probe 25%, shrinking its
     # advantage past any tolerance <= 20%.

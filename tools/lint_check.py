@@ -41,6 +41,14 @@ and src/common/status.h actually hold across the tree:
                        through HttpServer so fd lifetimes, timeouts and
                        shutdown live in one audited place (test clients
                        under tests/ are unaffected; the rule is src-only).
+  raw-atomic-ordering  explicit std::memory_order_* arguments in src/
+                       outside src/common/spsc_ring.h and src/obs/trace.*.
+                       Relaxed/acquire/release reasoning is subtle enough
+                       that it lives only in the two audited lock-free
+                       modules (the SPSC ring and the tracer's seqlock);
+                       everywhere else plain std::atomic ops (seq_cst)
+                       are the contract — an ordering argument elsewhere
+                       is either premature optimisation or a latent race.
 
 A line containing NOLINT (optionally NOLINT(<rule>)) is exempt from that
 rule on that line. Fixture files under tools/lint_fixtures/ are excluded
@@ -72,6 +80,15 @@ RAW_CLOCK_EXEMPT = (
 # The only src/ file allowed to make raw socket syscalls (the HTTP server
 # that backs the live introspection endpoints).
 RAW_SOCKET_EXEMPT = ("src/obs/http_server.cc",)
+# The only src/ files allowed to pass explicit std::memory_order arguments:
+# the SPSC ring (the parallel pipeline's lock-free transport) and the
+# tracer's seqlock-style ring. Their orderings are documented invariants;
+# everywhere else atomics use the seq_cst defaults.
+RAW_ATOMIC_EXEMPT = (
+    "src/common/spsc_ring.h",
+    "src/obs/trace.h",
+    "src/obs/trace.cc",
+)
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
@@ -93,6 +110,7 @@ RAW_CLOCK_RE = re.compile(
 # `x->bind(`) and identifiers that merely end in a syscall name.
 RAW_SOCKET_RE = re.compile(
     r"(?:^|[^\w:.>])(?:::)?(socket|bind|accept)\s*\(")
+RAW_MEMORY_ORDER_RE = re.compile(r"\bstd\s*::\s*memory_order(_\w+)?\b")
 NOLINT_RE = re.compile(r"NOLINT(?:\((?P<rules>[\w,\- ]*)\))?")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -200,6 +218,17 @@ class Linter:
                                 "(HttpServer) so fd lifetimes and shutdown "
                                 "stay in one audited place")
 
+            if (is_src and RAW_MEMORY_ORDER_RE.search(code_no_comment)
+                    and rel_path.replace(os.sep, "/") not in
+                    RAW_ATOMIC_EXEMPT):
+                if not nolinted(raw, "raw-atomic-ordering"):
+                    self.report(rel_path, i, "raw-atomic-ordering",
+                                "explicit std::memory_order argument; "
+                                "relaxed/acquire/release reasoning is "
+                                "confined to common/spsc_ring.h and "
+                                "obs/trace.* — use the seq_cst defaults "
+                                "here")
+
             if VOID_DISCARD_RE.search(code_no_comment):
                 if not nolinted(raw, "void-status-discard"):
                     self.report(rel_path, i, "void-status-discard",
@@ -282,6 +311,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_header_guard.h": {"header-guard"},
     "bad_raw_clock.cc": {"raw-clock"},
     "bad_raw_socket.cc": {"raw-socket"},
+    "bad_raw_atomic_order.cc": {"raw-atomic-ordering"},
     "clean.h": set(),
 }
 

@@ -1,0 +1,17 @@
+// Lint fixture: an explicit memory-order argument on an atomic op. Must
+// trigger raw-atomic-ordering — relaxed/acquire/release reasoning is
+// confined to src/common/spsc_ring.h and src/obs/trace.*; everywhere else
+// atomics use the seq_cst defaults so the code stays auditable.
+#include <atomic>
+
+namespace fixture {
+
+inline long long ReadCounter(const std::atomic<long long>& c) {
+  return c.load(std::memory_order_relaxed);
+}
+
+inline void Bump(std::atomic<long long>& c) {
+  c.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace fixture
