@@ -1,0 +1,279 @@
+// Instrumented drop-in atomics for model checking (relacy-style).
+//
+// mc::atomic<T> mirrors the std::atomic<T> surface the spine uses
+// (load/store/fetch_add/exchange/CAS plus C++20 wait/notify) but routes
+// every operation through the virtual scheduler in check/scheduler.h:
+//
+//   - every op is a scheduling point (the explorer may switch threads
+//     before the op takes effect),
+//   - acquire loads join the location's published vector clock; release
+//     stores publish the storing thread's clock — the happens-before
+//     edges mc::Cell uses for race detection,
+//   - a *relaxed* store breaks the release chain (later acquire loads get
+//     no edge), which is exactly how a wrongly-relaxed publish surfaces
+//     as a data race on the payload,
+//   - under ExploreOptions::tso, relaxed/release stores sit in a per-thread
+//     store buffer until a scheduler-chosen flush; RMWs and seq_cst stores
+//     drain the buffer first (x86 LOCK semantics); own loads forward from
+//     the own buffer,
+//   - wait() is futex-faithful: re-check and park are atomic with respect
+//     to notify (no scheduling point in between), there are NO spurious
+//     wakeups, and notify_one wakes the lowest-tid waiter — so a protocol
+//     that relies on a re-check loop deadlocks in the model exactly when
+//     it can deadlock for real.
+//
+// seq_cst is modeled as acq_rel (no total order across locations). That is
+// an over-approximation — it can produce false races, never missed ones —
+// and is sufficient for this codebase, which relies on acq/rel only.
+//
+// mc::Cell<T> wraps a NON-atomic payload slot (ring storage) and flags any
+// cross-thread access without a happens-before edge as a data race.
+//
+// PRODUCTION CODE MUST NOT INCLUDE THIS HEADER — mc types are orders of
+// magnitude slower and single-OS-thread only. tools/lint_check.py enforces
+// that only tests and src/check/ may include it; production templates take
+// these types via an atomics-policy parameter instead (mc::ModelPolicy vs
+// pjoin::RawAtomicsPolicy in src/common/spsc_ring.h).
+
+#ifndef PJOIN_CHECK_MODEL_ATOMIC_H_
+#define PJOIN_CHECK_MODEL_ATOMIC_H_
+
+#include <atomic>  // std::memory_order only; no std::atomic instances here
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "check/scheduler.h"
+
+namespace pjoin {
+namespace mc {
+
+namespace detail {
+
+inline bool IsAcquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+
+inline bool IsRelease(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+}  // namespace detail
+
+template <typename T>
+class atomic : public AtomicBase {
+  static_assert(sizeof(T) <= 8, "mc::atomic models <= 8-byte scalars");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mc::atomic requires a trivially copyable T");
+
+ public:
+  atomic() : atomic(T{}) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::atomic init.
+  atomic(T v) : committed_(v) {}
+
+  T load(std::memory_order order) const {
+    Execution* e = Execution::Current();
+    const int tid = e->SchedulePoint(this, "load");
+    uint64_t bits = 0;
+    if (e->tso() && e->PeekBuffered(this, &bits)) {
+      return FromBits(bits);  // store-to-load forwarding; no sync edge
+    }
+    if (detail::IsAcquire(order) && released_) {
+      e->thread_clock(tid).Join(sync_clock_);
+    }
+    return committed_;
+  }
+
+  void store(T v, std::memory_order order) {
+    Execution* e = Execution::Current();
+    const int tid = e->SchedulePoint(this, "store");
+    const bool release = detail::IsRelease(order);
+    if (e->tso()) {
+      if (order != std::memory_order_seq_cst) {
+        e->BufferStore(this, ToBits(v), release);
+        return;
+      }
+      e->FlushCurrentThread();  // seq_cst store drains the buffer (MFENCE)
+    }
+    CommitStoreBits(ToBits(v), release, e->thread_clock(tid));
+  }
+
+  T fetch_add(T delta, std::memory_order order) {
+    return Rmw(order, "fetch_add",
+               [delta](T old) { return static_cast<T>(old + delta); });
+  }
+
+  T fetch_sub(T delta, std::memory_order order) {
+    return Rmw(order, "fetch_sub",
+               [delta](T old) { return static_cast<T>(old - delta); });
+  }
+
+  T exchange(T v, std::memory_order order) {
+    return Rmw(order, "exchange", [v](T) { return v; });
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order) {
+    Execution* e = Execution::Current();
+    const int tid = e->SchedulePoint(this, "cas");
+    if (e->tso()) e->FlushCurrentThread();  // LOCK'd op
+    const T old = committed_;
+    if (detail::IsAcquire(order) && released_) {
+      e->thread_clock(tid).Join(sync_clock_);
+    }
+    if (!(old == expected)) {
+      expected = old;
+      return false;
+    }
+    CommitRmw(ToBits(desired), detail::IsRelease(order), e, tid);
+    return true;
+  }
+
+  /// C++20 std::atomic::wait with futex fidelity: the value re-check and
+  /// the park are one indivisible step relative to notifiers, and there
+  /// are no spurious wakeups — a lost-wakeup protocol bug blocks forever
+  /// here and is reported as a deadlock.
+  void wait(T old, std::memory_order order) const {
+    Execution* e = Execution::Current();
+    for (;;) {
+      const int tid = e->SchedulePoint(this, "wait");
+      uint64_t bits = 0;
+      if (e->tso() && e->PeekBuffered(this, &bits)) {
+        if (!(FromBits(bits) == old)) return;  // own store; no sync edge
+      } else if (!(committed_ == old)) {
+        if (detail::IsAcquire(order) && released_) {
+          e->thread_clock(tid).Join(sync_clock_);
+        }
+        return;
+      }
+      e->BlockOnAddress(this);  // woken only by notify on this address
+    }
+  }
+
+  void notify_one() {
+    Execution* e = Execution::Current();
+    e->SchedulePoint(this, "notify_one");
+    e->Notify(this, /*all=*/false);
+  }
+
+  void notify_all() {
+    Execution* e = Execution::Current();
+    e->SchedulePoint(this, "notify_all");
+    e->Notify(this, /*all=*/true);
+  }
+
+  /// Scheduler hook: make a (possibly TSO-delayed) store visible.
+  void CommitStoreBits(uint64_t bits, bool release,
+                       const VectorClock& clock) override {
+    committed_ = FromBits(bits);
+    if (release) {
+      released_ = true;
+      sync_clock_ = clock;
+    } else {
+      // A relaxed store heads a NEW (empty) release sequence: later
+      // acquire loads that read it synchronize with nothing.
+      released_ = false;
+    }
+  }
+
+ private:
+  template <typename Fn>
+  T Rmw(std::memory_order order, const char* op, Fn fn) {
+    Execution* e = Execution::Current();
+    const int tid = e->SchedulePoint(this, op);
+    if (e->tso()) e->FlushCurrentThread();  // LOCK'd op drains the buffer
+    const T old = committed_;
+    if (detail::IsAcquire(order) && released_) {
+      e->thread_clock(tid).Join(sync_clock_);
+    }
+    CommitRmw(ToBits(fn(old)), detail::IsRelease(order), e, tid);
+    return old;
+  }
+
+  void CommitRmw(uint64_t bits, bool release, Execution* e, int tid) {
+    committed_ = FromBits(bits);
+    if (release) {
+      // A release RMW both continues any existing release sequence and
+      // publishes this thread's clock.
+      sync_clock_.Join(e->thread_clock(tid));
+      released_ = true;
+    }
+    // Relaxed RMW: release sequence continues — keep released_/sync_clock_.
+  }
+
+  static uint64_t ToBits(T v) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(T));
+    return b;
+  }
+  static T FromBits(uint64_t b) {
+    T v{};
+    std::memcpy(&v, &b, sizeof(T));
+    return v;
+  }
+
+  T committed_;
+  bool released_ = false;      // last committed store carried release
+  VectorClock sync_clock_{};   // clock published by the release (sequence)
+};
+
+/// Race-checked non-atomic payload slot. Every access (Store and the
+/// mutating MoveTo) is treated as a write; two accesses from different
+/// threads without a happens-before edge between them are reported as a
+/// data race with the failing interleaving.
+template <typename T>
+class Cell {
+ public:
+  Cell() = default;
+
+  void Store(T&& v) {
+    AccessCheck("Store");
+    value_ = std::move(v);
+  }
+
+  void MoveTo(T* out) {
+    AccessCheck("MoveTo");
+    *out = std::move(value_);
+  }
+
+ private:
+  void AccessCheck(const char* op) {
+    Execution* e = Execution::Current();
+    const int tid = e->SchedulePoint(this, "cell");
+    if (last_tid_ >= 0 && last_tid_ != tid &&
+        e->thread_clock(tid).c[last_tid_] < last_time_) {
+      e->Fail(std::string("data race on mc::Cell (") + op + "): T" +
+              std::to_string(tid) + " accesses a slot last touched by T" +
+              std::to_string(last_tid_) + " with no happens-before edge");
+    }
+    last_tid_ = tid;
+    last_time_ = e->TickClock();
+  }
+
+  T value_{};
+  int last_tid_ = -1;     // last accessor
+  uint64_t last_time_ = 0;  // accessor's own-clock stamp at that access
+};
+
+/// Atomics policy that instantiates the checked variants; the production
+/// counterpart is pjoin::RawAtomicsPolicy (src/common/spsc_ring.h). Spin
+/// budgets are tiny so spin loops stay cheap under exhaustive exploration
+/// (every Yield is a scheduling point).
+struct ModelPolicy {
+  template <typename U>
+  using Atomic = mc::atomic<U>;
+  template <typename U>
+  using Cell = mc::Cell<U>;
+  static void Yield() { SchedYield(); }
+  static constexpr int kSpinIters = 2;
+  static constexpr int kBusySpins = 1;
+};
+
+}  // namespace mc
+}  // namespace pjoin
+
+#endif  // PJOIN_CHECK_MODEL_ATOMIC_H_

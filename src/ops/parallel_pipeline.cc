@@ -105,10 +105,12 @@ ParallelJoinPipeline::ParallelJoinPipeline(JoinFactory factory,
     shards_.push_back(std::move(shard));
   }
   // Output-schema positions of the two join keys, for the merger's
-  // routed-vs-broadcast release inference (ReleaseExpectedShards).
-  release_key_pos_[0] = joins_[0]->state(0).key_index();
-  release_key_pos_[1] = joins_[0]->state(0).schema()->num_fields() +
-                        joins_[0]->state(1).key_index();
+  // routed-vs-broadcast release inference (PunctReleaseBoard).
+  release_board_.Configure(
+      joins_[0]->state(0).key_index(),
+      joins_[0]->state(0).schema()->num_fields() +
+          joins_[0]->state(1).key_index(),
+      options_.num_shards);
 }
 
 ParallelJoinPipeline::~ParallelJoinPipeline() = default;
@@ -145,21 +147,6 @@ void ParallelJoinPipeline::FlushShardOut(Shard* shard, bool force) {
   out_activity_.notify_all();
 }
 
-int ParallelJoinPipeline::ReleaseExpectedShards(const Punctuation& p) const {
-  // Mirrors the router's dispatch rule from the release side: a punctuation
-  // whose join-key pattern is a constant was routed to the key's owning
-  // shard alone, so exactly one release completes it; anything else was
-  // broadcast and needs a release from every shard. The join releases
-  // punctuations over its *output* schema with the key pattern transferred
-  // to both key positions (the equi-join predicate), so a constant at
-  // either key position identifies a routed punctuation regardless of the
-  // input side it arrived on.
-  for (const size_t pos : release_key_pos_) {
-    if (pos < p.num_patterns() && p.pattern(pos).IsConstant()) return 1;
-  }
-  return num_shards();
-}
-
 void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
   TRACE_SPAN("par", "merge_drain");
   for (Tuple& t : out.results) {
@@ -168,10 +155,10 @@ void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
   }
   for (Punctuation& p : out.releases) {
     TRACE_INSTANT("par", "punct_release");
-    // Emitted once per full round of releases from the shards the router
-    // dispatched it to. The count (rather than erase-at-full-round)
-    // tolerates a punctuation string recurring.
-    if (++punct_board_[p.ToString()] % ReleaseExpectedShards(p) == 0) {
+    // The board reports completion once per full round of releases from
+    // the shards the router dispatched the punctuation to (1 for routed,
+    // all for broadcast) — emission happens exactly then.
+    if (release_board_.Release(p)) {
       ++puncts_emitted_;
       if (on_punct_) on_punct_(p);
     }

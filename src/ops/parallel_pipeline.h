@@ -68,7 +68,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +77,7 @@
 #include "exec/registry.h"
 #include "join/join_base.h"
 #include "obs/metrics_registry.h"
+#include "ops/release_board.h"
 
 namespace pjoin {
 
@@ -224,10 +224,6 @@ class ParallelJoinPipeline {
   /// merged, so callers waiting on output can park when a sweep comes back
   /// empty.
   size_t DrainOutputs();
-  /// How many shard releases complete one emission of `p`: 1 for a
-  /// constant-key punctuation (the router sent it to the key's owning shard
-  /// alone), num_shards() for a broadcast pattern.
-  int ReleaseExpectedShards(const Punctuation& p) const;
   void MergeOutBatch(OutBatch out);
   /// Shard-side: pushes staged results/releases into the shard's output
   /// ring when due (`force`, a pending release, or result_flush reached).
@@ -241,13 +237,10 @@ class ParallelJoinPipeline {
   PunctCallback on_punct_;
 
   /// Punctuation release board — router/caller thread only (the merger is
-  /// single-threaded, which is what lets the old mutex-guarded board go):
-  /// shard release counts per punctuation string; a punctuation is emitted
-  /// each time its count reaches a multiple of ReleaseExpectedShards().
-  std::map<std::string, int> punct_board_;
-  /// Output-schema positions of the left/right join keys (constructor-set),
-  /// used to recognize key-routed punctuations among the releases.
-  size_t release_key_pos_[2] = {0, 0};
+  /// single-threaded, which is what lets the old mutex-guarded board go).
+  /// Exactly-once emission logic lives in ops/release_board.h, where the
+  /// model-check suite exercises it against every ring interleaving.
+  PunctReleaseBoard release_board_;
 
   std::vector<ShardStats> shard_stats_;
   int64_t results_emitted_ = 0;

@@ -27,6 +27,47 @@ TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
 }
 
+TEST(SpscRingTest, ExactCapacityConstructionAdmitsPowersOfTwo) {
+  // Compile-time path: static_assert-checked capacities.
+  auto r1 = SpscRing<int>::WithCapacity<1>();
+  EXPECT_EQ(r1.capacity(), 1u);
+  auto r8 = SpscRing<int>::WithCapacity<8>();
+  EXPECT_EQ(r8.capacity(), 8u);
+  // The constexpr predicate is usable in callers' own static_asserts.
+  static_assert(SpscRing<int>::IsValidExactCapacity(4));
+  static_assert(!SpscRing<int>::IsValidExactCapacity(0));
+  static_assert(!SpscRing<int>::IsValidExactCapacity(3));
+  // Runtime path.
+  auto r2 = SpscRing<int>::WithExactCapacity(2);
+  EXPECT_EQ(r2.capacity(), 2u);
+}
+
+TEST(SpscRingDeathTest, ExactCapacityZeroDies) {
+  EXPECT_DEATH(SpscRing<int>::WithExactCapacity(0), "PJOIN_DCHECK failed");
+}
+
+TEST(SpscRingDeathTest, ExactCapacityNonPowerOfTwoDies) {
+  EXPECT_DEATH(SpscRing<int>::WithExactCapacity(3), "PJOIN_DCHECK failed");
+  EXPECT_DEATH(SpscRing<int>::WithExactCapacity(6), "PJOIN_DCHECK failed");
+}
+
+// Capacity 1 works end-to-end: every push crosses the full boundary and
+// every pop the empty one, so this is the tightest park/unpark window the
+// ring supports (the model-checked twin explores ALL its interleavings in
+// tests/model_check_test.cc).
+TEST(SpscRingTest, ExactCapacityOneTransportsFifo) {
+  auto ring = SpscRing<int>::WithCapacity<1>();
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.TryPush(int(i)));
+    EXPECT_FALSE(ring.TryPush(int(i)));  // full at one element
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+    EXPECT_FALSE(ring.TryPop(&v));  // empty again
+  }
+}
+
 TEST(SpscRingTest, PushPopFifoAcrossWraparound) {
   SpscRing<int> ring(4);
   // Many times the capacity, so the indices wrap repeatedly. Skipping every
@@ -155,6 +196,37 @@ TEST(SpscRingTest, ConcurrentStressPreservesFifo) {
   EXPECT_EQ(received, kItems);
   EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
   EXPECT_TRUE(ring.exhausted());
+}
+
+// Close() racing the consumer's drain through a capacity-1 ring — the
+// tightest park/unpark window: the close/pop race decides between "drain
+// the last element" and "report exhausted" on every iteration. Elements
+// pushed before Close must never be lost, whatever the interleaving. The
+// model-checked twin of this test (tests/model_check_test.cc,
+// SpscRingModel.CloseRacingPopDrainsCapacityOne) proves it over ALL
+// interleavings at small size; this raw-build version hammers the real
+// futex paths.
+TEST(SpscRingTest, CloseRacingPopDrainsCapacityOne) {
+  for (int round = 0; round < 200; ++round) {
+    auto ring = SpscRing<int64_t>::WithCapacity<1>();
+    std::atomic<int64_t> pushed{0};
+    std::thread producer([&] {
+      for (int64_t i = 1; i <= 64; ++i) {
+        if (!ring.TryPush(int64_t{i})) break;  // consumer lags: close early
+        pushed.store(i);
+      }
+      ring.Close();
+    });
+    int64_t seen = 0;
+    int64_t v = 0;
+    while (ring.PopBlocking(&v)) {
+      ASSERT_EQ(v, seen + 1) << "lost or duplicated element in drain";
+      seen = v;
+    }
+    producer.join();
+    EXPECT_EQ(seen, pushed.load());
+    EXPECT_TRUE(ring.exhausted());
+  }
 }
 
 // Move-only payloads survive the transport (the pipeline ships batches of

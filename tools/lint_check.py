@@ -42,13 +42,24 @@ and src/common/status.h actually hold across the tree:
                        shutdown live in one audited place (test clients
                        under tests/ are unaffected; the rule is src-only).
   raw-atomic-ordering  explicit std::memory_order_* arguments in src/
-                       outside src/common/spsc_ring.h and src/obs/trace.*.
+                       outside src/common/spsc_ring.h, src/obs/trace.*
+                       and the model-checking harness (src/check/).
                        Relaxed/acquire/release reasoning is subtle enough
-                       that it lives only in the two audited lock-free
-                       modules (the SPSC ring and the tracer's seqlock);
-                       everywhere else plain std::atomic ops (seq_cst)
-                       are the contract — an ordering argument elsewhere
-                       is either premature optimisation or a latent race.
+                       that it lives only in the audited lock-free
+                       modules (the SPSC ring, the tracer's seqlock, and
+                       the checker that verifies them); everywhere else
+                       plain std::atomic ops (seq_cst) are the contract —
+                       an ordering argument elsewhere is either premature
+                       optimisation or a latent race.
+  model-atomic-include the instrumented model-checking atomics
+                       (check/model_atomic.h, mc::atomic / mc::Cell /
+                       mc::ModelPolicy) referenced outside tests/ and
+                       src/check/. They exist to *replace* std::atomic
+                       under the virtual scheduler; in a production
+                       binary they would abort at the first operation
+                       (no Execution is live) — the policy template on
+                       SpscRing is the supported seam, production code
+                       never names mc:: types directly.
 
 A line containing NOLINT (optionally NOLINT(<rule>)) is exempt from that
 rule on that line. Fixture files under tools/lint_fixtures/ are excluded
@@ -88,7 +99,16 @@ RAW_ATOMIC_EXEMPT = (
     "src/common/spsc_ring.h",
     "src/obs/trace.h",
     "src/obs/trace.cc",
+    # The model-checking harness interprets memory orders; it is the
+    # checker, not a user of the convention.
+    "src/check/model_atomic.h",
+    "src/check/scheduler.h",
+    "src/check/scheduler.cc",
 )
+# The model-checking atomics may only be named from the harness itself and
+# from tests; see the model-atomic-include rule in the module docstring.
+MODEL_ATOMIC_ALLOWED_PREFIXES = ("src/check/", "tests/")
+MODEL_ATOMIC_HEADER = "check/model_atomic.h"
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
@@ -111,6 +131,7 @@ RAW_CLOCK_RE = re.compile(
 RAW_SOCKET_RE = re.compile(
     r"(?:^|[^\w:.>])(?:::)?(socket|bind|accept)\s*\(")
 RAW_MEMORY_ORDER_RE = re.compile(r"\bstd\s*::\s*memory_order(_\w+)?\b")
+MC_TYPE_USE_RE = re.compile(r"\bmc\s*::\s*(atomic|Cell|ModelPolicy)\b")
 NOLINT_RE = re.compile(r"NOLINT(?:\((?P<rules>[\w,\- ]*)\))?")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -151,6 +172,8 @@ class Linter:
         is_wrapper = rel_path.replace(os.sep, "/") == WRAPPER_HEADER.replace(
             os.sep, "/")
         is_src = rel_path.replace(os.sep, "/").startswith("src/")
+        may_use_model_atomics = rel_path.replace(os.sep, "/").startswith(
+            MODEL_ATOMIC_ALLOWED_PREFIXES)
         in_block_comment = False
         mutex_members = {}  # name -> first declaration line
         guarded_users = set()  # mutex names appearing in GUARDED_BY(...)
@@ -185,6 +208,24 @@ class Linter:
             m = re.match(r'\s*#\s*include\s+"([^"]+)"', raw)
             if m:
                 includes.add(m.group(1))
+                if (m.group(1) == MODEL_ATOMIC_HEADER
+                        and not may_use_model_atomics
+                        and not nolinted(raw, "model-atomic-include")):
+                    self.report(rel_path, i, "model-atomic-include",
+                                "check/model_atomic.h is test-only: the "
+                                "instrumented atomics abort outside the "
+                                "model-check scheduler — parameterize on an "
+                                "atomics policy instead (see "
+                                "common/spsc_ring.h)")
+
+            if (MC_TYPE_USE_RE.search(code_no_comment)
+                    and not may_use_model_atomics):
+                if not nolinted(raw, "model-atomic-include"):
+                    self.report(rel_path, i, "model-atomic-include",
+                                "mc::atomic/mc::Cell/mc::ModelPolicy are "
+                                "test-only model-checking types; production "
+                                "code reaches instrumented atomics only via "
+                                "the SpscRing policy template")
 
             if RAW_SYNC_RE.search(code_no_comment) and not is_wrapper:
                 if not nolinted(raw, "raw-sync-primitive"):
@@ -312,6 +353,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_raw_clock.cc": {"raw-clock"},
     "bad_raw_socket.cc": {"raw-socket"},
     "bad_raw_atomic_order.cc": {"raw-atomic-ordering"},
+    "bad_model_atomic_include.cc": {"model-atomic-include"},
     "clean.h": set(),
 }
 

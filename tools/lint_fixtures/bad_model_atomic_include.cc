@@ -1,0 +1,17 @@
+// Lint fixture: production code pulling in the model-checking atomics.
+// mc::atomic only works under the virtual scheduler (mc::Explore); in a
+// normal binary every operation aborts because no Execution is live. The
+// supported seam is the atomics-policy template on SpscRing — production
+// instantiates RawAtomicsPolicy, tests instantiate mc::ModelPolicy, and
+// nothing outside tests/ and src/check/ ever names an mc:: type.
+#include "check/model_atomic.h"
+
+namespace pjoin {
+
+inline int BrokenCounter() {
+  mc::atomic<int> count{0};
+  count.store(1, std::memory_order_release);
+  return count.load(std::memory_order_acquire);
+}
+
+}  // namespace pjoin

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Model-check report gate: parse and enforce the [MC] summary lines.
+
+Every mc::Explore call in tests/model_check_test.cc prints one line:
+
+  [MC] label=<l> schedules=<N> states=<M> exhaustive=<0|1> bound=<k> \
+tso=<0|1> failed=<0|1>
+
+CI pipes the test's stdout through this script (docs/STATIC_ANALYSIS.md
+"Model checking"), which turns the free-text log into a hard gate:
+
+  * every label in REQUIRED_EXHAUSTIVE must be present with exhaustive=1
+    and failed=0 — a future edit that quietly trips the schedule cap (so
+    the DFS no longer covers the full interleaving space within its
+    preemption bound) fails CI instead of silently weakening the proof;
+  * every label in EXPECTED_FAILING (the planted-bug self-tests: the
+    relaxed-publication race, the check-then-wait lost wakeup, Dekker
+    under TSO) must be present with failed=1 — if the checker stops
+    catching its own planted bugs it has lost its teeth, and that is a
+    gate failure even though the gtest suite itself still passes;
+  * any other label must report failed=0;
+  * duplicate labels and malformed [MC] lines are errors.
+
+Reads the log from the file argument, or stdin when absent. --self-test
+runs the gate against embedded good and doctored logs and asserts each
+verdict. Exit status: 0 pass, 1 gate failure, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+
+# Suites whose exploration is exhaustive within the stated preemption
+# bound. Keep in sync with tests/model_check_test.cc (every EXPECT_MC_
+# EXHAUSTIVE call site).
+REQUIRED_EXHAUSTIVE = (
+    "self_release_ok",
+    "self_eventcount_ok",
+    "self_dekker_sc",
+    "ring_fifo_cap2",
+    "ring_fifo_cap4",
+    "ring_fifo_cap1",
+    "ring_close_race_cap1",
+    "board_routed",
+    "board_broadcast",
+    "board_recurring",
+)
+
+# Planted-bug self-tests: the checker MUST report a failure for these.
+EXPECTED_FAILING = (
+    "self_relaxed_race",
+    "self_lost_wakeup",
+    "self_dekker_tso",
+)
+
+MC_LINE_RE = re.compile(
+    r"^\[MC\] label=(?P<label>\S+) schedules=(?P<schedules>\d+) "
+    r"states=(?P<states>\d+) exhaustive=(?P<exhaustive>[01]) "
+    r"bound=(?P<bound>-?\d+) tso=(?P<tso>[01]) failed=(?P<failed>[01])\s*$")
+
+
+def parse(lines):
+    """Returns ({label: fields-dict}, [error strings])."""
+    runs = {}
+    errors = []
+    for i, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.startswith("[MC]"):
+            continue
+        m = MC_LINE_RE.match(line)
+        if not m:
+            errors.append(f"line {i}: malformed [MC] line: {line!r}")
+            continue
+        label = m.group("label")
+        if label in runs:
+            errors.append(f"line {i}: duplicate [MC] label '{label}'")
+            continue
+        runs[label] = {k: int(v) for k, v in m.groupdict().items()
+                       if k != "label"}
+    return runs, errors
+
+
+def check(runs, errors):
+    """Applies the gate; returns the full error list."""
+    errors = list(errors)
+    for label in REQUIRED_EXHAUSTIVE:
+        run = runs.get(label)
+        if run is None:
+            errors.append(f"required suite '{label}' missing from log")
+            continue
+        if run["failed"]:
+            errors.append(f"suite '{label}' reported a failure")
+        if not run["exhaustive"]:
+            errors.append(
+                f"suite '{label}' was not exhaustive "
+                f"({run['schedules']} schedules explored, bound "
+                f"{run['bound']}) — it hit a schedule cap; the proof is "
+                "now sampling, not coverage")
+    for label in EXPECTED_FAILING:
+        run = runs.get(label)
+        if run is None:
+            errors.append(f"planted-bug suite '{label}' missing from log")
+            continue
+        if not run["failed"]:
+            errors.append(
+                f"planted-bug suite '{label}' reported failed=0 — the "
+                "checker no longer catches its own planted bug")
+    known = set(REQUIRED_EXHAUSTIVE) | set(EXPECTED_FAILING)
+    for label, run in sorted(runs.items()):
+        if label not in known and run["failed"]:
+            errors.append(f"suite '{label}' reported a failure")
+    return errors
+
+
+def report(runs, errors):
+    total_schedules = sum(r["schedules"] for r in runs.values())
+    total_states = sum(r["states"] for r in runs.values())
+    for label, run in sorted(runs.items()):
+        kind = ("exhaustive" if run["exhaustive"] else "sampled")
+        mode = " tso" if run["tso"] else ""
+        verdict = "PLANTED-BUG CAUGHT" if run["failed"] else "ok"
+        print(f"mc_report: {label}: {run['schedules']} schedules, "
+              f"{run['states']} states, {kind} (bound {run['bound']}"
+              f"{mode}) — {verdict}")
+    for e in errors:
+        print(f"mc_report: FAIL: {e}")
+    print(f"mc_report: {len(runs)} suite(s), {total_schedules} schedules, "
+          f"{total_states} states, {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+def good_log():
+    lines = []
+    for label in REQUIRED_EXHAUSTIVE:
+        lines.append(f"[MC] label={label} schedules=8192 states=100000 "
+                     "exhaustive=1 bound=2 tso=0 failed=0")
+    for label in EXPECTED_FAILING:
+        lines.append(f"[MC] label={label} schedules=3 states=17 "
+                     "exhaustive=0 bound=2 tso=0 failed=1")
+    lines.append("[MC] label=ring_fifo_tso schedules=150500 states=900000 "
+                 "exhaustive=0 bound=2 tso=1 failed=0")
+    lines.append("[ RUN ] noise between MC lines is ignored")
+    return lines
+
+
+def run_self_test():
+    failures = []
+
+    def expect(name, lines, want_pass):
+        runs, parse_errors = parse(lines)
+        errors = check(runs, parse_errors)
+        ok = not errors
+        if ok != want_pass:
+            failures.append(
+                f"{name}: expected {'pass' if want_pass else 'fail'}, got "
+                f"{'pass' if ok else 'fail'} ({errors[:2]})")
+
+    expect("good log", good_log(), True)
+
+    doctored = [l.replace("label=ring_fifo_cap2 schedules=8192 "
+                          "states=100000 exhaustive=1",
+                          "label=ring_fifo_cap2 schedules=8192 "
+                          "states=100000 exhaustive=0")
+                for l in good_log()]
+    expect("capped exhaustive suite", doctored, False)
+
+    doctored = [l.replace("label=board_routed schedules=8192 states=100000 "
+                          "exhaustive=1 bound=2 tso=0 failed=0",
+                          "label=board_routed schedules=8192 states=100000 "
+                          "exhaustive=1 bound=2 tso=0 failed=1")
+                for l in good_log()]
+    expect("failing required suite", doctored, False)
+
+    expect("missing required suite",
+           [l for l in good_log() if "ring_fifo_cap1 " not in l], False)
+
+    doctored = [l.replace("label=self_relaxed_race schedules=3 states=17 "
+                          "exhaustive=0 bound=2 tso=0 failed=1",
+                          "label=self_relaxed_race schedules=1048576 "
+                          "states=9999999 exhaustive=0 bound=2 tso=0 "
+                          "failed=0")
+                for l in good_log()]
+    expect("toothless planted-bug suite", doctored, False)
+
+    expect("malformed MC line",
+           good_log() + ["[MC] label=oops schedules=banana"], False)
+
+    expect("duplicate label",
+           good_log() + [good_log()[0]], False)
+
+    expect("unknown failing suite",
+           good_log() + ["[MC] label=new_suite schedules=5 states=9 "
+                         "exhaustive=0 bound=1 tso=0 failed=1"], False)
+
+    for f in failures:
+        print(f"self-test FAIL: {f}")
+    print(f"mc_report self-test: 8 cases, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("log", nargs="?",
+                        help="model_check_test output (default: stdin)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate against embedded sample logs")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    if args.log:
+        try:
+            with open(args.log, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    else:
+        lines = sys.stdin.readlines()
+    runs, parse_errors = parse(lines)
+    errors = check(runs, parse_errors)
+    return report(runs, errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
