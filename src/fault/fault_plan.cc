@@ -29,10 +29,18 @@ std::string StreamFaultSpec::ToString() const {
   return os.str();
 }
 
+std::string MigrationFaultSpec::ToString() const {
+  std::ostringstream os;
+  os << "migration{extract_err=" << extract_error_rate
+     << " install_err=" << install_error_rate << "}";
+  return os.str();
+}
+
 std::string FaultPlan::ToString() const {
   std::ostringstream os;
   os << "FaultPlan{seed=" << seed << " a=" << stream[0].ToString()
-     << " b=" << stream[1].ToString() << " " << io.ToString() << "}";
+     << " b=" << stream[1].ToString() << " " << io.ToString() << " "
+     << migration.ToString() << "}";
   return os.str();
 }
 

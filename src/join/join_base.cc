@@ -118,6 +118,75 @@ Status JoinOperator::ProcessBatch(const ElementBatch& batch) {
 
 Status JoinOperator::OnStreamsStalled() { return Status::OK(); }
 
+Punctuation JoinOperator::MakeOutputPunct(int side,
+                                          const Punctuation& punct) const {
+  const size_t left_width = states_[0]->schema()->num_fields();
+  const size_t right_width = states_[1]->schema()->num_fields();
+  std::vector<Pattern> patterns(left_width + right_width,
+                                Pattern::Wildcard());
+  if (side == 0) {
+    for (size_t i = 0; i < left_width; ++i) patterns[i] = punct.pattern(i);
+    // The equi-join predicate transfers the key pattern to the other side.
+    patterns[left_width + options_.right_key] =
+        punct.pattern(options_.left_key);
+  } else {
+    for (size_t i = 0; i < right_width; ++i) {
+      patterns[left_width + i] = punct.pattern(i);
+    }
+    patterns[options_.left_key] = punct.pattern(options_.right_key);
+  }
+  return Punctuation(std::move(patterns));
+}
+
+Result<KeyStateHandoff> JoinOperator::ExtractKeyState(const Value& key,
+                                                      bool copy) {
+  KeyStateHandoff handoff;
+  handoff.key = key;
+  handoff.key_hash = key.Hash();
+  // Eligibility first, mutation second (all-or-nothing): the key's
+  // partitions must be fully memory-resident on BOTH sides — a
+  // disk-resident or purge-buffered slice cannot be carved out of its
+  // duplicate-avoidance history, and an unindexed disk portion may hide
+  // more tuples of the key.
+  for (int side = 0; side < 2; ++side) {
+    const HashState& st = *states_[side];
+    const int p = st.PartitionOfHash(handoff.key_hash);
+    if (st.disk_tuples(p) > 0 || !st.purge_buffer(p).empty() ||
+        st.has_unindexed_disk()) {
+      return Status::FailedPrecondition(
+          "key state not memory-resident; handoff refused: " +
+          st.name());
+    }
+  }
+  for (int side = 0; side < 2; ++side) {
+    HashState& st = *states_[side];
+    const int p = st.PartitionOfHash(handoff.key_hash);
+    if (copy) {
+      st.ForEachMemoryMatch(p, key, handoff.key_hash,
+                            [&](const TupleEntry& e) {
+                              handoff.entries[side].push_back(e);
+                            });
+    } else {
+      handoff.entries[side] = st.ExtractMemoryMatching(
+          p, [&](const TupleEntry& e) { return st.KeyOf(e.tuple) == key; });
+    }
+  }
+  return handoff;
+}
+
+Status JoinOperator::InstallKeyState(KeyStateHandoff handoff) {
+  for (int side = 0; side < 2; ++side) {
+    for (TupleEntry& e : handoff.entries[side]) {
+      e.ats = NextTick();
+      e.dts = kAliveDts;
+      e.pid = kNullPid;
+      e.key_hash = handoff.key_hash;
+      states_[side]->InsertMemory(std::move(e));
+    }
+  }
+  return Status::OK();
+}
+
 Status JoinOperator::OnTupleHashed(int side, const Tuple& tuple,
                                    uint64_t key_hash) {
   (void)key_hash;

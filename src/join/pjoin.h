@@ -43,6 +43,15 @@ class PJoin : public JoinOperator {
   /// punctuations now (§3.5).
   Status RequestPropagation();
 
+  /// Key-state handoff with punctuation-aware eligibility: additionally
+  /// refuses when either punctuation set covers `key` (a covered key's
+  /// entries are pinned by match counts — moving them could propagate a
+  /// punctuation while covered state lives at another shard) or when an
+  /// extracted entry is pinned by a payload-constrained punctuation the
+  /// key-level check cannot see (the state is restored before refusing).
+  Result<KeyStateHandoff> ExtractKeyState(const Value& key,
+                                          bool copy) override;
+
   // ---- Introspection ----
   const PunctuationSet& punct_set(int side) const;
   const EventRegistry& registry() const { return registry_; }
@@ -98,9 +107,6 @@ class PJoin : public JoinOperator {
   /// Propagation (Fig 3 + safety gate); ensures left-over joins and index
   /// building are complete first.
   Status RunPropagation();
-
-  /// Lifts an input-side punctuation onto the output schema.
-  Punctuation MakeOutputPunct(int side, const Punctuation& punct) const;
 
   /// Final disposal of a state entry; maintains punctuation match counts.
   void DiscardEntry(int side, const TupleEntry& entry);

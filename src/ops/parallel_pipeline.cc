@@ -13,14 +13,6 @@ namespace pjoin {
 
 namespace {
 
-// Shard selection mixes the key hash before the modulo: the low hash bits
-// already select the partition inside a shard's HashState, so taking them
-// for the shard too would leave most per-shard partitions empty.
-int ShardOfHash(uint64_t key_hash, int num_shards) {
-  const uint64_t mixed = (key_hash * 0x9e3779b97f4a7c15ull) >> 32;
-  return static_cast<int>(mixed % static_cast<uint64_t>(num_shards));
-}
-
 // Ring capacities are configured in elements but the rings carry batches;
 // 0 means "effectively unbounded" (a large default).
 size_t RingBatches(size_t capacity_elements, size_t batch_size) {
@@ -111,6 +103,18 @@ ParallelJoinPipeline::ParallelJoinPipeline(JoinFactory factory,
       joins_[0]->state(0).schema()->num_fields() +
           joins_[0]->state(1).key_index(),
       options_.num_shards);
+  // Key placement lives in one map consulted by tuple AND punctuation
+  // routing; the repartition controller mutates it through handoffs.
+  shard_map_.Reset(options_.num_shards);
+  repart_enabled_ = options_.repartition.enabled && options_.num_shards > 1;
+  if (repart_enabled_) {
+    controller_ = std::make_unique<RepartitionController>(
+        options_.repartition, &shard_map_);
+    const FaultPlan* plan = options_.repartition.fault_plan;
+    if (plan != nullptr && plan->migration.enabled()) {
+      repart_injector_ = std::make_unique<FaultInjector>(plan->seed);
+    }
+  }
 }
 
 ParallelJoinPipeline::~ParallelJoinPipeline() = default;
@@ -163,18 +167,45 @@ void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
       if (on_punct_) on_punct_(p);
     }
   }
+  if (out.handoff != nullptr) HandleHandoffOut(std::move(*out.handoff));
 }
 
 size_t ParallelJoinPipeline::DrainOutputs() {
   size_t merged = 0;
-  for (auto& shard : shards_) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
     OutBatch out;
-    while (shard->out.TryPop(&out)) {
+    while (shards_[i]->out.TryPop(&out)) {
+      if (repart_enabled_) {
+        merged_results_[i] += static_cast<int64_t>(out.results.size());
+      }
       MergeOutBatch(std::move(out));
       ++merged;
     }
   }
   return merged;
+}
+
+int ParallelJoinPipeline::SprayTarget(uint64_t key_hash) {
+  // Greedy least-output spray: send the sprayed tuple to the shard that
+  // has merged the least join output so far. Result production — not
+  // tuple count — is the work a hot key concentrates, and a blind
+  // round-robin feeds a quarter of the hot key's output to the shard
+  // that is already the bottleneck. The merger runs on this thread, so
+  // the counts are fresh to within one drain. Until output differentiates
+  // the shards, fall back to the key's round-robin cursor.
+  int best = 0;
+  bool all_equal = true;
+  for (int s = 1; s < num_shards(); ++s) {
+    const size_t i = static_cast<size_t>(s);
+    if (merged_results_[i] != merged_results_[static_cast<size_t>(best)]) {
+      all_equal = false;
+    }
+    if (merged_results_[i] < merged_results_[static_cast<size_t>(best)]) {
+      best = s;
+    }
+  }
+  if (all_equal) return shard_map_.NextSprayShard(key_hash);
+  return best;
 }
 
 void ParallelJoinPipeline::Stage(int shard, int8_t side,
@@ -276,6 +307,11 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
       continue;
     }
     dry = 0;
+    if (batch.command != nullptr) {
+      ExecuteCommand(shard, *batch.command);
+      batch.command.reset();
+      continue;
+    }
     const size_t n = batch.elements.size();
     batch_timer.Restart();
     {
@@ -332,6 +368,330 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
   }
 }
 
+void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
+  switch (e->kind()) {
+    case ElementKind::kTuple: {
+      // The single hash of this tuple's key for the whole pipeline: shard
+      // selection here, partition selection / index probe / index insert
+      // in the shard (via RoutedBatch::key_hashes).
+      const uint64_t h =
+          e->tuple().field(key_index_[side]).Hash();
+      if (!repart_enabled_) {
+        Stage(shard_map_.OwnerOf(h), static_cast<int8_t>(side), e, h,
+              route_now_us_);
+        break;
+      }
+      if (fence_active_ && h == active_handoff_->key_hash) {
+        // The fenced key's stream pauses at the router while its state is
+        // in flight; everything else keeps flowing.
+        deferred_.emplace_back(static_cast<int8_t>(side), e);
+        break;
+      }
+      if (shard_map_.IsReplicated(h)) {
+        // Hot key: the sprayed side round-robins (each tuple probes the
+        // build side's full local replica), the build side broadcasts
+        // (each tuple probes the local spray-state and refreshes every
+        // replica). Every result pair meets at exactly one shard.
+        if (side == shard_map_.SpraySideOf(h)) {
+          const int s = SprayTarget(h);
+          Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+          controller_->ObserveTuple(e->tuple().field(key_index_[side]), h,
+                                    side, s);
+        } else {
+          for (int s = 0; s < num_shards(); ++s) {
+            Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+          }
+          controller_->ObserveTuple(e->tuple().field(key_index_[side]), h,
+                                    side, shard_map_.OwnerOf(h));
+        }
+        break;
+      }
+      const int s = shard_map_.OwnerOf(h);
+      Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+      controller_->ObserveTuple(e->tuple().field(key_index_[side]), h, side,
+                                s);
+      break;
+    }
+    case ElementKind::kPunctuation: {
+      if (fence_active_) {
+        // Any punctuation may interact with the in-flight key (a range can
+        // cover it; even a constant-key one races the ownership flip), and
+        // a punctuation only ever covers PAST tuples — parking it with the
+        // fence delays its release without ever violating §3.3.
+        deferred_.emplace_back(static_cast<int8_t>(side), e);
+        break;
+      }
+      // A constant-key punctuation concerns exactly the shards that can
+      // hold the key's state: the owning shard under the current map, or
+      // every shard once the key is hot-replicated. Non-constant patterns
+      // (range flush markers, wildcards) can cover keys of every shard and
+      // broadcast. Either way the fan-out is recorded on the release board
+      // at dispatch time — under runtime repartitioning the board's static
+      // pattern inference can no longer reconstruct it. Staged order keeps
+      // the punctuation behind every tuple dispatched before it, per shard.
+      const Pattern& key_pattern = e->punctuation().pattern(key_index_[side]);
+      int fanout = num_shards();
+      if (key_pattern.IsConstant()) {
+        const uint64_t h = key_pattern.constant().Hash();
+        if (repart_enabled_ && shard_map_.IsReplicated(h)) {
+          for (int s = 0; s < num_shards(); ++s) {
+            Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0,
+                  route_now_us_);
+          }
+        } else {
+          Stage(shard_map_.OwnerOf(h), static_cast<int8_t>(side), e,
+                /*key_hash=*/0, route_now_us_);
+          fanout = 1;
+        }
+      } else {
+        for (int s = 0; s < num_shards(); ++s) {
+          Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0,
+                route_now_us_);
+        }
+      }
+      if (repart_enabled_) {
+        release_board_.NoteDispatch(
+            joins_[0]->MakeOutputPunct(side, e->punctuation()), fanout);
+      }
+      if (options_.punct_barrier) {
+        for (int s = 0; s < num_shards(); ++s) FlushStaged(s);
+        EpochBarrier();
+      }
+      break;
+    }
+    case ElementKind::kEndOfStream: {
+      if (fence_active_) {
+        // EOS must stay behind every parked element, and parking it keeps
+        // the router loop alive until the fence resolves.
+        deferred_.emplace_back(static_cast<int8_t>(side), e);
+        break;
+      }
+      for (int s = 0; s < num_shards(); ++s) {
+        Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0, route_now_us_);
+      }
+      eos_routed_[side] = true;
+      break;
+    }
+  }
+}
+
+void ParallelJoinPipeline::StartHandoff(const RepartitionDecision& decision) {
+  PJOIN_DCHECK(!fence_active_);
+  handoffs_started_.fetch_add(1);
+  fence_active_ = true;
+  if (std::getenv("PJOIN_PAR_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[repart] handoff start kind=%s from=%d to=%d\n",
+                 decision.kind == RepartitionDecision::Kind::kReplicate
+                     ? "replicate"
+                     : "migrate",
+                 decision.from, decision.to);
+  }
+  auto handoff = std::make_unique<ActiveHandoff>();
+  handoff->id = ++next_handoff_id_;
+  handoff->key = decision.key;
+  handoff->key_hash = decision.key_hash;
+  handoff->from = decision.from;
+  handoff->to = decision.to;
+  handoff->replicate =
+      decision.kind == RepartitionDecision::Kind::kReplicate;
+  handoff->spray_side = decision.spray_side;
+  RepartCommand cmd;
+  cmd.kind = RepartCommand::Kind::kExtract;
+  cmd.key = decision.key;
+  cmd.key_hash = decision.key_hash;
+  cmd.copy = handoff->replicate;
+  cmd.handoff_id = handoff->id;
+  if (repart_injector_ != nullptr) {
+    cmd.inject_failure = repart_injector_->Roll(
+        options_.repartition.fault_plan->migration.extract_error_rate);
+    if (cmd.inject_failure) repart_injector_->Count("migration_extract");
+  }
+  const int source = handoff->from;
+  active_handoff_ = std::move(handoff);
+  PushCommand(source, std::move(cmd));
+}
+
+void ParallelJoinPipeline::PushCommand(int shard, RepartCommand cmd) {
+  // FIFO fencing: everything staged for this shard precedes the command,
+  // so the source has processed every pre-fence element of the key before
+  // it extracts, and the destination before it installs.
+  FlushStaged(shard);
+  RoutedBatch batch;
+  batch.ingress_us = route_now_us_;
+  batch.command = std::make_unique<RepartCommand>(std::move(cmd));
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  if (s.queue.TryPush(std::move(batch))) return;
+  // Same backpressure discipline as FlushStaged: the router never parks.
+  router_backpressure_waits_.fetch_add(1);
+  backpressure_counter_.Add(1);
+  while (true) {
+    const size_t merged = DrainOutputs();
+    if (s.queue.TryPush(std::move(batch))) return;
+    if (merged == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelJoinPipeline::ExecuteCommand(Shard* shard, RepartCommand& cmd) {
+  TRACE_SPAN("par", "repart_command");
+  auto answer = std::make_unique<HandoffOut>();
+  answer->handoff_id = cmd.handoff_id;
+  if (cmd.kind == RepartCommand::Kind::kExtract) {
+    if (cmd.inject_failure) {
+      answer->status = Status::IOError("injected migration extract fault");
+    } else {
+      Result<KeyStateHandoff> extracted =
+          shard->join->ExtractKeyState(cmd.key, cmd.copy);
+      if (extracted.ok()) {
+        answer->payload = std::move(extracted).value();
+      } else {
+        answer->status = extracted.status();
+      }
+    }
+  } else {
+    answer->install_ack = true;
+    if (cmd.inject_failure) {
+      answer->status = Status::IOError("injected migration install fault");
+      // The state travels back so the router can restore it at the source.
+      answer->payload = std::move(cmd.payload);
+    } else {
+      answer->status = shard->join->InstallKeyState(std::move(cmd.payload));
+    }
+  }
+  // The router is fenced on this answer: flush anything staged first (the
+  // answer must not overtake results recorded before the command), then
+  // ship it in its own batch.
+  FlushShardOut(shard, /*force=*/true);
+  OutBatch out;
+  out.handoff = std::move(answer);
+  shard->out.PushBlocking(std::move(out));
+  out_activity_.fetch_add(1);
+  out_activity_.notify_all();
+}
+
+void ParallelJoinPipeline::HandleHandoffOut(HandoffOut out) {
+  ActiveHandoff* handoff = active_handoff_.get();
+  PJOIN_DCHECK(handoff != nullptr && handoff->id == out.handoff_id);
+  if (handoff == nullptr || handoff->id != out.handoff_id) return;
+  if (!out.install_ack) {
+    // The source's extract answer.
+    if (!out.status.ok()) {
+      // Refused (ineligible state) or injected failure: nothing moved —
+      // abandon the handoff, keep the key where it is.
+      migration_rollbacks_.fetch_add(1);
+      rollbacks_counter_.Add(1);
+      controller_->OnHandoffRejected(handoff->key_hash);
+      fence_done_ = true;
+      return;
+    }
+    handoff->payload = std::move(out.payload);
+    handoff->phase = ActiveHandoff::Phase::kInstall;
+    send_installs_ = true;
+    return;
+  }
+  if (handoff->phase == ActiveHandoff::Phase::kRollback) {
+    // The source re-accepted the payload; the failed handoff is fully
+    // unwound (the map never changed).
+    migration_rollbacks_.fetch_add(1);
+    rollbacks_counter_.Add(1);
+    controller_->OnHandoffRejected(handoff->key_hash);
+    fence_done_ = true;
+    return;
+  }
+  if (!out.status.ok()) {
+    // Install failed mid-handoff: the payload travelled back — restore it
+    // at the source before unfencing.
+    handoff->payload = std::move(out.payload);
+    handoff->phase = ActiveHandoff::Phase::kRollback;
+    send_rollback_ = true;
+    return;
+  }
+  if (--handoff->pending_installs > 0) return;
+  // All installs landed: flip the map, then let PumpRepartition unfence
+  // and replay the parked elements under the new placement.
+  if (handoff->replicate) {
+    shard_map_.MarkReplicated(handoff->key_hash, handoff->spray_side);
+    hot_keys_gauge_.Set(shard_map_.replicated_keys());
+  } else {
+    shard_map_.SetOwner(handoff->key_hash, handoff->to);
+    migrations_completed_.fetch_add(1);
+    migrations_counter_.Add(1);
+    controller_->OnMigrationCompleted();
+  }
+  fence_done_ = true;
+}
+
+void ParallelJoinPipeline::PumpRepartition() {
+  if (!repart_enabled_) return;
+  if (send_installs_) {
+    send_installs_ = false;
+    ActiveHandoff* handoff = active_handoff_.get();
+    if (handoff->replicate) {
+      handoff->pending_installs = num_shards() - 1;
+      // Exactly-once across the replica set: only the BUILD (broadcast)
+      // side's state is installed at the other shards. The spray side's
+      // pre-handoff tuples stay at the owner alone — a post-handoff build
+      // tuple broadcasts to every shard and must find each spray tuple at
+      // exactly one of them.
+      handoff->payload.entries[handoff->spray_side].clear();
+      for (int s = 0; s < num_shards(); ++s) {
+        if (s == handoff->from) continue;
+        RepartCommand cmd;
+        cmd.kind = RepartCommand::Kind::kInstall;
+        cmd.key = handoff->key;
+        cmd.key_hash = handoff->key_hash;
+        cmd.handoff_id = handoff->id;
+        cmd.payload = handoff->payload;  // one copy per destination
+        PushCommand(s, std::move(cmd));
+      }
+    } else {
+      handoff->pending_installs = 1;
+      RepartCommand cmd;
+      cmd.kind = RepartCommand::Kind::kInstall;
+      cmd.key = handoff->key;
+      cmd.key_hash = handoff->key_hash;
+      cmd.handoff_id = handoff->id;
+      cmd.payload = std::move(handoff->payload);
+      if (repart_injector_ != nullptr) {
+        cmd.inject_failure = repart_injector_->Roll(
+            options_.repartition.fault_plan->migration.install_error_rate);
+        if (cmd.inject_failure) repart_injector_->Count("migration_install");
+      }
+      PushCommand(handoff->to, std::move(cmd));
+    }
+  }
+  if (send_rollback_) {
+    send_rollback_ = false;
+    ActiveHandoff* handoff = active_handoff_.get();
+    handoff->pending_installs = 1;
+    RepartCommand cmd;
+    cmd.kind = RepartCommand::Kind::kInstall;
+    cmd.key = handoff->key;
+    cmd.key_hash = handoff->key_hash;
+    cmd.handoff_id = handoff->id;
+    cmd.payload = std::move(handoff->payload);
+    PushCommand(handoff->from, std::move(cmd));
+  }
+  if (fence_done_) {
+    fence_done_ = false;
+    fence_active_ = false;
+    active_handoff_.reset();
+    if (std::getenv("PJOIN_PAR_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[repart] unfence deferred=%zu\n",
+                   deferred_.size());
+    }
+    // Replay everything the fence parked, in arrival order, under the
+    // updated map. A replay cannot start a new fence (decisions are made
+    // only in the router main loop), so this does not recurse.
+    std::vector<std::pair<int8_t, const StreamElement*>> parked;
+    parked.swap(deferred_);
+    for (const auto& [side, e] : parked) RouteElement(side, e);
+  }
+}
+
 void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
                                       SpscRing<InputSpan>* in_right) {
   TRACE_SET_THREAD_NAME("router");
@@ -339,9 +699,12 @@ void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
   SpscRing<InputSpan>* in[2] = {in_left, in_right};
   InputSpan span[2];
   size_t pos[2] = {0, 0};
-  bool eos_sent[2] = {false, false};
-  const size_t key_index[2] = {joins_[0]->state(0).key_index(),
-                               joins_[0]->state(1).key_index()};
+  // A side's EOS is consumed from the input when the router takes it off
+  // the span, and routed once it is actually broadcast — the two diverge
+  // while a fence holds the EOS parked.
+  bool eos_consumed[2] = {false, false};
+  key_index_[0] = joins_[0]->state(0).key_index();
+  key_index_[1] = joins_[0]->state(1).key_index();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Gauge in_occupancy[2] = {
       registry.GetGauge("pjoin_ring_occupancy", "edge=input_l"),
@@ -351,7 +714,7 @@ void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
   // dispatches so the clock read amortizes off the routing hot path. The
   // resulting quantization (a handful of router iterations) is far below
   // the queueing delays the histograms exist to expose.
-  TimeMicros now_us = obs::TraceNowMicros();
+  route_now_us_ = obs::TraceNowMicros();
   int now_refresh = 0;
 
   // The head of a side is the next element of its current span, refilled
@@ -365,13 +728,13 @@ void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
     return span[side].data + pos[side];
   };
 
-  while (!(eos_sent[0] && eos_sent[1])) {
-    const StreamElement* h0 = eos_sent[0] ? nullptr : head(0);
-    const StreamElement* h1 = eos_sent[1] ? nullptr : head(1);
+  while (!(eos_routed_[0] && eos_routed_[1])) {
+    const StreamElement* h0 = eos_consumed[0] ? nullptr : head(0);
+    const StreamElement* h1 = eos_consumed[1] ? nullptr : head(1);
     // Merge in global arrival order: only consume a side when the other has
     // a head to compare against or can never produce an earlier element.
-    const bool done0 = eos_sent[0] || in[0]->exhausted();
-    const bool done1 = eos_sent[1] || in[1]->exhausted();
+    const bool done0 = eos_consumed[0] || in[0]->exhausted();
+    const bool done1 = eos_consumed[1] || in[1]->exhausted();
     int side = -1;
     if (h0 != nullptr && (h1 != nullptr
                               ? h0->arrival() <= h1->arrival()
@@ -383,71 +746,42 @@ void ParallelJoinPipeline::RouterLoop(SpscRing<InputSpan>* in_left,
       side = 1;
     }
     if (side < 0) {
+      // Nothing dispatchable: both inputs dry, or only a parked EOS left.
+      // Keep the merge and the handoff state machine moving — a pending
+      // fence resolves through exactly these two calls.
       DrainOutputs();
+      PumpRepartition();
       std::this_thread::yield();
       continue;
     }
     const StreamElement* e = span[side].data + pos[side];
     ++pos[side];
     if (now_refresh-- <= 0) {
-      now_us = obs::TraceNowMicros();
+      route_now_us_ = obs::TraceNowMicros();
       now_refresh = 63;
     }
-
-    switch (e->kind()) {
-      case ElementKind::kTuple: {
-        // The single hash of this tuple's key for the whole pipeline: shard
-        // selection here, partition selection / index probe / index insert
-        // in the shard (via RoutedBatch::key_hashes).
-        const uint64_t h = e->tuple().field(key_index[side]).Hash();
-        Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side), e, h,
-              now_us);
-        break;
-      }
-      case ElementKind::kPunctuation: {
-        // A constant-key punctuation concerns exactly one shard: every
-        // tuple it covers (and every future tuple it promises away)
-        // carries that key, and keys route by hash — so it goes to the
-        // owning shard alone, like a tuple. This is what lets purge and
-        // punctuation-set work scale *down* with the shard count:
-        // broadcasting would make every shard scan its state for a key
-        // that cannot be there. Non-constant patterns (range flush
-        // markers, wildcards) can cover keys of every shard and still
-        // broadcast (shared pointer — the element is borrowed either
-        // way). Staged order keeps the punctuation behind every tuple
-        // dispatched before it, per shard.
-        const Pattern& key_pattern =
-            e->punctuation().pattern(key_index[side]);
-        if (key_pattern.IsConstant()) {
-          const uint64_t h = key_pattern.constant().Hash();
-          Stage(ShardOfHash(h, num_shards()), static_cast<int8_t>(side), e,
-                /*key_hash=*/0, now_us);
-        } else {
-          for (int s = 0; s < num_shards(); ++s) {
-            Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0, now_us);
-          }
+    if (e->kind() == ElementKind::kEndOfStream) eos_consumed[side] = true;
+    RouteElement(side, e);
+    if (repart_enabled_) {
+      if (!fence_active_ && controller_->ShouldCheck()) {
+        const RepartitionDecision decision = controller_->Decide();
+        imbalance_gauge_.Set(
+            static_cast<int64_t>(controller_->last_imbalance() * 1000.0));
+        if (decision.kind != RepartitionDecision::Kind::kNone) {
+          StartHandoff(decision);
         }
-        if (options_.punct_barrier) {
-          for (int s = 0; s < num_shards(); ++s) FlushStaged(s);
-          EpochBarrier();
-        }
-        break;
       }
-      case ElementKind::kEndOfStream: {
-        for (int s = 0; s < num_shards(); ++s) {
-          Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0, now_us);
-        }
-        eos_sent[side] = true;
-        break;
-      }
+      PumpRepartition();
     }
     if (++since_drain >= static_cast<int64_t>(options_.batch_size)) {
       since_drain = 0;
       DrainOutputs();
+      PumpRepartition();
       in_occupancy[0].Set(static_cast<int64_t>(in[0]->size()));
       in_occupancy[1].Set(static_cast<int64_t>(in[1]->size()));
     }
   }
+  PJOIN_DCHECK(!fence_active_ && deferred_.empty());
   for (int s = 0; s < num_shards(); ++s) {
     FlushStaged(s);
     shards_[static_cast<size_t>(s)]->queue.Close();
@@ -464,6 +798,17 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   backpressure_counter_ = registry.GetCounter("pjoin_router_backpressure_waits",
                                               "pipeline=parallel");
+  migrations_counter_ =
+      registry.GetCounter("pjoin_migrations_total", "pipeline=parallel");
+  rollbacks_counter_ = registry.GetCounter("pjoin_migration_rollbacks_total",
+                                           "pipeline=parallel");
+  hot_keys_gauge_ =
+      registry.GetGauge("pjoin_hot_keys_active", "pipeline=parallel");
+  imbalance_gauge_ = registry.GetGauge("pjoin_shard_imbalance_permille",
+                                       "pipeline=parallel");
+  eos_routed_[0] = false;
+  eos_routed_[1] = false;
+  merged_results_.assign(static_cast<size_t>(num_shards()), 0);
   // Wire per-shard output staging: results queue up locally; a punctuation
   // release is recorded behind them, and FlushShardOut moves both into the
   // shard's output ring with that order intact — so by the time the merger

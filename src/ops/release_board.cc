@@ -24,17 +24,38 @@ int PunctReleaseBoard::ExpectedShards(const Punctuation& p) const {
   return num_shards_;
 }
 
+void PunctReleaseBoard::NoteDispatch(const Punctuation& p,
+                                     int expected_shards) {
+  PJOIN_DCHECK(expected_shards > 0);
+  counts_[p.ToString()].dispatched.push_back(expected_shards);
+}
+
 bool PunctReleaseBoard::Release(const Punctuation& p) {
   Entry& e = counts_[p.ToString()];
-  if (e.expected == 0) e.expected = ExpectedShards(p);
-  return ++e.count % e.expected == 0;
+  if (e.expected == 0) {
+    // A new round opens: its fan-out is whatever the router recorded at
+    // dispatch time, or the static pattern inference when nothing was
+    // recorded. Interleaved releases of differently-fanned rounds of the
+    // same string still emit once per dispatched round — each completed
+    // count consumes exactly one recorded fan-out.
+    if (!e.dispatched.empty()) {
+      e.expected = e.dispatched.front();
+      e.dispatched.pop_front();
+    } else {
+      e.expected = ExpectedShards(p);
+    }
+  }
+  if (++e.count < e.expected) return false;
+  e.count = 0;
+  e.expected = 0;
+  return true;
 }
 
 int64_t PunctReleaseBoard::pending_rounds() const {
   int64_t pending = 0;
   for (const auto& [key, e] : counts_) {
     (void)key;
-    if (e.count % e.expected != 0) ++pending;
+    if (e.count != 0) ++pending;
   }
   return pending;
 }

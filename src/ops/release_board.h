@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -44,8 +45,18 @@ class PunctReleaseBoard {
 
   /// How many shard releases complete one emission of `p`: 1 for a
   /// constant-key punctuation (routed to the key's owning shard alone),
-  /// num_shards for a broadcast pattern.
+  /// num_shards for a broadcast pattern. This static inference is the
+  /// fallback when the router recorded no NoteDispatch for `p`.
   int ExpectedShards(const Punctuation& p) const;
+
+  /// Records, at dispatch time, how many shards the router actually sent
+  /// the round of `p` to. Under runtime repartitioning the fan-out of a
+  /// constant-key punctuation is dynamic — 1 before a key is replicated,
+  /// num_shards after — so the pattern inference can no longer reconstruct
+  /// it; the router (the same thread as the merger) records the truth
+  /// instead. Rounds of the same punctuation string consume their recorded
+  /// fan-outs in dispatch order.
+  void NoteDispatch(const Punctuation& p, int expected_shards);
 
   /// Records one shard's release of `p`. Returns true exactly when this
   /// release completes a full round — the caller emits `p` then and only
@@ -59,7 +70,11 @@ class PunctReleaseBoard {
  private:
   struct Entry {
     int count = 0;
-    int expected = 0;  // resolved on first release; pattern-deterministic
+    int expected = 0;  // resolved when a round opens; 0 between rounds
+    /// Fan-outs recorded by NoteDispatch, consumed FIFO as rounds open.
+    /// Empty when the router never recorded one (single-shard callers,
+    /// model-check harness) — ExpectedShards infers instead.
+    std::deque<int> dispatched;
   };
 
   size_t key_pos_[2] = {0, 0};

@@ -1,0 +1,371 @@
+// Tests for the runtime repartitioning layer (ops/repartition.h) and its
+// integration into the parallel pipeline: shard-map unit semantics, the
+// space-saving hot-key detector, recorded punctuation fan-outs on the
+// release board, and the dual-view migration oracle — for skewed streams
+// with forced mid-stream migrations / hot-key replication, the adaptive
+// pipeline's merged output must equal the single-threaded reference with
+// zero lost or duplicated results and exactly-once punctuation release,
+// including when a fault plan fails the handoff mid-flight.
+
+#include "ops/repartition.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "gen/stream_generator.h"
+#include "join/pjoin.h"
+#include "ops/parallel_pipeline.h"
+#include "ops/release_board.h"
+#include "test_util.h"
+
+namespace pjoin {
+namespace {
+
+using testing::ElementsBuilder;
+using testing::KeyPayloadSchema;
+using testing::KeyPunct;
+using testing::KP;
+using testing::ReferenceJoinRows;
+
+/// Canonicalized pipeline output: sorted result rows and sorted released
+/// punctuation strings (multiset comparisons across runs).
+struct CanonicalOut {
+  std::vector<std::string> results;
+  std::vector<std::string> punctuations;
+};
+
+// ---- ShardMap ----
+
+TEST(ShardMapTest, StaticMappingIsStableAndInRange) {
+  ShardMap map(4);
+  for (uint64_t h = 0; h < 1000; ++h) {
+    const int shard = map.OwnerOf(h);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, map.StaticShardOf(h));
+    EXPECT_EQ(shard, map.OwnerOf(h)) << "must be deterministic";
+  }
+}
+
+TEST(ShardMapTest, MigrationOverrideRedirectsOnlyThatKey) {
+  ShardMap map(4);
+  const uint64_t h = 0xdeadbeefull;
+  const int before = map.OwnerOf(h);
+  const int target = (before + 2) % 4;
+  map.SetOwner(h, target);
+  EXPECT_EQ(map.OwnerOf(h), target);
+  EXPECT_EQ(map.migrated_keys(), 1);
+  // Other keys keep their static placement.
+  for (uint64_t other = 0; other < 100; ++other) {
+    if (other == h) continue;
+    EXPECT_EQ(map.OwnerOf(other), map.StaticShardOf(other));
+  }
+}
+
+TEST(ShardMapTest, ReplicationSpraysRoundRobin) {
+  ShardMap map(3);
+  const uint64_t h = 42;
+  EXPECT_FALSE(map.IsReplicated(h));
+  map.MarkReplicated(h, /*spray_side=*/1);
+  EXPECT_TRUE(map.IsReplicated(h));
+  EXPECT_EQ(map.SpraySideOf(h), 1);
+  EXPECT_EQ(map.replicated_keys(), 1);
+  // The spray cursor walks every shard before repeating.
+  std::vector<int> seen;
+  for (int i = 0; i < 6; ++i) seen.push_back(map.NextSprayShard(h));
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+// ---- HotKeyDetector ----
+
+TEST(HotKeyDetectorTest, DominantKeySurfacesInTopK) {
+  HotKeyDetector detector(/*capacity=*/4, /*num_shards=*/2);
+  // One key with half the stream, 32 distinct background keys fighting
+  // over the remaining sketch slots.
+  for (int i = 0; i < 256; ++i) {
+    detector.Observe(Value(int64_t{7}), /*key_hash=*/7, /*side=*/0);
+    const int64_t bg = 100 + (i % 32);
+    detector.Observe(Value(bg), static_cast<uint64_t>(bg), /*side=*/1);
+  }
+  const std::vector<HotKeyDetector::Entry> top = detector.TopK();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key_hash, 7u);
+  // Space-saving bounds: estimate >= true count, estimate - error <= true.
+  EXPECT_GE(top[0].count, 256);
+  EXPECT_LE(top[0].count - top[0].error, 256);
+  EXPECT_GT(top[0].side_count[0], top[0].side_count[1]);
+}
+
+TEST(HotKeyDetectorTest, WindowImbalanceTracksLoadsAndResets) {
+  HotKeyDetector detector(4, /*num_shards=*/4);
+  EXPECT_DOUBLE_EQ(detector.WindowImbalance(), 0.0);
+  for (int i = 0; i < 60; ++i) detector.ObserveRouted(0);
+  for (int s = 1; s < 4; ++s) {
+    for (int i = 0; i < 20; ++i) detector.ObserveRouted(s);
+  }
+  // max=60, mean=30 -> 2.0.
+  EXPECT_DOUBLE_EQ(detector.WindowImbalance(), 2.0);
+  EXPECT_EQ(detector.window_tuples(), 120);
+  detector.ResetWindow();
+  EXPECT_EQ(detector.window_tuples(), 0);
+}
+
+// ---- Release board: recorded fan-outs ----
+
+TEST(ReleaseBoardTest, RecordedFanoutOverridesPatternInference) {
+  PunctReleaseBoard board;
+  board.Configure(/*left_key_pos=*/0, /*right_key_pos=*/2, /*num_shards=*/4);
+  // Output-schema punctuation with a constant join key: the static
+  // inference says one shard.
+  std::vector<Pattern> patterns(4, Pattern::Wildcard());
+  patterns[0] = Pattern::Constant(Value(int64_t{5}));
+  patterns[2] = Pattern::Constant(Value(int64_t{5}));
+  const Punctuation p(std::move(patterns));
+  ASSERT_EQ(board.ExpectedShards(p), 1);
+  // The router replicated the key and broadcast this round to all 4 shards.
+  board.NoteDispatch(p, 4);
+  EXPECT_FALSE(board.Release(p));
+  EXPECT_FALSE(board.Release(p));
+  EXPECT_FALSE(board.Release(p));
+  EXPECT_EQ(board.pending_rounds(), 1);
+  EXPECT_TRUE(board.Release(p));
+  EXPECT_EQ(board.pending_rounds(), 0);
+  // The recorded fan-out was consumed; the next round falls back to the
+  // pattern inference (one shard).
+  EXPECT_TRUE(board.Release(p));
+  // Recorded fan-outs of the same string are consumed in dispatch order.
+  board.NoteDispatch(p, 2);
+  board.NoteDispatch(p, 1);
+  EXPECT_FALSE(board.Release(p));
+  EXPECT_TRUE(board.Release(p));
+  EXPECT_TRUE(board.Release(p));
+}
+
+// ---- Pipeline integration: the dual-view migration oracle ----
+
+JoinOptions MemoryOnlyOptions() {
+  // Keys stay memory-resident so their state is handoff-eligible (disk
+  // spill / purge-buffer residue makes ExtractKeyState refuse, which is
+  // its own test below via the rejected-handoff path).
+  JoinOptions opts;
+  opts.num_partitions = 8;
+  opts.runtime.purge_threshold = 1;
+  opts.runtime.propagate_count_threshold = 1;
+  return opts;
+}
+
+struct ParallelRun {
+  CanonicalOut out;
+  std::unique_ptr<ParallelJoinPipeline> pipeline;
+};
+
+ParallelRun RunPipeline(const SchemaPtr& left_schema,
+                        const SchemaPtr& right_schema,
+                        const JoinOptions& jopts,
+                        const std::vector<StreamElement>& left,
+                        const std::vector<StreamElement>& right,
+                        ParallelPipelineOptions popts) {
+  ParallelRun run;
+  run.pipeline = std::make_unique<ParallelJoinPipeline>(
+      [&](int) {
+        return std::make_unique<PJoin>(left_schema, right_schema, jopts);
+      },
+      popts);
+  run.pipeline->set_result_callback([&run](const Tuple& t) {
+    run.out.results.push_back(t.ToString());
+  });
+  run.pipeline->set_punct_callback([&run](const Punctuation& p) {
+    run.out.punctuations.push_back(p.ToString());
+  });
+  const Status st = run.pipeline->Run(left, right);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::sort(run.out.results.begin(), run.out.results.end());
+  std::sort(run.out.punctuations.begin(), run.out.punctuations.end());
+  return run;
+}
+
+GeneratedStreams SkewedStreams(uint64_t seed, double zipf_s,
+                               int64_t num_tuples) {
+  DomainSpec domain;
+  domain.window_size = 16;
+  // Stream A is the skewed one (celebrity keys), B stays uniform — the
+  // textbook skew shape, and it keeps the join fan-out bounded.
+  StreamSpec spec_a;
+  spec_a.num_tuples = num_tuples;
+  spec_a.punct_mean_interarrival_tuples = 40.0;
+  spec_a.zipf_s = zipf_s;
+  spec_a.flush_punctuations_at_end = true;
+  StreamSpec spec_b = spec_a;
+  spec_b.zipf_s = 0.0;
+  return GenerateStreams(domain, spec_a, spec_b, seed);
+}
+
+// The dual-view oracle: a skewed stream with migrations forced mid-stream
+// must produce exactly the single-threaded reference result multiset, and
+// the released punctuation multiset of a static run of the same pipeline
+// (exactly-once: nothing lost at the old owner, nothing duplicated at the
+// new one, every dispatched punctuation round released exactly once).
+TEST(RepartitionOracleTest, ForcedMigrationsMatchReferenceAcrossSeeds) {
+  for (const uint64_t seed : {11u, 42u, 77u, 1234u}) {
+    GeneratedStreams streams = SkewedStreams(seed, /*zipf_s=*/1.2,
+                                             /*num_tuples=*/2000);
+    const JoinOptions jopts = MemoryOnlyOptions();
+    const std::vector<std::string> reference = ReferenceJoinRows(
+        streams.a, streams.b,
+        PJoin(streams.schema_a, streams.schema_b, jopts).output_schema(), 0,
+        0);
+
+    ParallelPipelineOptions static_opts;
+    static_opts.num_shards = 4;
+    static_opts.batch_size = 64;
+    ParallelRun static_run =
+        RunPipeline(streams.schema_a, streams.schema_b, jopts, streams.a,
+                    streams.b, static_opts);
+    EXPECT_EQ(static_run.out.results, reference) << "seed=" << seed;
+
+    ParallelPipelineOptions adaptive_opts = static_opts;
+    adaptive_opts.repartition.enabled = true;
+    adaptive_opts.repartition.sample_every = 1;
+    adaptive_opts.repartition.check_interval = 128;
+    adaptive_opts.repartition.min_tuples = 256;
+    adaptive_opts.repartition.force_migration_interval = 256;
+    ParallelRun adaptive =
+        RunPipeline(streams.schema_a, streams.schema_b, jopts, streams.a,
+                    streams.b, adaptive_opts);
+    EXPECT_EQ(adaptive.out.results, reference) << "seed=" << seed;
+    EXPECT_EQ(adaptive.out.punctuations, static_run.out.punctuations)
+        << "seed=" << seed;
+    EXPECT_GT(adaptive.pipeline->handoffs_started(), 0) << "seed=" << seed;
+    EXPECT_GT(adaptive.pipeline->migrations_completed(), 0)
+        << "seed=" << seed;
+    EXPECT_EQ(adaptive.pipeline->shard_map().migrated_keys(),
+              adaptive.pipeline->migrations_completed())
+        << "seed=" << seed;
+  }
+}
+
+// Hot-key replication: one celebrity key dominating the probe stream gets
+// replicated (build side broadcast, probe side sprayed); the result
+// multiset still equals the reference and the key's punctuation — now a
+// broadcast round — is still released exactly once.
+TEST(RepartitionOracleTest, HotKeyReplicationMatchesReference) {
+  const SchemaPtr sa = KeyPayloadSchema("a");
+  const SchemaPtr sb = KeyPayloadSchema("b");
+  ElementsBuilder left, right;
+  const int64_t hot = 7;
+  // Left: the hot key dominates (~2/3 of tuples); right: a handful of hot
+  // matches plus uniform background.
+  for (int i = 0; i < 900; ++i) {
+    left.Tup(KP(sa, hot, i));
+    if (i % 2 == 0) left.Tup(KP(sa, 100 + (i % 40), i));
+  }
+  // Hot matches on the right both BEFORE the replication handoff (the
+  // early batch) and AFTER it (sprinkled through the background): a late
+  // build-side tuple broadcasts to every shard and must pair with the
+  // owner's pre-handoff spray state exactly once — installing the spray
+  // side's state anywhere else would duplicate those results.
+  for (int i = 0; i < 12; ++i) right.Tup(KP(sb, hot, 1000 + i));
+  for (int i = 0; i < 400; ++i) {
+    right.Tup(KP(sb, 100 + (i % 40), i));
+    if (i % 40 == 0) right.Tup(KP(sb, hot, 2000 + i));
+  }
+  left.Punct(KeyPunct(hot));
+  right.Punct(KeyPunct(hot));
+  for (int k = 100; k < 140; ++k) {
+    left.Punct(KeyPunct(k));
+    right.Punct(KeyPunct(k));
+  }
+  const std::vector<StreamElement> l = left.Finish();
+  const std::vector<StreamElement> r = right.Finish();
+
+  const JoinOptions jopts = MemoryOnlyOptions();
+  const std::vector<std::string> reference =
+      ReferenceJoinRows(l, r, PJoin(sa, sb, jopts).output_schema(), 0, 0);
+
+  ParallelPipelineOptions static_opts;
+  static_opts.num_shards = 4;
+  static_opts.batch_size = 32;
+  ParallelRun static_run = RunPipeline(sa, sb, jopts, l, r, static_opts);
+  EXPECT_EQ(static_run.out.results, reference);
+
+  ParallelPipelineOptions adaptive_opts = static_opts;
+  adaptive_opts.repartition.enabled = true;
+  adaptive_opts.repartition.sample_every = 1;
+  adaptive_opts.repartition.check_interval = 128;
+  adaptive_opts.repartition.min_tuples = 256;
+  adaptive_opts.repartition.imbalance_trigger = 1.05;
+  adaptive_opts.repartition.hot_fraction = 0.05;
+  ParallelRun adaptive = RunPipeline(sa, sb, jopts, l, r, adaptive_opts);
+  EXPECT_EQ(adaptive.out.results, reference);
+  EXPECT_EQ(adaptive.out.punctuations, static_run.out.punctuations);
+  EXPECT_GT(adaptive.pipeline->hot_keys_active(), 0);
+}
+
+// Mid-handoff failures (FaultPlan::migration): a failed install returns
+// the extracted state to the source and the map never changes; a failed
+// extract aborts before anything moves. Either way the run's output is
+// untouched and every handoff is accounted as a rollback.
+TEST(RepartitionFaultTest, FailedHandoffRollsBackCleanly) {
+  for (const bool fail_install : {true, false}) {
+    GeneratedStreams streams = SkewedStreams(/*seed=*/99, /*zipf_s=*/1.2,
+                                             /*num_tuples=*/2000);
+    const JoinOptions jopts = MemoryOnlyOptions();
+    const std::vector<std::string> reference = ReferenceJoinRows(
+        streams.a, streams.b,
+        PJoin(streams.schema_a, streams.schema_b, jopts).output_schema(), 0,
+        0);
+
+    FaultPlan plan;
+    plan.seed = 7;
+    if (fail_install) {
+      plan.migration.install_error_rate = 1.0;
+    } else {
+      plan.migration.extract_error_rate = 1.0;
+    }
+    ASSERT_TRUE(plan.migration.enabled());
+
+    ParallelPipelineOptions popts;
+    popts.num_shards = 4;
+    popts.batch_size = 64;
+    popts.repartition.enabled = true;
+    popts.repartition.sample_every = 1;
+    popts.repartition.check_interval = 128;
+    popts.repartition.min_tuples = 256;
+    popts.repartition.force_migration_interval = 256;
+    popts.repartition.fault_plan = &plan;
+    ParallelRun run =
+        RunPipeline(streams.schema_a, streams.schema_b, jopts, streams.a,
+                    streams.b, popts);
+    EXPECT_EQ(run.out.results, reference) << "fail_install=" << fail_install;
+    EXPECT_GT(run.pipeline->migration_rollbacks(), 0)
+        << "fail_install=" << fail_install;
+    EXPECT_EQ(run.pipeline->migrations_completed(), 0)
+        << "fail_install=" << fail_install;
+    EXPECT_EQ(run.pipeline->shard_map().migrated_keys(), 0)
+        << "fail_install=" << fail_install;
+  }
+}
+
+// Disabled policy is byte-for-byte the static pipeline: no handoffs, no
+// map mutations, and (trivially) the reference results.
+TEST(RepartitionOracleTest, DisabledPolicyNeverRepartitions) {
+  GeneratedStreams streams = SkewedStreams(/*seed=*/5, /*zipf_s=*/1.6,
+                                           /*num_tuples=*/1000);
+  const JoinOptions jopts = MemoryOnlyOptions();
+  ParallelPipelineOptions popts;
+  popts.num_shards = 4;
+  ParallelRun run = RunPipeline(streams.schema_a, streams.schema_b, jopts,
+                                streams.a, streams.b, popts);
+  EXPECT_EQ(run.pipeline->handoffs_started(), 0);
+  EXPECT_EQ(run.pipeline->migrations_completed(), 0);
+  EXPECT_EQ(run.pipeline->hot_keys_active(), 0);
+  EXPECT_EQ(run.pipeline->shard_map().migrated_keys(), 0);
+}
+
+}  // namespace
+}  // namespace pjoin
