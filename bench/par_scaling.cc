@@ -33,9 +33,19 @@
 //              Chrome trace_event JSON (Perfetto-loadable); needs a build
 //              with PJOIN_TRACING=ON to contain events.
 //   --metrics  dump the global MetricsRegistry as JSON after the sweep.
-//   --serve_port     serve /metrics, /statusz, /tracez on this loopback
-//                    port for the duration of the run (0 = ephemeral; the
-//                    bound port is printed). See docs/OBSERVABILITY.md.
+//   --serve_port     serve /metrics, /statusz, /tracez, /healthz on this
+//                    loopback port for the duration of the run (0 =
+//                    ephemeral; the bound port is printed). See
+//                    docs/OBSERVABILITY.md.
+//   --health   start the health watchdog (feeds the frontier-lag histogram
+//              and /healthz classification; implied by --stall_ms).
+//   --stall_ms=N     before the sweep, run a deliberately wedged x1
+//              configuration whose join sleeps N ms per tuple: the router
+//              runs ahead, punctuation frontiers stall, and a scraper polling
+//              /healthz observes 503 (stalled, naming shard 0) for roughly
+//              stall_tuples * N ms, then 200 again once it completes. The
+//              CI health smoke drives this.
+//   --stall_tuples=N  tuples per stream for the stalled run (default 100).
 //   --serve_linger_ms  after the sweep, keep re-running the widest parallel
 //                    configuration for this long so scrapers catch a live
 //                    pipeline; GET /quitquitquit ends the linger early.
@@ -63,12 +73,14 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
 #include "join/pjoin.h"
 #include "obs/chrome_trace.h"
+#include "obs/health.h"
 #include "obs/introspection.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -127,6 +139,10 @@ struct Cli {
   bool check = false;
   int serve_port = -1;         // -1 = no introspection server
   int64_t serve_linger_ms = 0;
+  // Health watchdog + deliberate stall (the CI health smoke).
+  bool health = false;
+  int64_t stall_ms = 0;      // per-tuple sleep of the wedged run; 0 = skip
+  int64_t stall_tuples = 100;
 };
 
 Cli ParseCli(int argc, char** argv) {
@@ -189,6 +205,12 @@ Cli ParseCli(int argc, char** argv) {
       cli.serve_port = std::atoi(v);
     } else if (const char* v = value("--serve_linger_ms=")) {
       cli.serve_linger_ms = std::atoll(v);
+    } else if (arg == "--health") {
+      cli.health = true;
+    } else if (const char* v = value("--stall_ms=")) {
+      cli.stall_ms = std::atoll(v);
+    } else if (const char* v = value("--stall_tuples=")) {
+      cli.stall_tuples = std::atoll(v);
     } else if (const char* v = value("--shards=")) {
       cli.shards.clear();
       std::stringstream ss(v);
@@ -318,6 +340,68 @@ Measured RunParallel(const GeneratedStreams& streams, int shards,
   m.hot_keys = pipeline.hot_keys_active();
   m.rollbacks = pipeline.migration_rollbacks();
   return m;
+}
+
+// ---- Deliberately stalled run (the CI health smoke) ----
+
+/// A PJoin that sleeps per tuple. The router routes the whole (small)
+/// workload far ahead of the grinding shard, so every routed punctuation
+/// raises that shard's frontier lag: /healthz reports 503 with a root-cause
+/// chain naming shard 0 for roughly stall_tuples * stall_ms, then returns
+/// to 200 when the run completes and the frontier catches up.
+class SlowPJoin : public PJoin {
+ public:
+  SlowPJoin(SchemaPtr left, SchemaPtr right, JoinOptions options,
+            int64_t sleep_ms)
+      : PJoin(std::move(left), std::move(right), std::move(options)),
+        sleep_ms_(sleep_ms) {}
+
+ protected:
+  Status OnTupleHashed(int side, const Tuple& tuple,
+                       uint64_t key_hash) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return PJoin::OnTupleHashed(side, tuple, key_hash);
+  }
+
+ private:
+  const int64_t sleep_ms_;
+};
+
+void RunStalledConfig(const Cli& cli) {
+  DomainSpec domain;
+  domain.window_size = 16;
+  StreamSpec spec;
+  spec.num_tuples = cli.stall_tuples;
+  // Frequent punctuations: the frontier cells see ingress traffic early in
+  // the stall window, not just at end-of-stream.
+  spec.punct_mean_interarrival_tuples = 4.0;
+  spec.flush_punctuations_at_end = true;
+  const GeneratedStreams streams = GenerateStreams(domain, spec, spec, 2004);
+  ParallelPipelineOptions popts;
+  popts.num_shards = 1;
+  popts.batch_size = 1;
+  ParallelJoinPipeline pipeline(
+      [&streams, &cli](int) {
+        return std::make_unique<SlowPJoin>(streams.schema_a, streams.schema_b,
+                                           BenchJoinOptions(true),
+                                           cli.stall_ms);
+      },
+      popts);
+  int64_t results = 0;
+  pipeline.set_result_callback([&results](const Tuple&) { ++results; });
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = pipeline.Run(streams.a, streams.b);
+  const auto t1 = std::chrono::steady_clock::now();
+  PJOIN_DCHECK(st.ok());
+  std::printf("  stalled run done: %lld tuples/stream x %lld ms/tuple, "
+              "%.1f s wall, %lld results\n",
+              static_cast<long long>(cli.stall_tuples),
+              static_cast<long long>(cli.stall_ms),
+              std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
+                      .count() /
+                  1e3,
+              static_cast<long long>(results));
+  std::fflush(stdout);
 }
 
 // ---- Skew sweep: adaptive vs static shard map at a zipf ladder ----
@@ -628,6 +712,19 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);  // scrape scripts poll for this line
   }
 
+  // The watchdog classifies /healthz and feeds pjoin_frontier_lag_seconds;
+  // a stalled run is pointless without it, so --stall_ms implies --health.
+  const bool health = cli.health || cli.stall_ms > 0;
+  if (health) {
+    obs::HealthMonitor::Global().Start();
+  }
+  if (cli.stall_ms > 0) {
+    std::printf("  running wedged x1 configuration (%lld ms/tuple)...\n",
+                static_cast<long long>(cli.stall_ms));
+    std::fflush(stdout);
+    RunStalledConfig(cli);
+  }
+
   // Spill sweep first: its counters populate the pjoin_spill_* metrics
   // early, so live scrapers attaching any time after the server banner see
   // nonzero spill cells.
@@ -773,6 +870,10 @@ int Main(int argc, char** argv) {
                                          cli.stall_polls);
       all_pass = all_pass && again.oracle == baseline.oracle;
     }
+  }
+
+  if (health) {
+    obs::HealthMonitor::Global().Stop();
   }
 
   if (!cli.trace.empty()) {

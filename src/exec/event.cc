@@ -28,6 +28,8 @@ std::string_view EventTypeName(EventType type) {
       return "DegradedModeEvent";
     case EventType::kShardStats:
       return "ShardStatsEvent";
+    case EventType::kStallDiagnosed:
+      return "StallDiagnosedEvent";
   }
   return "?";
 }

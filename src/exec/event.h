@@ -45,9 +45,13 @@ enum class EventType {
   /// (elements routed, results emitted, state size). `stream` carries the
   /// shard id; `detail` a key=value summary.
   kShardStats,
+  // ---- Health events (docs/OBSERVABILITY.md) ----
+  /// The health watchdog classified the pipeline as STALLED. `detail`
+  /// carries the root-cause chain ("shard 2 frontier stalled 4.2s ...").
+  kStallDiagnosed,
 };
 
-constexpr int kNumEventTypes = 11;
+constexpr int kNumEventTypes = 12;
 
 std::string_view EventTypeName(EventType type);
 

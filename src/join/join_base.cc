@@ -1,5 +1,6 @@
 #include "join/join_base.h"
 
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "storage/simulated_disk.h"
 
@@ -64,6 +65,15 @@ Status JoinOperator::OnElement(int side, const StreamElement& element) {
     case ElementKind::kPunctuation: {
       counters_.Add("puncts_in");
       PJOIN_RETURN_NOT_OK(OnPunctuation(side, element.punctuation()));
+      if (frontier_shard_ >= 0) {
+        // Frontier advance: this shard finished one punctuation of the
+        // (side, scheme) the router noted at dispatch.
+        const size_t key =
+            side == 0 ? options_.left_key : options_.right_key;
+        obs::FrontierTracker::Global().NoteProcessed(
+            side, PatternKindName(element.punctuation().pattern(key).kind()),
+            frontier_shard_, obs::TraceNowMicros());
+      }
       break;
     }
     case ElementKind::kEndOfStream: {

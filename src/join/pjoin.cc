@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace pjoin {
@@ -212,6 +213,16 @@ Status PJoin::OnPunctuation(int side, const Punctuation& punct) {
   // new punctuation; propagation must run a disk pass first.
   if (own.disk_tuples() > 0) own.set_has_unindexed_disk(true);
 
+  // Frontier accounting: a punctuation on this side should purge the
+  // opposite side's resident state once the (lazy) purge runs. Record the
+  // expectation so the health layer can surface purges that pile up
+  // without firing.
+  if (frontier_shard() >= 0 && state(1 - side).memory_tuples() > 0) {
+    obs::FrontierTracker::Global().NotePurgeExpected(
+        frontier_shard(), state(1 - side).memory_tuples(),
+        obs::TraceNowMicros());
+  }
+
   if (options().eager_index_build) {
     PJOIN_RETURN_NOT_OK(RunIndexBuild(side));
   }
@@ -231,6 +242,10 @@ Status PJoin::RunPurge() {
   counters().Add("purge_runs");
   PJOIN_RETURN_NOT_OK(PurgeState(0));
   PJOIN_RETURN_NOT_OK(PurgeState(1));
+  // Every pending punctuation was applied by the two passes above.
+  if (frontier_shard() >= 0) {
+    obs::FrontierTracker::Global().NotePurgeFired(frontier_shard());
+  }
   monitor_->OnPurgeRan();
   PJOIN_RETURN_NOT_OK(monitor_->OnStateSizeChanged(memory_state_tuples(),
                                                    memory_state_bytes()));

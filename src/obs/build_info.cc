@@ -1,0 +1,56 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"  // PJOIN_TRACING default
+
+namespace pjoin {
+namespace obs {
+
+#ifndef PJOIN_GIT_SHA
+#define PJOIN_GIT_SHA "unknown"
+#endif
+
+std::string BuildInfoLabels() {
+  std::string flags;
+  auto add_flag = [&flags](const char* token) {
+    if (!flags.empty()) flags.push_back('+');
+    flags.append(token);
+  };
+#if PJOIN_TRACING
+  add_flag("tracing");
+#endif
+#ifdef NDEBUG
+  add_flag("ndebug");
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  add_flag("asan");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  add_flag("asan");
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  add_flag("tsan");
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  add_flag("tsan");
+#endif
+#endif
+  if (flags.empty()) flags = "none";
+  std::string labels = "version=";
+  labels.append(kPjoinVersion);
+  labels.append(",git_sha=");
+  labels.append(PJOIN_GIT_SHA);
+  labels.append(",flags=");
+  labels.append(flags);
+  return labels;
+}
+
+void RegisterBuildInfo() {
+  MetricsRegistry::Global()
+      .GetGauge("pjoin_build_info", BuildInfoLabels())
+      .Set(1);
+}
+
+}  // namespace obs
+}  // namespace pjoin

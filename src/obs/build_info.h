@@ -1,0 +1,29 @@
+// pjoin_build_info: a constant gauge (value 1) whose labels identify the
+// binary behind a scrape — version, git sha, compiled-in feature flags — so
+// metrics collected across the bench trajectory stay attributable to the
+// build that produced them (docs/OBSERVABILITY.md).
+
+#ifndef PJOIN_OBS_BUILD_INFO_H_
+#define PJOIN_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace pjoin {
+namespace obs {
+
+/// The library version exposed in pjoin_build_info.
+inline constexpr const char* kPjoinVersion = "0.10.0";
+
+/// The labels pjoin_build_info carries: "version=...,git_sha=...,flags=...".
+/// Flag tokens are '+'-joined (tracing/ndebug/asan/tsan) so the label value
+/// never contains ',' or '='.
+std::string BuildInfoLabels();
+
+/// Registers the pjoin_build_info gauge (value 1) in the global
+/// MetricsRegistry. Idempotent; call at process or server startup.
+void RegisterBuildInfo();
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_BUILD_INFO_H_

@@ -1,0 +1,351 @@
+#include "obs/health.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/mutex.h"
+#include "exec/registry.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace pjoin {
+namespace obs {
+
+namespace {
+
+std::string FormatSeconds(TimeMicros us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(us) / 1e6);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+const char* SideName(int side) { return side == 0 ? "left" : "right"; }
+
+std::string FrontierLabels(const FrontierCell& cell) {
+  std::string labels = "side=";
+  labels.append(SideName(cell.side));
+  labels.append(",scheme=");
+  labels.append(cell.scheme);
+  labels.append(",shard=");
+  labels.append(std::to_string(cell.shard));
+  return labels;
+}
+
+/// One root-cause chain for a stalled frontier cell, built from signals the
+/// pipeline already exports: "shard 2 frontier (left/constant) stalled 4.2s
+/// behind router; ring edge=shard_2 occupancy 1; ring edge=out_2 occupancy
+/// 64; 3 punct release rounds pending".
+std::string StallCauseChain(const FrontierCell& cell, TimeMicros lag_us) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::string chain = "shard " + std::to_string(cell.shard) + " frontier (";
+  chain.append(SideName(cell.side));
+  chain.push_back('/');
+  chain.append(cell.scheme);
+  chain.append(") stalled ");
+  chain.append(FormatSeconds(lag_us));
+  chain.append("s behind router");
+  if (!cell.last_punct.empty()) {
+    chain.append(" (last punct: ");
+    chain.append(cell.last_punct);
+    chain.push_back(')');
+  }
+  const std::string shard_str = std::to_string(cell.shard);
+  // GetGauge registers a zero cell when the pipeline has not — harmless,
+  // and for a genuinely stalled shard the edges exist already.
+  const int64_t in_occ =
+      registry.GetGauge("pjoin_ring_occupancy", "edge=shard_" + shard_str)
+          .Get();
+  const int64_t out_occ =
+      registry.GetGauge("pjoin_ring_occupancy", "edge=out_" + shard_str)
+          .Get();
+  chain.append("; ring edge=shard_");
+  chain.append(shard_str);
+  chain.append(" occupancy ");
+  chain.append(std::to_string(in_occ));
+  chain.append("; ring edge=out_");
+  chain.append(shard_str);
+  chain.append(" occupancy ");
+  chain.append(std::to_string(out_occ));
+  const int64_t pending =
+      registry.GetGauge("pjoin_punct_pending_rounds", "pipeline=parallel")
+          .Get();
+  if (pending > 0) {
+    chain.append("; ");
+    chain.append(std::to_string(pending));
+    chain.append(" punct release rounds pending at merger");
+  }
+  return chain;
+}
+
+}  // namespace
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kStalled:
+      return "stalled";
+  }
+  return "?";
+}
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"status\": ";
+  AppendJsonString(&out, HealthStatusName(status));
+  out.append(", \"now_us\": ");
+  out.append(std::to_string(now_us));
+  out.append(", \"stalled_frontiers\": ");
+  out.append(std::to_string(stalled_frontiers));
+  out.append(", \"degraded_signals\": ");
+  out.append(std::to_string(degraded_signals));
+  out.append(", \"unfired_purges\": ");
+  out.append(std::to_string(unfired_purges));
+  out.append(", \"causes\": [");
+  for (size_t i = 0; i < causes.size(); ++i) {
+    if (i > 0) out.append(", ");
+    AppendJsonString(&out, causes[i]);
+  }
+  out.append("], \"frontiers\": [");
+  for (size_t i = 0; i < frontiers.size(); ++i) {
+    const FrontierCell& cell = frontiers[i];
+    if (i > 0) out.append(", ");
+    out.append("{\"side\": ");
+    AppendJsonString(&out, SideName(cell.side));
+    out.append(", \"scheme\": ");
+    AppendJsonString(&out, cell.scheme);
+    out.append(", \"shard\": ");
+    out.append(std::to_string(cell.shard));
+    out.append(", \"ingress\": ");
+    out.append(std::to_string(cell.ingress_count));
+    out.append(", \"processed\": ");
+    out.append(std::to_string(cell.processed_count));
+    out.append(", \"lag_us\": ");
+    out.append(std::to_string(cell.LagMicros(now_us)));
+    out.append(", \"last_punct\": ");
+    AppendJsonString(&out, cell.last_punct);
+    out.append("}");
+  }
+  out.append("]}");
+  return out;
+}
+
+HealthMonitor& HealthMonitor::Global() {
+  static HealthMonitor* monitor = new HealthMonitor();  // leaked
+  return *monitor;
+}
+
+HealthReport HealthMonitor::EvaluateNow(TimeMicros now_us) const {
+  HealthOptions options;
+  {
+    MutexLock lock(mu_);
+    options = options_;
+  }
+  if (now_us == 0) now_us = TraceNowMicros();
+
+  HealthReport report;
+  report.now_us = now_us;
+  FrontierSnapshot snap = FrontierTracker::Global().Snap();
+  for (const FrontierCell& cell : snap.cells) {
+    const TimeMicros lag = cell.LagMicros(now_us);
+    if (lag >= options.stall_threshold_us) {
+      ++report.stalled_frontiers;
+      report.causes.push_back(StallCauseChain(cell, lag));
+    } else if (lag >= options.degraded_threshold_us) {
+      ++report.degraded_signals;
+      report.causes.push_back(
+          "shard " + std::to_string(cell.shard) + " frontier (" +
+          SideName(cell.side) + "/" + cell.scheme + ") lagging " +
+          FormatSeconds(lag) + "s behind router");
+    }
+  }
+  for (const PurgeExpectation& purge : snap.purges) {
+    report.unfired_purges += purge.pending_puncts;
+  }
+  if (MetricsRegistry::Global().GetGauge("pjoin_spill_degraded").Get() > 0) {
+    ++report.degraded_signals;
+    report.causes.push_back(
+        "spill storage degraded (fallback store active)");
+  }
+  report.status = report.stalled_frontiers > 0 ? HealthStatus::kStalled
+                  : report.degraded_signals > 0 ? HealthStatus::kDegraded
+                                                : HealthStatus::kOk;
+  report.frontiers = std::move(snap.cells);
+  return report;
+}
+
+void HealthMonitor::Configure(const HealthOptions& options) {
+  MutexLock lock(mu_);
+  options_ = options;
+}
+
+void HealthMonitor::Start(HealthOptions options) {
+  MutexLock lock(mu_);
+  options_ = options;
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this, options] { WatchdogLoop(options); });
+}
+
+void HealthMonitor::Stop() {
+  std::thread to_join;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    cv_.NotifyAll();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+bool HealthMonitor::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void HealthMonitor::RecordPass(const HealthOptions& options) {
+  const HealthReport report = EvaluateNow();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const FrontierCell& cell : report.frontiers) {
+    registry
+        .GetHistogram("pjoin_frontier_lag_seconds", FrontierLabels(cell),
+                      /*unit_scale=*/1e-6)
+        .Observe(cell.LagMicros(report.now_us));
+  }
+  registry.GetGauge("pjoin_frontier_unfired_purges")
+      .Set(report.unfired_purges);
+
+  bool newly_stalled = false;
+  {
+    MutexLock lock(history_mu_);
+    newly_stalled = report.status == HealthStatus::kStalled &&
+                    last_status_ != HealthStatus::kStalled;
+    last_status_ = report.status;
+    if (newly_stalled) {
+      if (history_.size() >= kMaxStallHistory) {
+        history_.erase(history_.begin());
+      }
+      history_.push_back(report);
+    }
+  }
+  if (!newly_stalled) return;
+
+  registry.GetCounter("pjoin_stalls_diagnosed_total").Add(1);
+  TRACE_INSTANT("health", "stall_diagnosed");
+  if (options.events != nullptr) {
+    Event event;
+    event.type = EventType::kStallDiagnosed;
+    event.time = report.now_us;
+    event.stream = -1;
+    for (const std::string& cause : report.causes) {
+      if (!event.detail.empty()) event.detail.append(" | ");
+      event.detail.append(cause);
+    }
+    Status dispatched = options.events->Dispatch(event);
+    if (!dispatched.ok()) {
+      // Diagnostics are best-effort: a failing listener must not take the
+      // watchdog down with it.
+    }
+  }
+}
+
+void HealthMonitor::WatchdogLoop(HealthOptions options) {
+  TRACE_SET_THREAD_NAME("health-watchdog");
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+    }
+    RecordPass(options);
+    MutexLock lock(mu_);
+    if (stop_requested_) return;
+    cv_.WaitUntil(
+        mu_, SteadyDeadlineAfter(std::chrono::microseconds(options.period_us)));
+  }
+}
+
+std::vector<HealthReport> HealthMonitor::StallHistory() const {
+  MutexLock lock(history_mu_);
+  return history_;
+}
+
+std::string HealthMonitor::RenderDebugStalls() const {
+  const HealthReport current = EvaluateNow();
+  std::string out = "current: ";
+  out.append(HealthStatusName(current.status));
+  out.push_back('\n');
+  for (const std::string& cause : current.causes) {
+    out.append("  cause: ");
+    out.append(cause);
+    out.push_back('\n');
+  }
+  out.append("unfired_purges: ");
+  out.append(std::to_string(current.unfired_purges));
+  out.push_back('\n');
+  const std::vector<HealthReport> history = StallHistory();
+  out.append("\n== stall history (");
+  out.append(std::to_string(history.size()));
+  out.append(" diagnosed) ==\n");
+  for (const HealthReport& report : history) {
+    out.append("at ");
+    out.append(std::to_string(report.now_us));
+    out.append("us: ");
+    out.append(std::to_string(report.stalled_frontiers));
+    out.append(" stalled frontier(s)\n");
+    for (const std::string& cause : report.causes) {
+      out.append("  ");
+      out.append(cause);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+void HealthMonitor::ResetForTest() {
+  Stop();
+  {
+    MutexLock lock(mu_);
+    options_ = HealthOptions{};
+    stop_requested_ = false;
+  }
+  MutexLock lock(history_mu_);
+  history_.clear();
+  last_status_ = HealthStatus::kOk;
+}
+
+}  // namespace obs
+}  // namespace pjoin

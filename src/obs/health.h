@@ -1,0 +1,146 @@
+// HealthMonitor: the stall-diagnosis layer over the punctuation frontier
+// tracker (docs/OBSERVABILITY.md, "Diagnosing a stalled join").
+//
+// A watchdog thread samples the FrontierTracker, ring occupancies
+// (pjoin_ring_occupancy), release-board depth and spill quarantines on a
+// configurable period and classifies the pipeline:
+//
+//   OK        every frontier within degraded_threshold of the router
+//   DEGRADED  a frontier moderately behind, or spill storage degraded
+//   STALLED   a frontier stalled_threshold or more behind ingress
+//
+// A STALLED verdict carries a root-cause chain built from the signals the
+// engine already exports — "shard 2 frontier (left/constant) stalled 4.2s
+// behind router; ring edge=out_2 occupancy 64; 3 release rounds pending" —
+// and is edge-triggered into the stall history, a kStallDiagnosed event
+// (when an EventRegistry is attached), and pjoin_stalls_diagnosed_total.
+// The watchdog also feeds pjoin_frontier_lag_seconds (per side × scheme ×
+// shard) and pjoin_frontier_unfired_purges.
+//
+// /healthz does NOT read a cached verdict: it calls EvaluateNow(), so a
+// probe observes recovery the moment the frontier catches up instead of one
+// watchdog period later.
+
+#ifndef PJOIN_OBS_HEALTH_H_
+#define PJOIN_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/progress.h"
+
+namespace pjoin {
+class EventRegistry;
+namespace obs {
+
+enum class HealthStatus {
+  kOk = 0,
+  kDegraded = 1,
+  kStalled = 2,
+};
+
+const char* HealthStatusName(HealthStatus status);
+
+/// One classification pass over the frontier tracker and the registry
+/// signals. `causes` is the root-cause chain, most specific first.
+struct HealthReport {
+  HealthStatus status = HealthStatus::kOk;
+  TimeMicros now_us = 0;
+  /// Frontier cells at or past the stall threshold.
+  int64_t stalled_frontiers = 0;
+  /// Moderate-lag frontiers plus degraded-mode signals (spill fallback).
+  int64_t degraded_signals = 0;
+  /// Punctuations whose purge has not fired yet (informational: lazy purge
+  /// makes a small pending set normal).
+  int64_t unfired_purges = 0;
+  std::vector<std::string> causes;
+  /// The frontier cells behind the evaluation (for /healthz JSON detail).
+  std::vector<FrontierCell> frontiers;
+
+  /// {"status": "ok"|"degraded"|"stalled", "now_us": N,
+  ///  "stalled_frontiers": N, "degraded_signals": N, "unfired_purges": N,
+  ///  "causes": [...], "frontiers": [{...}, ...]}
+  std::string ToJson() const;
+};
+
+struct HealthOptions {
+  /// Watchdog sampling period.
+  TimeMicros period_us = 100 * kMicrosPerMilli;
+  /// Frontier lag at which the pipeline is STALLED.
+  TimeMicros stall_threshold_us = kMicrosPerSecond;
+  /// Frontier lag at which the pipeline is DEGRADED.
+  TimeMicros degraded_threshold_us = 250 * kMicrosPerMilli;
+  /// When set, STALLED transitions dispatch a kStallDiagnosed event here.
+  /// The registry must outlive the watchdog and tolerate dispatch from the
+  /// watchdog thread.
+  EventRegistry* events = nullptr;
+};
+
+/// Process-global monitor, like Tracer / MetricsRegistry: the watchdog,
+/// /healthz and /debug/stalls all read one well-known instance.
+class HealthMonitor {
+ public:
+  static HealthMonitor& Global();
+  PJOIN_DISALLOW_COPY_AND_MOVE(HealthMonitor);
+
+  /// One synchronous classification pass with no side effects on history,
+  /// metrics or events, using the thresholds last passed to Configure /
+  /// Start (defaults otherwise). `now_us` = 0 means "now" (TraceNowMicros);
+  /// tests pass synthetic times. This is what /healthz serves.
+  [[nodiscard]] HealthReport EvaluateNow(TimeMicros now_us = 0) const
+      EXCLUDES(mu_);
+
+  /// Sets the thresholds EvaluateNow and the watchdog use, without
+  /// starting the watchdog.
+  void Configure(const HealthOptions& options) EXCLUDES(mu_);
+
+  /// Starts the watchdog thread with `options`. No-op when already
+  /// running.
+  void Start(HealthOptions options = {}) EXCLUDES(mu_);
+  /// Stops and joins the watchdog. Safe when not running.
+  void Stop() EXCLUDES(mu_);
+  [[nodiscard]] bool running() const EXCLUDES(mu_);
+
+  /// Reports recorded at OK/DEGRADED -> STALLED transitions (newest last,
+  /// bounded at kMaxStallHistory).
+  [[nodiscard]] std::vector<HealthReport> StallHistory() const
+      EXCLUDES(history_mu_);
+
+  /// Human-readable /debug/stalls body: current verdict + stall history.
+  [[nodiscard]] std::string RenderDebugStalls() const;
+
+  /// Stops the watchdog and clears history. Test-only.
+  void ResetForTest();
+
+  static constexpr size_t kMaxStallHistory = 32;
+
+ private:
+  HealthMonitor() = default;
+
+  /// A watchdog pass: EvaluateNow + histogram/gauge exports + the
+  /// edge-triggered stall recording.
+  void RecordPass(const HealthOptions& options);
+  void WatchdogLoop(HealthOptions options);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  HealthOptions options_ GUARDED_BY(mu_);
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
+
+  mutable Mutex history_mu_;
+  std::vector<HealthReport> history_ GUARDED_BY(history_mu_);
+  HealthStatus last_status_ GUARDED_BY(history_mu_) = HealthStatus::kOk;
+};
+
+}  // namespace obs
+}  // namespace pjoin
+
+#endif  // PJOIN_OBS_HEALTH_H_

@@ -7,6 +7,8 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/build_info.h"
+#include "obs/health.h"
 #include "obs/metrics_registry.h"
 #include "obs/promtext.h"
 #include "obs/trace.h"
@@ -139,11 +141,12 @@ std::string RenderStatusz(TimeMicros uptime_us) {
 namespace {
 
 std::string RenderTracez() {
-  // Non-destructive drain (the ring keeps its events); show the newest
-  // events per category so a scrape answers "what is each subsystem doing
-  // right now".
+  // Non-destructive Snapshot: concurrent scrapers all see the same resident
+  // events, and none of them steals from the Chrome-trace export (which is
+  // the one consuming Drain() caller). Show the newest events per category
+  // so a scrape answers "what is each subsystem doing right now".
   constexpr size_t kPerCategory = 32;
-  std::vector<TraceEvent> events = Tracer::Global().Drain();
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
   std::map<std::string, std::vector<const TraceEvent*>> by_category;
   for (const TraceEvent& e : events) {
     by_category[e.category].push_back(&e);
@@ -153,6 +156,16 @@ std::string RenderTracez() {
   out.append(Tracer::Global().enabled() ? "recording" : "stopped");
   out.append("\ndropped_events: ");
   out.append(std::to_string(Tracer::Global().dropped_events()));
+  out.append("\nlast_drain: ");
+  const TimeMicros last_drain_us = Tracer::Global().last_drain_us();
+  if (last_drain_us == 0) {
+    out.append("never");
+  } else {
+    out.append(std::to_string(last_drain_us));
+    out.append("us (");
+    out.append(std::to_string(Tracer::Global().last_drain_count()));
+    out.append(" events)");
+  }
   out.append("\n\n");
   for (auto& [category, evs] : by_category) {
     out.append("== ");
@@ -179,6 +192,12 @@ std::string RenderTracez() {
           out.append(" value=");
           out.append(std::to_string(e.value));
           break;
+        case TracePhase::kFlowStart:
+        case TracePhase::kFlowStep:
+        case TracePhase::kFlowEnd:
+          out.append(" flow=");
+          out.append(std::to_string(e.flow_id));
+          break;
         case TracePhase::kInstant:
           break;
       }
@@ -193,11 +212,26 @@ std::string RenderTracez() {
 
 IntrospectionServer::IntrospectionServer(HttpServerOptions options)
     : server_(std::move(options)) {
+  RegisterBuildInfo();
   server_.AddHandler("/metrics", [](const HttpRequest&) {
     HttpResponse resp;
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     resp.body = GlobalPrometheusText();
     return resp;
+  });
+  server_.AddHandler("/healthz", [](const HttpRequest&) {
+    // Evaluate fresh (not the watchdog's cached verdict) so a probe sees
+    // recovery the moment the frontier catches up.
+    const HealthReport report = HealthMonitor::Global().EvaluateNow();
+    HttpResponse resp;
+    resp.status = report.status == HealthStatus::kStalled ? 503 : 200;
+    resp.content_type = "application/json";
+    resp.body = report.ToJson();
+    resp.body.push_back('\n');
+    return resp;
+  });
+  server_.AddHandler("/debug/stalls", [](const HttpRequest&) {
+    return TextResponse(HealthMonitor::Global().RenderDebugStalls());
   });
   server_.AddHandler("/statusz", [this](const HttpRequest&) {
     return TextResponse(RenderStatusz(TraceNowMicros() - start_us_));
@@ -213,6 +247,10 @@ IntrospectionServer::IntrospectionServer(HttpServerOptions options)
     return TextResponse(
         "pjoin introspection endpoints:\n"
         "  /metrics       Prometheus text exposition\n"
+        "  /healthz       stall classification (200 ok/degraded, 503 "
+        "stalled) + JSON detail\n"
+        "  /debug/stalls  current verdict, root-cause chains, stall "
+        "history\n"
         "  /statusz       human-readable pipeline snapshot\n"
         "  /tracez        recent trace events per category\n"
         "  /quitquitquit  request the host process wind down\n");

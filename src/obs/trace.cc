@@ -20,7 +20,7 @@ TraceRing::TraceRing(int32_t tid, size_t capacity)
 }
 
 void TraceRing::Emit(const char* category, const char* name, TracePhase phase,
-                     TimeMicros ts, int64_t value) {
+                     TimeMicros ts, int64_t value, uint64_t flow_id) {
   const int64_t idx = next_.load(std::memory_order_relaxed);
   Slot& slot = slots_[static_cast<size_t>(idx) % capacity_];
   // Invalidate the slot first so a concurrent drain that catches the write
@@ -31,14 +31,15 @@ void TraceRing::Emit(const char* category, const char* name, TracePhase phase,
   slot.phase.store(static_cast<int32_t>(phase), std::memory_order_relaxed);
   slot.ts.store(ts, std::memory_order_relaxed);
   slot.value.store(value, std::memory_order_relaxed);
+  slot.flow_id.store(flow_id, std::memory_order_relaxed);
   slot.seq.store(idx, std::memory_order_release);
   next_.store(idx + 1, std::memory_order_release);
 }
 
-int64_t TraceRing::Drain(std::vector<TraceEvent>* out) const {
-  const int64_t end = next_.load(std::memory_order_acquire);
+int64_t TraceRing::Collect(std::vector<TraceEvent>* out, int64_t from,
+                           int64_t end) const {
   const int64_t cap = static_cast<int64_t>(capacity_);
-  const int64_t begin = std::max<int64_t>(0, end - cap);
+  const int64_t begin = std::max(from, std::max<int64_t>(0, end - cap));
   for (int64_t i = begin; i < end; ++i) {
     const Slot& slot = slots_[static_cast<size_t>(i) % capacity_];
     TraceEvent e;
@@ -49,12 +50,28 @@ int64_t TraceRing::Drain(std::vector<TraceEvent>* out) const {
     e.phase = static_cast<TracePhase>(slot.phase.load(std::memory_order_relaxed));
     e.ts = slot.ts.load(std::memory_order_relaxed);
     e.value = slot.value.load(std::memory_order_relaxed);
+    e.flow_id = slot.flow_id.load(std::memory_order_relaxed);
     // Re-check: a writer that wrapped during the reads above invalidated or
     // re-published the slot for a different index.
     if (slot.seq.load(std::memory_order_acquire) != i) continue;
     out->push_back(e);
   }
-  return begin;
+  return std::max<int64_t>(0, end - cap);
+}
+
+int64_t TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
+  return Collect(out, 0, next_.load(std::memory_order_acquire));
+}
+
+int64_t TraceRing::Drain(std::vector<TraceEvent>* out) {
+  const int64_t from = drained_.load(std::memory_order_acquire);
+  // Bound the pass by the write index sampled *before* collecting: events a
+  // writer appends mid-collection stay un-drained for the next pass instead
+  // of being skipped but marked consumed.
+  const int64_t end = next_.load(std::memory_order_acquire);
+  const int64_t dropped = Collect(out, from, end);
+  drained_.store(std::max(from, end), std::memory_order_release);
+  return dropped;
 }
 
 Tracer& Tracer::Global() {
@@ -105,6 +122,31 @@ std::vector<std::pair<int32_t, std::string>> Tracer::ThreadNames() const {
   return names;
 }
 
+namespace {
+
+void SortByTimestamp(std::vector<TraceEvent>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+}
+
+}  // namespace
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    ring->Snapshot(&events);
+  }
+  SortByTimestamp(&events);
+  return events;
+}
+
 std::vector<TraceEvent> Tracer::Drain() {
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
@@ -115,10 +157,9 @@ std::vector<TraceEvent> Tracer::Drain() {
   for (const auto& ring : rings) {
     ring->Drain(&events);
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.ts < b.ts;
-                   });
+  SortByTimestamp(&events);
+  last_drain_us_.store(TraceNowMicros());
+  last_drain_count_.store(static_cast<int64_t>(events.size()));
   return events;
 }
 
@@ -132,7 +173,7 @@ int64_t Tracer::dropped_events() const {
   std::vector<TraceEvent> scratch;
   for (const auto& ring : rings) {
     scratch.clear();
-    dropped += ring->Drain(&scratch);
+    dropped += ring->Snapshot(&scratch);
   }
   return dropped;
 }
@@ -142,12 +183,21 @@ void Tracer::ResetForTest() {
   MutexLock lock(mu_);
   rings_.clear();
   next_tid_ = 0;
+  last_drain_us_.store(0);
+  last_drain_count_.store(0);
 }
 
 void EmitEvent(const char* category, const char* name, TracePhase phase,
                int64_t value) {
   Tracer::Global().CurrentThreadRing()->Emit(category, name, phase,
                                              TraceNowMicros(), value);
+}
+
+void EmitFlowEvent(const char* category, const char* name, TracePhase phase,
+                   uint64_t flow_id) {
+  Tracer::Global().CurrentThreadRing()->Emit(category, name, phase,
+                                             TraceNowMicros(), /*value=*/0,
+                                             flow_id);
 }
 
 ScopedSpan::~ScopedSpan() {

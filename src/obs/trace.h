@@ -15,6 +15,11 @@
 //   TRACE_INSTANT(cat, name)          a point-in-time "i" event.
 //   TRACE_COUNTER(cat, name, value)   a "C" counter sample (e.g. queue
 //                                     depth over time).
+//   TRACE_FLOW_START(cat, name, id)   cross-thread flow arrows ("s"/"t"/
+//   TRACE_FLOW_STEP(cat, name, id)    "f" in the Chrome export): one flow
+//   TRACE_FLOW_END(cat, name, id)     id links events across threads, so
+//                                     Perfetto draws a sampled tuple's
+//                                     route→probe→merge path as arrows.
 //   TRACE_SET_THREAD_NAME(name)       labels the calling thread in trace
 //                                     exports ("router", "shard-3").
 //
@@ -53,19 +58,24 @@ namespace obs {
 
 /// Chrome trace_event phases this tracer emits.
 enum class TracePhase : int32_t {
-  kComplete = 0,  // "X": a span with start + duration
-  kInstant = 1,   // "i": a point event
-  kCounter = 2,   // "C": a sampled counter value
+  kComplete = 0,   // "X": a span with start + duration
+  kInstant = 1,    // "i": a point event
+  kCounter = 2,    // "C": a sampled counter value
+  kFlowStart = 3,  // "s": a cross-thread flow begins here
+  kFlowStep = 4,   // "t": the flow passes through here
+  kFlowEnd = 5,    // "f": the flow terminates here
 };
 
 /// One drained event. `value` is the duration (kComplete, microseconds) or
-/// the sampled value (kCounter); unused for kInstant.
+/// the sampled value (kCounter); unused for kInstant. `flow_id` links the
+/// kFlow* phases of one cross-thread flow (0 = not a flow event).
 struct TraceEvent {
   const char* category = nullptr;
   const char* name = nullptr;
   TracePhase phase = TracePhase::kInstant;
   TimeMicros ts = 0;
   int64_t value = 0;
+  uint64_t flow_id = 0;
   /// Dense tracer-assigned thread id (stable across the run).
   int32_t tid = 0;
 };
@@ -80,12 +90,20 @@ class TraceRing {
   PJOIN_DISALLOW_COPY_AND_MOVE(TraceRing);
 
   void Emit(const char* category, const char* name, TracePhase phase,
-            TimeMicros ts, int64_t value);
+            TimeMicros ts, int64_t value, uint64_t flow_id = 0);
 
-  /// Appends every event still resident (oldest first) to `out`. Returns the
-  /// number of events that were overwritten before they could be drained
-  /// (lifetime total).
-  int64_t Drain(std::vector<TraceEvent>* out) const;
+  /// Appends every event still resident (oldest first) to `out`, without
+  /// consuming anything. Returns the number of events that were overwritten
+  /// before they could be read (lifetime total).
+  int64_t Snapshot(std::vector<TraceEvent>* out) const;
+
+  /// Appends every event not yet consumed by a previous Drain (oldest
+  /// first) to `out` and advances the consumed watermark, so the next Drain
+  /// starts where this one ended. Returns the number of events lost to ring
+  /// overwrites before any reader saw them (lifetime total). Intended for
+  /// the export path; concurrent Drain callers race the watermark and
+  /// should coordinate.
+  int64_t Drain(std::vector<TraceEvent>* out);
 
   int32_t tid() const { return tid_; }
   const std::string& thread_name() const { return thread_name_; }
@@ -99,13 +117,18 @@ class TraceRing {
     std::atomic<int32_t> phase{0};
     std::atomic<int64_t> ts{0};
     std::atomic<int64_t> value{0};
+    std::atomic<uint64_t> flow_id{0};
   };
+
+  int64_t Collect(std::vector<TraceEvent>* out, int64_t from,
+                  int64_t end) const;
 
   const int32_t tid_;
   const size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
-  std::atomic<int64_t> next_{0};  // next global write index
-  std::string thread_name_;       // set by the owning thread before events
+  std::atomic<int64_t> next_{0};     // next global write index
+  std::atomic<int64_t> drained_{0};  // Drain()-consumed watermark
+  std::string thread_name_;          // set by the owning thread before events
 };
 
 /// Process-wide tracer: owns the thread rings, the recording switch, and the
@@ -123,10 +146,20 @@ class Tracer {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Drains every ring, merged and sorted by timestamp.
+  /// Non-destructive view of every ring, merged and sorted by timestamp —
+  /// the scrape path (/tracez): concurrent scrapers all see the same
+  /// resident events and never steal from the export.
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_);
+  /// Consumes every not-yet-drained event, merged and sorted by timestamp —
+  /// the export path (Chrome trace): a second export does not re-emit what
+  /// the first already wrote. Records last_drain metadata.
   std::vector<TraceEvent> Drain() EXCLUDES(mu_);
-  /// Total events overwritten before a drain could see them.
+  /// Total events overwritten before a reader could see them.
   int64_t dropped_events() const EXCLUDES(mu_);
+  /// TraceNowMicros() timestamp of the most recent Drain (0 = never), and
+  /// the number of events it consumed.
+  TimeMicros last_drain_us() const { return last_drain_us_.load(); }
+  int64_t last_drain_count() const { return last_drain_count_.load(); }
 
   /// Names the calling thread's ring in trace exports ("router",
   /// "shard-3"); call before emitting from that thread for best effect.
@@ -150,6 +183,8 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> generation_{0};
+  std::atomic<int64_t> last_drain_us_{0};
+  std::atomic<int64_t> last_drain_count_{0};
   mutable Mutex mu_;
   std::vector<std::shared_ptr<TraceRing>> rings_ GUARDED_BY(mu_);
   int32_t next_tid_ GUARDED_BY(mu_) = 0;
@@ -163,6 +198,11 @@ TimeMicros TraceNowMicros();
 /// Emits one instant or counter event on the calling thread's ring.
 void EmitEvent(const char* category, const char* name, TracePhase phase,
                int64_t value);
+
+/// Emits one flow event (kFlowStart / kFlowStep / kFlowEnd) carrying
+/// `flow_id` on the calling thread's ring.
+void EmitFlowEvent(const char* category, const char* name, TracePhase phase,
+                   uint64_t flow_id);
 
 /// RAII span: captures the start time at construction and emits one complete
 /// event at destruction. Inert when the tracer is not recording.
@@ -207,6 +247,19 @@ class ScopedSpan {
                               static_cast<int64_t>(value));           \
     }                                                                 \
   } while (0)
+#define PJOIN_TRACE_FLOW(category, name, phase, id)                   \
+  do {                                                                \
+    if (::pjoin::obs::Tracer::Global().enabled()) {                   \
+      ::pjoin::obs::EmitFlowEvent(category, name, phase,              \
+                                  static_cast<uint64_t>(id));         \
+    }                                                                 \
+  } while (0)
+#define TRACE_FLOW_START(category, name, id) \
+  PJOIN_TRACE_FLOW(category, name, ::pjoin::obs::TracePhase::kFlowStart, id)
+#define TRACE_FLOW_STEP(category, name, id) \
+  PJOIN_TRACE_FLOW(category, name, ::pjoin::obs::TracePhase::kFlowStep, id)
+#define TRACE_FLOW_END(category, name, id) \
+  PJOIN_TRACE_FLOW(category, name, ::pjoin::obs::TracePhase::kFlowEnd, id)
 #define TRACE_SET_THREAD_NAME(name)                                 \
   do {                                                              \
     ::pjoin::obs::Tracer::Global().SetCurrentThreadName(name);      \
@@ -222,6 +275,15 @@ class ScopedSpan {
   } while (0)
 #define TRACE_COUNTER(category, name, value) \
   do {                                       \
+  } while (0)
+#define TRACE_FLOW_START(category, name, id) \
+  do {                                       \
+  } while (0)
+#define TRACE_FLOW_STEP(category, name, id) \
+  do {                                      \
+  } while (0)
+#define TRACE_FLOW_END(category, name, id) \
+  do {                                     \
   } while (0)
 #define TRACE_SET_THREAD_NAME(name) \
   do {                              \

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/introspection.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace pjoin {
@@ -48,6 +49,9 @@ struct ParallelJoinPipeline::Shard {
 
   const int id;
   JoinOperator* join = nullptr;
+  /// Flow id of the newest sampled RoutedBatch processed and not yet
+  /// flushed (worker-local; travels out with the next OutBatch).
+  uint64_t pending_flow_id = 0;
   /// Router → worker: routed batches (router is the sole producer, the
   /// worker the sole consumer).
   SpscRing<RoutedBatch> queue;
@@ -91,7 +95,8 @@ ParallelJoinPipeline::ParallelJoinPipeline(JoinFactory factory,
   for (int s = 0; s < options_.num_shards; ++s) {
     joins_.push_back(factory(s));
     PJOIN_DCHECK(joins_.back() != nullptr);
-    auto shard = std::make_unique<Shard>(s, queue_batches, /*out_batches=*/64);
+    auto shard = std::make_unique<Shard>(
+        s, queue_batches, std::max<size_t>(2, options_.out_ring_batches));
     shard->join = joins_.back().get();
     shard->stats.shard = s;
     shards_.push_back(std::move(shard));
@@ -136,6 +141,8 @@ void ParallelJoinPipeline::FlushShardOut(Shard* shard, bool force) {
   OutBatch out;
   out.results = std::move(shard->local_results);
   out.releases = std::move(shard->local_releases);
+  out.flow_id = shard->pending_flow_id;
+  shard->pending_flow_id = 0;
   shard->local_results.clear();
   shard->local_releases.clear();
   // The moved-from vector restarts at zero capacity; reserving the flush
@@ -153,10 +160,12 @@ void ParallelJoinPipeline::FlushShardOut(Shard* shard, bool force) {
 
 void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
   TRACE_SPAN("par", "merge_drain");
+  if (out.flow_id != 0) TRACE_FLOW_END("flow", "tuple_path", out.flow_id);
   for (Tuple& t : out.results) {
     ++results_emitted_;
     if (on_result_) on_result_(t);
   }
+  bool released = false;
   for (Punctuation& p : out.releases) {
     TRACE_INSTANT("par", "punct_release");
     // The board reports completion once per full round of releases from
@@ -164,8 +173,13 @@ void ParallelJoinPipeline::MergeOutBatch(OutBatch out) {
     // all for broadcast) — emission happens exactly then.
     if (release_board_.Release(p)) {
       ++puncts_emitted_;
+      released = true;
+      obs::FrontierTracker::Global().NoteReleased();
       if (on_punct_) on_punct_(p);
     }
+  }
+  if (released || !out.releases.empty()) {
+    punct_pending_gauge_.Set(release_board_.pending_rounds());
   }
   if (out.handoff != nullptr) HandleHandoffOut(std::move(*out.handoff));
 }
@@ -210,9 +224,12 @@ int ParallelJoinPipeline::SprayTarget(uint64_t key_hash) {
 
 void ParallelJoinPipeline::Stage(int shard, int8_t side,
                                  const StreamElement* e, uint64_t key_hash,
-                                 TimeMicros ingress_us) {
+                                 TimeMicros ingress_us, uint64_t flow_id) {
   RoutedBatch& pending = staged_[static_cast<size_t>(shard)];
   if (pending.elements.empty()) pending.ingress_us = ingress_us;
+  // Stamp before the flush check below so a sampled tuple that fills the
+  // batch still travels with it.
+  if (flow_id != 0) pending.flow_id = flow_id;
   pending.elements.push_back(e);
   pending.sides.push_back(side);
   pending.key_hashes.push_back(key_hash);
@@ -313,6 +330,10 @@ void ParallelJoinPipeline::ShardLoop(Shard* shard) {
       continue;
     }
     const size_t n = batch.elements.size();
+    if (batch.flow_id != 0) {
+      TRACE_FLOW_STEP("flow", "tuple_path", batch.flow_id);
+      shard->pending_flow_id = batch.flow_id;
+    }
     batch_timer.Restart();
     {
       TRACE_SPAN("par", "shard_batch");
@@ -376,9 +397,21 @@ void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
       // in the shard (via RoutedBatch::key_hashes).
       const uint64_t h =
           e->tuple().field(key_index_[side]).Hash();
+      // Causal flow sampling: every flow_sample_period-th routed tuple is
+      // stamped with its ordinal as flow id and traced router→shard→merger
+      // as Chrome flow arrows. Deterministic for a fixed input order.
+      ++routed_tuples_;
+      uint64_t fid = 0;
+      if (options_.flow_sample_period != 0 &&
+          static_cast<uint64_t>(routed_tuples_) %
+                  options_.flow_sample_period ==
+              1 % options_.flow_sample_period) {
+        fid = static_cast<uint64_t>(routed_tuples_);
+        TRACE_FLOW_START("flow", "tuple_path", fid);
+      }
       if (!repart_enabled_) {
         Stage(shard_map_.OwnerOf(h), static_cast<int8_t>(side), e, h,
-              route_now_us_);
+              route_now_us_, fid);
         break;
       }
       if (fence_active_ && h == active_handoff_->key_hash) {
@@ -394,12 +427,12 @@ void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
         // replica). Every result pair meets at exactly one shard.
         if (side == shard_map_.SpraySideOf(h)) {
           const int s = SprayTarget(h);
-          Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+          Stage(s, static_cast<int8_t>(side), e, h, route_now_us_, fid);
           controller_->ObserveTuple(e->tuple().field(key_index_[side]), h,
                                     side, s);
         } else {
           for (int s = 0; s < num_shards(); ++s) {
-            Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+            Stage(s, static_cast<int8_t>(side), e, h, route_now_us_, fid);
           }
           controller_->ObserveTuple(e->tuple().field(key_index_[side]), h,
                                     side, shard_map_.OwnerOf(h));
@@ -407,7 +440,7 @@ void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
         break;
       }
       const int s = shard_map_.OwnerOf(h);
-      Stage(s, static_cast<int8_t>(side), e, h, route_now_us_);
+      Stage(s, static_cast<int8_t>(side), e, h, route_now_us_, fid);
       controller_->ObserveTuple(e->tuple().field(key_index_[side]), h, side,
                                 s);
       break;
@@ -430,6 +463,12 @@ void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
       // pattern inference can no longer reconstruct it. Staged order keeps
       // the punctuation behind every tuple dispatched before it, per shard.
       const Pattern& key_pattern = e->punctuation().pattern(key_index_[side]);
+      // Frontier accounting (obs/progress.h): every dispatch is an ingress
+      // for the (side, scheme, shard) cell; the shard's join answers with
+      // NoteProcessed, and the gap is the shard's frontier lag.
+      const std::string_view scheme = PatternKindName(key_pattern.kind());
+      const std::string punct_desc = e->punctuation().ToString();
+      obs::FrontierTracker& frontier = obs::FrontierTracker::Global();
       int fanout = num_shards();
       if (key_pattern.IsConstant()) {
         const uint64_t h = key_pattern.constant().Hash();
@@ -437,16 +476,21 @@ void ParallelJoinPipeline::RouteElement(int side, const StreamElement* e) {
           for (int s = 0; s < num_shards(); ++s) {
             Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0,
                   route_now_us_);
+            frontier.NoteIngress(side, scheme, s, route_now_us_, punct_desc);
           }
         } else {
-          Stage(shard_map_.OwnerOf(h), static_cast<int8_t>(side), e,
+          const int owner = shard_map_.OwnerOf(h);
+          Stage(owner, static_cast<int8_t>(side), e,
                 /*key_hash=*/0, route_now_us_);
+          frontier.NoteIngress(side, scheme, owner, route_now_us_,
+                               punct_desc);
           fanout = 1;
         }
       } else {
         for (int s = 0; s < num_shards(); ++s) {
           Stage(s, static_cast<int8_t>(side), e, /*key_hash=*/0,
                 route_now_us_);
+          frontier.NoteIngress(side, scheme, s, route_now_us_, punct_desc);
         }
       }
       if (repart_enabled_) {
@@ -806,6 +850,8 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
       registry.GetGauge("pjoin_hot_keys_active", "pipeline=parallel");
   imbalance_gauge_ = registry.GetGauge("pjoin_shard_imbalance_permille",
                                        "pipeline=parallel");
+  punct_pending_gauge_ =
+      registry.GetGauge("pjoin_punct_pending_rounds", "pipeline=parallel");
   eos_routed_[0] = false;
   eos_routed_[1] = false;
   merged_results_.assign(static_cast<size_t>(num_shards()), 0);
@@ -827,6 +873,9 @@ Status ParallelJoinPipeline::Run(const std::vector<StreamElement>& left,
         "pipeline=parallel,shard=" + std::to_string(shard->id);
     shard->join->BindLatencyMetrics(labels);
     shard->join->BindStateGauges(labels);
+    // Frontier accounting: the shard's join reports processed punctuations
+    // (and PJoin its purge expectations) to the cell the router feeds.
+    shard->join->BindFrontier(shard->id);
     shard->depth_gauge =
         registry.GetGauge("pjoin_shard_queue_depth", labels);
     shard->queue_occupancy_gauge = registry.GetGauge(

@@ -112,6 +112,14 @@ struct ParallelPipelineOptions {
   /// path — same results, used by the equivalence tests and the
   /// parallel_x*_scan bench baseline's cost model.
   bool batched_probe = true;
+  /// Capacity of each shard→merger output ring in OutBatches; a shard
+  /// parks on a full ring until the merger drains it. Small values make
+  /// sink backpressure (and therefore stall diagnosis) bite sooner.
+  size_t out_ring_batches = 64;
+  /// Stamp every Nth routed tuple with a flow id, traced through
+  /// router→shard→merger as Chrome flow arrows (TRACE_FLOW_*). 0 disables
+  /// sampling.
+  uint64_t flow_sample_period = 1024;
   /// Optional registry receiving one kShardStats event per shard when the
   /// run completes (event.stream = shard id).
   EventRegistry* stats_registry = nullptr;
@@ -246,6 +254,10 @@ class ParallelJoinPipeline {
     /// shard hands it to the join so emits can observe end-to-end latency.
     /// Coarse (refreshed every few router iterations).
     TimeMicros ingress_us = 0;
+    /// Sampled causal-trace flow id (0 = unsampled batch): stamped by the
+    /// router on ~1/flow_sample_period tuples, stepped by the shard,
+    /// terminated by the merger.
+    uint64_t flow_id = 0;
     /// A command batch carries exactly one command and no elements.
     std::unique_ptr<RepartCommand> command;
   };
@@ -256,6 +268,9 @@ class ParallelJoinPipeline {
   struct OutBatch {
     std::vector<Tuple> results;
     std::vector<Punctuation> releases;
+    /// Flow id carried over from the newest sampled RoutedBatch this shard
+    /// processed (0 = none): lets the merger close the flow arrow.
+    uint64_t flow_id = 0;
     /// A handoff answer rides alone in its own batch, behind the output
     /// the shard staged before executing the command.
     std::unique_ptr<HandoffOut> handoff;
@@ -311,7 +326,7 @@ class ParallelJoinPipeline {
   /// Appends element `e` (borrowed) to `shard`'s pending batch, flushing
   /// when full.
   void Stage(int shard, int8_t side, const StreamElement* e,
-             uint64_t key_hash, TimeMicros ingress_us);
+             uint64_t key_hash, TimeMicros ingress_us, uint64_t flow_id = 0);
   void FlushStaged(int shard);
   /// Waits until every shard has processed everything dispatched so far
   /// (router thread; drains outputs while waiting).
@@ -362,6 +377,10 @@ class ParallelJoinPipeline {
   bool eos_routed_[2] = {false, false};
   /// Coarse dispatch timestamp (see RouterLoop's refresh cadence).
   TimeMicros route_now_us_ = 0;
+  /// Tuples routed so far — the flow-id source: tuple ordinal N gets flow
+  /// id N when N falls on the sampling period (deterministic for a fixed
+  /// input order).
+  int64_t routed_tuples_ = 0;
   /// Results merged per shard so far (router/merger thread). Feeds
   /// SprayTarget's least-output choice for replicated keys.
   std::vector<int64_t> merged_results_;
@@ -395,6 +414,8 @@ class ParallelJoinPipeline {
   obs::Counter rollbacks_counter_;
   obs::Gauge hot_keys_gauge_;
   obs::Gauge imbalance_gauge_;
+  /// Release rounds still open on the board (pjoin_punct_pending_rounds).
+  obs::Gauge punct_pending_gauge_;
   bool ran_ = false;
 };
 

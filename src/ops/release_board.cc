@@ -45,19 +45,15 @@ bool PunctReleaseBoard::Release(const Punctuation& p) {
       e.expected = ExpectedShards(p);
     }
   }
-  if (++e.count < e.expected) return false;
+  const bool was_mid_round = e.count != 0;
+  if (++e.count < e.expected) {
+    if (!was_mid_round) ++pending_;
+    return false;
+  }
   e.count = 0;
   e.expected = 0;
+  if (was_mid_round) --pending_;
   return true;
-}
-
-int64_t PunctReleaseBoard::pending_rounds() const {
-  int64_t pending = 0;
-  for (const auto& [key, e] : counts_) {
-    (void)key;
-    if (e.count != 0) ++pending;
-  }
-  return pending;
 }
 
 }  // namespace pjoin

@@ -64,8 +64,9 @@ class PunctReleaseBoard {
   bool Release(const Punctuation& p);
 
   /// Punctuations currently mid-round (released by some but not yet all
-  /// expected shards). 0 after a clean run.
-  int64_t pending_rounds() const;
+  /// expected shards). 0 after a clean run. O(1) — maintained on Release,
+  /// so the merger can publish it per batch (pjoin_punct_pending_rounds).
+  int64_t pending_rounds() const { return pending_; }
 
  private:
   struct Entry {
@@ -80,6 +81,8 @@ class PunctReleaseBoard {
   size_t key_pos_[2] = {0, 0};
   int num_shards_ = 1;
   std::map<std::string, Entry> counts_;
+  /// Entries with count != 0 (mid-round), kept in lockstep by Release.
+  int64_t pending_ = 0;
 };
 
 }  // namespace pjoin

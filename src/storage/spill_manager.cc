@@ -33,6 +33,17 @@ SpillManager::SpillManager(SpillPolicy policy, SpillableState* left,
       registry.GetCounter("pjoin_spill_bytes_early_purged", "");
   resident_bytes_hist_ = registry.GetHistogram(
       "pjoin_spill_partition_resident_bytes", "", /*unit_scale=*/1.0);
+  quarantined_gauge_ =
+      registry.GetGauge("pjoin_spill_quarantined_partitions", "");
+  degraded_gauge_ = registry.GetGauge("pjoin_spill_degraded", "");
+}
+
+int SpillManager::quarantined_partitions() const {
+  int n = 0;
+  for (const int c : cooldown_) {
+    if (c > 0) ++n;
+  }
+  return n;
 }
 
 bool SpillManager::OverBudget(int64_t threshold_tuples,
@@ -52,13 +63,19 @@ bool SpillManager::Quarantined(int side, int p) const {
 }
 
 void SpillManager::Quarantine(int side, int p) {
-  cooldown_[static_cast<size_t>(side * states_[0]->num_spill_partitions() +
-                                p)] = policy_.quarantine_cooldown;
+  int& slot = cooldown_[static_cast<size_t>(
+      side * states_[0]->num_spill_partitions() + p)];
+  // Incremental Add on the 0→nonzero transition (not Set): managers
+  // sharing the process-wide gauge cell stay additive.
+  if (slot == 0 && policy_.quarantine_cooldown > 0) {
+    quarantined_gauge_.Add(1);
+  }
+  slot = policy_.quarantine_cooldown;
 }
 
 void SpillManager::DecayQuarantine() {
   for (int& c : cooldown_) {
-    if (c > 0) --c;
+    if (c > 0 && --c == 0) quarantined_gauge_.Add(-1);
   }
 }
 
@@ -66,6 +83,7 @@ void SpillManager::RecordFailure() {
   ++failures_;
   if (!stats_.degraded && failures_ >= policy_.degrade_failure_threshold) {
     stats_.degraded = true;
+    degraded_gauge_.Set(1);
     if (sink_) {
       sink_(Event{EventType::kDegradedMode, /*time=*/0, /*stream=*/-1,
                   "spill-manager: falling back to global-threshold mode "

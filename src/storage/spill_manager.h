@@ -160,6 +160,9 @@ class SpillManager {
   const SpillDecisionStats& stats() const { return stats_; }
   const SpillPolicy& policy() const { return policy_; }
   bool degraded() const { return stats_.degraded; }
+  /// (side, partition) slots currently in quarantine cooldown (also gauge
+  /// pjoin_spill_quarantined_partitions, shared across managers).
+  int quarantined_partitions() const;
   /// kGlobalThreshold when configured so *or* after degradation.
   SpillMode effective_mode() const {
     return stats_.degraded ? SpillMode::kGlobalThreshold : policy_.mode;
@@ -194,6 +197,11 @@ class SpillManager {
   obs::Counter bytes_spilled_counter_;
   obs::Counter bytes_early_purged_counter_;
   obs::Histogram resident_bytes_hist_;
+  /// Maintained with Add(±1) on 0↔nonzero cooldown transitions, so
+  /// managers sharing the cell stay additive; pjoin_spill_degraded is
+  /// sticky (any manager degrading sets it).
+  obs::Gauge quarantined_gauge_;
+  obs::Gauge degraded_gauge_;
 };
 
 /// Marks operations issued while a spilled partition is being split, so

@@ -1,0 +1,189 @@
+// Minimal JSON parser shared by tests that validate JSON produced by the
+// observability layer (Chrome trace export, /healthz reports): just enough
+// of the grammar to parse what our own writers emit.
+
+#ifndef PJOIN_TESTS_JSON_TEST_UTIL_H_
+#define PJOIN_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pjoin {
+namespace testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            // The escapers only emit \u00XX for control characters, so a
+            // one-byte decode suffices.
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code > 0xff) return false;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') return ParseLiteral("null");
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testing
+}  // namespace pjoin
+
+#endif  // PJOIN_TESTS_JSON_TEST_UTIL_H_

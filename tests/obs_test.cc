@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "json_test_util.h"
 #include "obs/chrome_trace.h"
 #include "obs/introspection.h"
 #include "obs/metrics_registry.h"
@@ -24,176 +25,8 @@
 namespace pjoin {
 namespace {
 
-// ---- Minimal JSON parser: just enough to validate exporter output. ----
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseLiteral(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u': {
-            // The escaper only emits \u00XX for control characters, so a
-            // one-byte decode suffices.
-            if (pos_ + 4 > text_.size()) return false;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f')
-                code += static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F')
-                code += static_cast<unsigned>(h - 'A' + 10);
-              else return false;
-            }
-            if (code > 0xff) return false;
-            c = static_cast<char>(code);
-            break;
-          }
-          default: return false;
-        }
-      }
-      out->push_back(c);
-    }
-    return Consume('"');
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->type = JsonValue::Type::kNumber;
-    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->type = JsonValue::Type::kString;
-      return ParseString(&out->str);
-    }
-    if (c == 't') {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = true;
-      return ParseLiteral("true");
-    }
-    if (c == 'f') {
-      out->type = JsonValue::Type::kBool;
-      return ParseLiteral("false");
-    }
-    if (c == 'n') return ParseLiteral("null");
-    return ParseNumber(out);
-  }
-
-  bool ParseObject(JsonValue* out) {
-    if (!Consume('{')) return false;
-    out->type = JsonValue::Type::kObject;
-    SkipWs();
-    if (Consume('}')) return true;
-    while (true) {
-      SkipWs();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipWs();
-      if (!Consume(':')) return false;
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace_back(std::move(key), std::move(value));
-      SkipWs();
-      if (Consume('}')) return true;
-      if (!Consume(',')) return false;
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    if (!Consume('[')) return false;
-    out->type = JsonValue::Type::kArray;
-    SkipWs();
-    if (Consume(']')) return true;
-    while (true) {
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      SkipWs();
-      if (Consume(']')) return true;
-      if (!Consume(',')) return false;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+using pjoin::testing::JsonParser;
+using pjoin::testing::JsonValue;
 
 // ---- MetricsRegistry ----
 
@@ -517,6 +350,43 @@ TEST(TraceRingTest, OverflowKeepsNewestEventsAndCountsDropped) {
   }
 }
 
+// A Snapshot never consumes: repeated snapshots see the same resident
+// events, while Drain advances the consumed watermark (the /tracez vs.
+// Chrome-export split).
+TEST(TraceRingTest, SnapshotIsNonDestructiveDrainConsumes) {
+  obs::TraceRing ring(/*tid=*/0, /*capacity=*/8);
+  for (int64_t i = 0; i < 4; ++i) {
+    ring.Emit("cat", "name", obs::TracePhase::kCounter, /*ts=*/i, i);
+  }
+  std::vector<obs::TraceEvent> snap1, snap2, drained, rest;
+  EXPECT_EQ(ring.Snapshot(&snap1), 0);
+  EXPECT_EQ(ring.Snapshot(&snap2), 0);
+  EXPECT_EQ(snap1.size(), 4u);
+  EXPECT_EQ(snap2.size(), 4u);  // the first snapshot stole nothing
+  EXPECT_EQ(ring.Drain(&drained), 0);
+  EXPECT_EQ(drained.size(), 4u);
+  // A second drain only returns what arrived since the first.
+  ring.Emit("cat", "name", obs::TracePhase::kCounter, /*ts=*/10, 99);
+  EXPECT_EQ(ring.Drain(&rest), 0);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].value, 99);
+  // Snapshot still sees everything resident, drained or not.
+  std::vector<obs::TraceEvent> snap3;
+  EXPECT_EQ(ring.Snapshot(&snap3), 0);
+  EXPECT_EQ(snap3.size(), 5u);
+}
+
+TEST(TraceRingTest, FlowIdSurvivesTheRing) {
+  obs::TraceRing ring(/*tid=*/0, /*capacity=*/8);
+  ring.Emit("flow", "tuple_path", obs::TracePhase::kFlowStart, /*ts=*/1,
+            /*value=*/0, /*flow_id=*/0xdeadbeefULL);
+  std::vector<obs::TraceEvent> events;
+  ring.Snapshot(&events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, obs::TracePhase::kFlowStart);
+  EXPECT_EQ(events[0].flow_id, 0xdeadbeefULL);
+}
+
 // ---- Tracer ----
 
 class TracerTest : public ::testing::Test {
@@ -584,24 +454,31 @@ TEST_F(TracerTest, ConcurrentEmitAndDrainIsSafe) {
       }
     });
   }
-  for (int i = 0; i < 50; ++i) {
-    for (const obs::TraceEvent& e : obs::Tracer::Global().Drain()) {
+  // Drain consumes: each call returns only what arrived since the last
+  // one, so the assertions cover the union of every drain (a slow mid-run
+  // drain can legitimately leave nothing for the final one).
+  size_t total = 0;
+  auto check_drain = [&total](const std::vector<obs::TraceEvent>& events) {
+    total += events.size();
+    for (const obs::TraceEvent& e : events) {
       ASSERT_NE(e.name, nullptr);
       ASSERT_NE(e.category, nullptr);
       ASSERT_GE(static_cast<int32_t>(e.phase), 0);
       ASSERT_LE(static_cast<int32_t>(e.phase), 2);
     }
+    for (size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].ts, events[i].ts);  // drain sorts by timestamp
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    check_drain(obs::Tracer::Global().Drain());
   }
   for (std::thread& w : writers) w.join();
   obs::Tracer::Global().Stop();
-  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
-  EXPECT_FALSE(events.empty());
-  EXPECT_LE(events.size(),
-            static_cast<size_t>(kThreads) *
-                (kEventsPerThread + kEventsPerThread / 64 + 1));
-  for (size_t i = 1; i < events.size(); ++i) {
-    EXPECT_LE(events[i - 1].ts, events[i].ts);  // drain sorts by timestamp
-  }
+  check_drain(obs::Tracer::Global().Drain());
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, static_cast<size_t>(kThreads) *
+                       (kEventsPerThread + kEventsPerThread / 64 + 1));
 }
 
 // ---- Chrome trace export ----
@@ -662,6 +539,78 @@ TEST_F(TracerTest, ChromeTraceExportIsValidAndComplete) {
   EXPECT_TRUE(saw_span);
   EXPECT_TRUE(saw_instant);
   EXPECT_TRUE(saw_counter);
+}
+
+// A /tracez scrape (Snapshot) must not steal events from the Chrome export
+// (Drain), and the export records when it ran and how much it took.
+TEST_F(TracerTest, ScrapeDoesNotStealFromExportAndDrainRecordsMetadata) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  EXPECT_EQ(tracer.last_drain_us(), 0);  // "never"
+  tracer.Start();
+  TRACE_INSTANT("test", "one");
+  TRACE_INSTANT("test", "two");
+  TRACE_INSTANT("test", "three");
+  tracer.Stop();
+
+  // Two scrapes in a row see the same events.
+  EXPECT_EQ(tracer.Snapshot().size(), 3u);
+  EXPECT_EQ(tracer.Snapshot().size(), 3u);
+  EXPECT_EQ(tracer.last_drain_us(), 0);  // scrapes are not drains
+
+  // The export still gets everything, and stamps the metadata.
+  EXPECT_EQ(tracer.Drain().size(), 3u);
+  EXPECT_GT(tracer.last_drain_us(), 0);
+  EXPECT_EQ(tracer.last_drain_count(), 3);
+
+  // A second export does not re-emit; a scrape still sees the residents.
+  EXPECT_TRUE(tracer.Drain().empty());
+  EXPECT_EQ(tracer.last_drain_count(), 0);
+  EXPECT_EQ(tracer.Snapshot().size(), 3u);
+}
+
+// Flow events render as Chrome flow arrows: "s"/"t"/"f" records sharing an
+// id, with "bp":"e" on the end so Perfetto binds the arrow to the enclosing
+// slice.
+TEST_F(TracerTest, ChromeTraceExportRendersFlowArrows) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  TRACE_FLOW_START("flow", "tuple_path", 42);
+  TRACE_FLOW_STEP("flow", "tuple_path", 42);
+  TRACE_FLOW_END("flow", "tuple_path", 42);
+  tracer.Stop();
+
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, tracer.Drain(), tracer.ThreadNames());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root)) << os.str();
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->array.size(), 3u);
+
+  bool saw_start = false, saw_step = false, saw_end = false;
+  for (const JsonValue& e : trace_events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(e.Find("name")->str, "tuple_path");
+    EXPECT_EQ(e.Find("cat")->str, "flow");
+    ASSERT_NE(e.Find("id"), nullptr);
+    EXPECT_EQ(e.Find("id")->number, 42.0);
+    if (ph->str == "s") {
+      saw_start = true;
+    } else if (ph->str == "t") {
+      saw_step = true;
+    } else if (ph->str == "f") {
+      saw_end = true;
+      ASSERT_NE(e.Find("bp"), nullptr);
+      EXPECT_EQ(e.Find("bp")->str, "e");
+    } else {
+      FAIL() << "unexpected phase " << ph->str;
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_end);
 }
 
 #endif  // PJOIN_TRACING

@@ -21,9 +21,14 @@ Checks:
 exists with a nonzero _count for at least one label set (i.e. the live
 pipeline actually recorded observations).
 
---require-nonzero NAME may be repeated; each asserts that counter/gauge NAME
-exists with a nonzero value for at least one label set (used by CI to prove
-e.g. the spill path actually ran during the live scrape).
+--require-nonzero NAME may be repeated; each asserts that NAME exists with a
+nonzero value for at least one label set (used by CI to prove e.g. the spill
+path actually ran during the live scrape). NAME may be a counter/gauge (the
+sample value) or a histogram family (its _count).
+
+--require-label NAME:KEY may be repeated; each asserts that metric NAME has
+at least one sample carrying a non-empty KEY label (used by CI to prove e.g.
+pjoin_build_info exposes git_sha and the frontier lag histogram is sharded).
 
 --self-test runs the embedded good/bad fixtures through the validator and
 asserts each bad fixture is rejected for the expected reason.
@@ -252,14 +257,34 @@ def check_requirements(histograms, required, findings):
                          "for every label set (no observations recorded)")
 
 
-def check_nonzero(scalars, required, findings):
+def check_nonzero(scalars, histograms, required, findings):
     for name in required:
-        by_labels = scalars.get(name)
+        # A histogram family satisfies the requirement through its _count.
+        by_labels = scalars.get(name) or histograms.get(name)
         if not by_labels:
             findings.add(0, f"required sample {name} not found")
         elif all(value == 0 for value in by_labels.values()):
             findings.add(0, f"required sample {name} is zero for every "
                          "label set (the instrumented path never ran)")
+
+
+def check_labels(scalars, histograms, required, findings):
+    """`required` is a list of NAME:KEY strings; each asserts that metric
+    NAME (scalar or histogram family) has at least one sample whose KEY
+    label is present and non-empty."""
+    for spec in required:
+        name, sep, key = spec.partition(":")
+        if not sep or not name or not key:
+            findings.add(0, f"malformed --require-label {spec!r} "
+                         "(expected NAME:KEY)")
+            continue
+        by_labels = scalars.get(name) or histograms.get(name)
+        if not by_labels:
+            findings.add(0, f"required metric {name} not found")
+        elif not any(dict(labels).get(key)
+                     for labels in by_labels):
+            findings.add(0, f"required metric {name} has no sample with a "
+                         f"non-empty {key!r} label")
 
 
 # ---------------------------------------------------------------------------
@@ -332,7 +357,12 @@ def run_self_test():
     findings, histograms, scalars = validate(GOOD_SNAPSHOT)
     check_requirements(histograms,
                        ["pjoin_tuple_latency_seconds"], findings)
-    check_nonzero(scalars, ["pjoin_results_total"], findings)
+    check_nonzero(scalars, histograms,
+                  ["pjoin_results_total", "pjoin_tuple_latency_seconds"],
+                  findings)
+    check_labels(scalars, histograms,
+                 ["pjoin_results_total:shard",
+                  "pjoin_tuple_latency_seconds:shard"], findings)
     if findings.items:
         failures.append(f"require(good): unexpected {findings.items}")
     findings = Findings()
@@ -347,14 +377,38 @@ def run_self_test():
         failures.append("require(zero): expected a zero-count finding")
     # Nonzero-sample checks: absent and all-zero counters must fail.
     findings = Findings()
-    check_nonzero(scalars, ["absent_counter"], findings)
+    check_nonzero(scalars, histograms, ["absent_counter"], findings)
     if not any("not found" in msg for _, msg in findings.items):
         failures.append("nonzero(absent): expected a not-found finding")
     zero_counter = validate("# TYPE c counter\nc{shard=\"0\"} 0\nc 0\n")
     findings = Findings()
-    check_nonzero(zero_counter[2], ["c"], findings)
+    check_nonzero(zero_counter[2], zero_counter[1], ["c"], findings)
     if not any("zero for every" in msg for _, msg in findings.items):
         failures.append("nonzero(zero): expected an all-zero finding")
+    # A zero-_count histogram family must also fail the nonzero check.
+    zero_hist = validate("# TYPE h histogram\n"
+                         'h_bucket{le="+Inf"} 0\nh_sum 0\nh_count 0\n')
+    findings = Findings()
+    check_nonzero(zero_hist[2], zero_hist[1], ["h"], findings)
+    if not any("zero for every" in msg for _, msg in findings.items):
+        failures.append("nonzero(zero-hist): expected an all-zero finding")
+    # Label checks: missing metric, missing key, malformed spec.
+    findings = Findings()
+    check_labels(scalars, histograms, ["absent_metric:shard"], findings)
+    if not any("not found" in msg for _, msg in findings.items):
+        failures.append("label(absent): expected a not-found finding")
+    findings = Findings()
+    check_labels(scalars, histograms,
+                 ["pjoin_results_total:git_sha"], findings)
+    if not any("non-empty 'git_sha' label" in msg
+               for _, msg in findings.items):
+        failures.append("label(missing-key): expected a missing-label "
+                        "finding")
+    findings = Findings()
+    check_labels(scalars, histograms, ["no-colon"], findings)
+    if not any("malformed" in msg for _, msg in findings.items):
+        failures.append("label(malformed): expected a malformed-spec "
+                        "finding")
     for f in failures:
         print(f"self-test FAIL: {f}")
     print(f"promtext self-test: {len(FIXTURES)} fixtures, "
@@ -372,8 +426,13 @@ def main():
                         "_count (repeatable)")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="NAME",
-                        help="assert counter/gauge NAME exists with a "
-                        "nonzero value for some label set (repeatable)")
+                        help="assert counter/gauge NAME (or histogram "
+                        "NAME's _count) is nonzero for some label set "
+                        "(repeatable)")
+    parser.add_argument("--require-label", action="append", default=[],
+                        metavar="NAME:KEY",
+                        help="assert metric NAME has a sample with a "
+                        "non-empty KEY label (repeatable)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate the embedded fixtures")
     args = parser.parse_args()
@@ -394,7 +453,8 @@ def main():
 
     findings, histograms, scalars = validate(text)
     check_requirements(histograms, args.require_histogram, findings)
-    check_nonzero(scalars, args.require_nonzero, findings)
+    check_nonzero(scalars, histograms, args.require_nonzero, findings)
+    check_labels(scalars, histograms, args.require_label, findings)
     for line_no, message in findings.items:
         where = f"{args.snapshot}:{line_no}" if line_no else args.snapshot
         print(f"{where}: {message}")
